@@ -1,0 +1,65 @@
+// Ablation A1 (paper Sec. 4.6): gcd clustering of round-robin allocation.
+// For disk counts around 100, how many distinct disks serve the stride-480
+// fragment set of a 1CODE query, and what does that do to simulated
+// response times? Also evaluates the gap scheme as a fix.
+
+#include <cstdio>
+
+#include "alloc/declustering_analysis.h"
+#include "common/math_util.h"
+#include "common/table_printer.h"
+#include "schema/apb1.h"
+#include "sim/simulator.h"
+
+namespace {
+
+double Simulate(const mdw::StarSchema& schema, const mdw::Fragmentation& f,
+                int disks, int gap) {
+  mdw::SimConfig config;
+  config.num_disks = disks;
+  config.num_nodes = 20;
+  config.tasks_per_node = 2;
+  config.round_gap = gap;
+  mdw::Simulator sim(&schema, &f, config);
+  return sim.RunSingleUser({mdw::apb1_queries::OneCode(35)}).avg_response_ms;
+}
+
+}  // namespace
+
+int main() {
+  const auto schema = mdw::MakeApb1Schema();
+  const mdw::Fragmentation frag(&schema,
+                                {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}});
+  const mdw::QueryPlanner planner(&schema, &frag);
+  const auto plan = planner.Plan(mdw::apb1_queries::OneCode(35));
+
+  std::printf(
+      "Ablation A1: gcd clustering for 1CODE (24 fragments, stride 480)\n"
+      "under F_MonthGroup, plain round robin vs gap scheme\n\n");
+  mdw::TablePrinter table({"d", "prime?", "disks used (plain)",
+                           "disks used (gap=1)", "response plain [s]",
+                           "response gap [s]"});
+  for (const int d : {96, 97, 98, 99, 100, 101, 102}) {
+    mdw::AllocationConfig plain_cfg;
+    plain_cfg.num_disks = d;
+    const mdw::DiskAllocation plain(&frag, plain_cfg, 12);
+    mdw::AllocationConfig gap_cfg = plain_cfg;
+    gap_cfg.round_gap = 1;
+    const mdw::DiskAllocation gapped(&frag, gap_cfg, 12);
+    const auto r_plain = mdw::AnalyzeDeclustering(plan, plain);
+    const auto r_gap = mdw::AnalyzeDeclustering(plan, gapped);
+    table.AddRow({std::to_string(d), mdw::IsPrime(d) ? "yes" : "no",
+                  std::to_string(r_plain.disks_used),
+                  std::to_string(r_gap.disks_used),
+                  mdw::TablePrinter::Num(Simulate(schema, frag, d, 0) / 1000,
+                                         2),
+                  mdw::TablePrinter::Num(Simulate(schema, frag, d, 1) / 1000,
+                                         2)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nPaper example: d=100 clusters the 24 fragments on 5 disks\n"
+      "(gcd(480,100)=20), losing a factor 4.8 of I/O parallelism; prime\n"
+      "disk counts or a gap scheme restore full spread.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation A8: storage footprint of the physical design. The paper
+// stresses that each bitmap occupies 223 MB (Sec. 4.4) and that MDHF
+// eliminates whole bitmaps (Sec. 4.2); this bench quantifies the
+// elimination savings per fragmentation and the (non-)effect of WAH
+// compression on the paper's index configuration.
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "cost/storage_model.h"
+#include "schema/apb1.h"
+
+namespace {
+
+std::string Gib(std::int64_t bytes) {
+  return mdw::TablePrinter::Num(
+      static_cast<double>(bytes) / static_cast<double>(mdw::kGiB), 2);
+}
+
+}  // namespace
+
+int main() {
+  const auto schema = mdw::MakeApb1Schema();
+
+  std::printf("Ablation A8: storage under different fragmentations\n");
+  std::printf("(fact table: %s GiB at 20 B/tuple)\n\n",
+              Gib(schema.FactCount() * 20).c_str());
+
+  struct Case {
+    const char* name;
+    std::vector<mdw::FragAttr> attrs;
+  };
+  const Case cases[] = {
+      {"unfragmented", {}},
+      {"F_Month", {{mdw::kApb1Time, 2}}},
+      {"F_MonthGroup", {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}}},
+      {"F_MonthCode", {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 5}}},
+      {"F_all_coarsest",
+       {{mdw::kApb1Time, 0},
+        {mdw::kApb1Product, 0},
+        {mdw::kApb1Customer, 0},
+        {mdw::kApb1Channel, 0}}},
+  };
+
+  mdw::TablePrinter table({"fragmentation", "bitmaps", "bitmap raw [GiB]",
+                           "bitmap WAH [GiB]", "total raw [GiB]"});
+  for (const auto& c : cases) {
+    const mdw::Fragmentation f(&schema, c.attrs);
+    const auto breakdown = mdw::EstimateStorage(f);
+    table.AddRow({c.name, std::to_string(breakdown.bitmap_count),
+                  Gib(breakdown.bitmap_raw_bytes),
+                  Gib(breakdown.bitmap_compressed_bytes),
+                  Gib(breakdown.TotalRaw())});
+  }
+  table.Print(stdout);
+
+  std::printf(
+      "\nObservations: F_MonthGroup eliminates 44 of 76 bitmaps (~58%% of\n"
+      "the index storage); WAH compression barely helps the paper's index\n"
+      "configuration because encoded slices are ~50%% dense and the simple\n"
+      "indices cover only low-cardinality dimensions — the reason the\n"
+      "paper picks encoded indices for PRODUCT and CUSTOMER in the first\n"
+      "place.\n");
+  return 0;
+}

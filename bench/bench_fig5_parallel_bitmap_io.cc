@@ -1,0 +1,48 @@
+// Reproduces paper Figure 5: response-time effect of parallel bitmap I/O
+// for the I/O-bound 1STORE query on the 100-disk / 20-node configuration,
+// varying the number of concurrent subqueries per node (t).
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "schema/apb1.h"
+#include "workload/workload_driver.h"
+
+int main() {
+  const auto schema = mdw::MakeApb1Schema();
+  const mdw::Fragmentation frag(&schema,
+                                {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}});
+
+  std::printf(
+      "Figure 5: 1STORE with parallel vs non-parallel bitmap I/O\n"
+      "(d = 100, p = 20; staggered bitmap allocation)\n\n");
+  mdw::TablePrinter table({"t", "non-parallel I/O [s]", "parallel I/O [s]",
+                           "improvement"});
+
+  for (const int t : {1, 3, 5, 7, 9, 11, 13}) {
+    double response[2] = {0, 0};
+    for (const bool parallel : {false, true}) {
+      mdw::SimConfig config;
+      config.num_disks = 100;
+      config.num_nodes = 20;
+      config.tasks_per_node = t;
+      config.parallel_bitmap_io = parallel;
+      mdw::WorkloadDriver driver(&schema, &frag, config);
+      response[parallel ? 1 : 0] =
+          driver.RunSingleUser(mdw::QueryType::k1Store, 1).avg_response_ms;
+    }
+    table.AddRow({std::to_string(t),
+                  mdw::TablePrinter::Num(response[0] / 1000, 1),
+                  mdw::TablePrinter::Num(response[1] / 1000, 1),
+                  mdw::TablePrinter::Num(
+                      100 * (1 - response[1] / response[0]), 1) + " %"});
+  }
+  table.Print(stdout);
+
+  std::printf(
+      "\nPaper shape: response improves linearly up to ~5 subqueries per\n"
+      "node (total subqueries = disks), then flattens; parallel bitmap\n"
+      "I/O delivers noticeable improvements (paper: up to 13%%), most\n"
+      "pronounced at low t, shrinking as disk contention grows.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces paper Figure 6: response times of 1CODE1QUARTER and 1STORE
+// for the fragmentations F_MonthGroup, F_MonthClass, F_MonthCode (d = 100,
+// p = 20), varying the total degree of parallelism (global number of
+// concurrent subqueries).
+
+#include <cstdio>
+#include <string>
+
+#include "common/table_printer.h"
+#include "schema/apb1.h"
+#include "workload/workload_driver.h"
+
+namespace {
+
+struct Frag {
+  const char* name;
+  mdw::Depth product_depth;
+};
+
+double Run(const mdw::StarSchema& schema, const mdw::Fragmentation& frag,
+           mdw::QueryType type, int dop) {
+  mdw::SimConfig config;
+  config.num_disks = 100;
+  config.num_nodes = 20;
+  config.tasks_per_node = std::max(1, (dop + 19) / 20);
+  config.global_task_cap = dop;
+  mdw::WorkloadDriver driver(&schema, &frag, config);
+  return driver.RunSingleUser(type, 1).avg_response_ms;
+}
+
+}  // namespace
+
+int main() {
+  const auto schema = mdw::MakeApb1Schema();
+  const Frag frags[] = {{"group", 3}, {"class", 4}, {"code", 5}};
+
+  std::printf("Figure 6 (left): 1CODE1QUARTER response times [s]\n\n");
+  {
+    mdw::TablePrinter table({"degree of parallelism", "product group frag",
+                             "product class frag", "product code frag"});
+    for (const int dop : {1, 2, 3, 4, 5}) {
+      std::vector<std::string> row = {std::to_string(dop)};
+      for (const auto& fr : frags) {
+        const mdw::Fragmentation f(
+            &schema, {{mdw::kApb1Time, 2}, {mdw::kApb1Product,
+                                            fr.product_depth}});
+        row.push_back(mdw::TablePrinter::Num(
+            Run(schema, f, mdw::QueryType::k1Code1Quarter, dop) / 1000, 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print(stdout);
+  }
+  std::printf(
+      "\nPaper shape: optimum at 3 subqueries (one per month of the\n"
+      "quarter); class fragmentation halves the group response; code\n"
+      "fragmentation is best (no bitmaps, only relevant tuples).\n\n");
+
+  std::printf("Figure 6 (right): 1STORE response times [s]\n\n");
+  {
+    mdw::TablePrinter table({"degree of parallelism", "product group frag",
+                             "product class frag", "product code frag"});
+    for (const int dop : {20, 60, 100, 160}) {
+      std::vector<std::string> row = {std::to_string(dop)};
+      for (const auto& fr : frags) {
+        const mdw::Fragmentation f(
+            &schema, {{mdw::kApb1Time, 2}, {mdw::kApb1Product,
+                                            fr.product_depth}});
+        row.push_back(mdw::TablePrinter::Num(
+            Run(schema, f, mdw::QueryType::k1Store, dop) / 1000, 1));
+      }
+      table.AddRow(row);
+    }
+    table.Print(stdout);
+  }
+  std::printf(
+      "\nPaper shape: the inverse ordering — the fine-grained code\n"
+      "fragmentation is by far the worst (bitmap fragments of 1/6 page\n"
+      "force >4 million bitmap I/Os); it must be excluded via the\n"
+      "fragmentation thresholds of Sec. 4.4.\n");
+  return 0;
+}

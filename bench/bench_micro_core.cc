@@ -1,0 +1,170 @@
+// Micro-benchmarks (google-benchmark) for the core data structures:
+// bitvector Boolean ops, encoded-index selections, fragment mapping and
+// query planning.
+
+#include <benchmark/benchmark.h>
+
+#include "bitmap/compressed_bitvector.h"
+#include "bitmap/encoded_bitmap_index.h"
+#include "common/rng.h"
+#include "fragment/query_planner.h"
+#include "index/btree.h"
+#include "schema/apb1.h"
+#include "workload/query_parser.h"
+
+namespace {
+
+void BM_BitVectorAnd(benchmark::State& state) {
+  const auto bits = static_cast<std::int64_t>(state.range(0));
+  mdw::BitVector a(bits), b(bits);
+  mdw::Rng rng(1);
+  for (std::int64_t i = 0; i < bits; i += 64) a.Set(i);
+  for (std::int64_t i = 0; i < bits; i += 128) b.Set(i);
+  for (auto _ : state) {
+    mdw::BitVector c = a;
+    c &= b;
+    benchmark::DoNotOptimize(c.Count());
+  }
+  state.SetBytesProcessed(state.iterations() * bits / 8);
+}
+BENCHMARK(BM_BitVectorAnd)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BitVectorPopcount(benchmark::State& state) {
+  const auto bits = static_cast<std::int64_t>(state.range(0));
+  mdw::BitVector a(bits);
+  for (std::int64_t i = 0; i < bits; i += 3) a.Set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Count());
+  }
+  state.SetBytesProcessed(state.iterations() * bits / 8);
+}
+BENCHMARK(BM_BitVectorPopcount)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_EncodedIndexSelect(benchmark::State& state) {
+  const mdw::Hierarchy product({{"division", 8},
+                                {"line", 24},
+                                {"family", 120},
+                                {"group", 480},
+                                {"class", 960},
+                                {"code", 14'400}});
+  mdw::Rng rng(2);
+  std::vector<std::int64_t> column;
+  for (int i = 0; i < 100'000; ++i) column.push_back(rng.Uniform(0, 14'399));
+  const mdw::EncodedBitmapIndex index(product, column);
+  const auto depth = static_cast<mdw::Depth>(state.range(0));
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Select(depth, v));
+    v = (v + 1) % product.Cardinality(depth);
+  }
+}
+BENCHMARK(BM_EncodedIndexSelect)->Arg(0)->Arg(3)->Arg(5);
+
+void BM_FragmentOfRow(benchmark::State& state) {
+  const auto schema = mdw::MakeApb1Schema();
+  const mdw::Fragmentation frag(
+      &schema, {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}});
+  mdw::Rng rng(3);
+  std::vector<std::vector<std::int64_t>> rows;
+  for (int i = 0; i < 1'000; ++i) {
+    rows.push_back({rng.Uniform(0, 14'399), rng.Uniform(0, 1'439),
+                    rng.Uniform(0, 14), rng.Uniform(0, 23)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frag.FragmentOfRow(rows[i]));
+    i = (i + 1) % rows.size();
+  }
+}
+BENCHMARK(BM_FragmentOfRow);
+
+void BM_PlanQuery(benchmark::State& state) {
+  const auto schema = mdw::MakeApb1Schema();
+  const mdw::Fragmentation frag(
+      &schema, {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}});
+  const mdw::QueryPlanner planner(&schema, &frag);
+  const auto query = mdw::apb1_queries::OneCodeOneQuarter(35, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.Plan(query));
+  }
+}
+BENCHMARK(BM_PlanQuery);
+
+void BM_CompressedBitmapAnd(benchmark::State& state) {
+  const std::int64_t bits = 1 << 20;
+  mdw::BitVector a(bits), b(bits);
+  for (std::int64_t i = 0; i < bits; i += state.range(0)) a.Set(i);
+  for (std::int64_t i = 0; i < bits; i += 2 * state.range(0)) b.Set(i);
+  const mdw::CompressedBitVector ca(a), cb(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ca.And(cb));
+  }
+  state.counters["ratio"] = ca.CompressionRatio();
+}
+BENCHMARK(BM_CompressedBitmapAnd)->Arg(3)->Arg(64)->Arg(1440);
+
+void BM_WahCompress(benchmark::State& state) {
+  const std::int64_t bits = 1 << 20;
+  mdw::BitVector a(bits);
+  for (std::int64_t i = 0; i < bits; i += state.range(0)) a.Set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdw::CompressedBitVector(a));
+  }
+  state.SetBytesProcessed(state.iterations() * bits / 8);
+}
+BENCHMARK(BM_WahCompress)->Arg(3)->Arg(1440);
+
+void BM_BtreeLookup(benchmark::State& state) {
+  mdw::BPlusTree tree;
+  const std::int64_t n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) tree.Insert(i, i);
+  std::int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(key));
+    key = (key + 7'919) % n;
+  }
+}
+BENCHMARK(BM_BtreeLookup)->Arg(1'000)->Arg(100'000);
+
+void BM_BtreeRangeScan(benchmark::State& state) {
+  mdw::BPlusTree tree;
+  for (std::int64_t i = 0; i < 100'000; ++i) tree.Insert(i, i);
+  std::int64_t lo = 0;
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    tree.Scan(lo, lo + 999,
+              [&sum](std::int64_t, std::int64_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+    lo = (lo + 1'000) % 99'000;
+  }
+}
+BENCHMARK(BM_BtreeRangeScan);
+
+void BM_ParseStarQuery(benchmark::State& state) {
+  const auto schema = mdw::MakeApb1Schema();
+  const std::string sql =
+      "SELECT SUM(UnitsSold), SUM(DollarSales) FROM sales "
+      "WHERE time.month = 3 AND product.group = 41";
+  std::string error;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdw::ParseStarQuery(schema, sql, &error));
+  }
+}
+BENCHMARK(BM_ParseStarQuery);
+
+void BM_PlanUnsupportedQuery(benchmark::State& state) {
+  // 1STORE's plan includes full slices (24 x 480 values).
+  const auto schema = mdw::MakeApb1Schema();
+  const mdw::Fragmentation frag(
+      &schema, {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}});
+  const mdw::QueryPlanner planner(&schema, &frag);
+  const auto query = mdw::apb1_queries::OneStore(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.Plan(query));
+  }
+}
+BENCHMARK(BM_PlanUnsupportedQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Reproduces paper Table 6: fragmentation parameters of experiment 3
+// (number of fragments and bitmap fragment size for F_MonthGroup,
+// F_MonthClass, F_MonthCode).
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "cost/io_cost_model.h"
+#include "fragment/fragmentation.h"
+#include "schema/apb1.h"
+
+int main() {
+  const auto schema = mdw::MakeApb1Schema();
+  const mdw::IoCostParams params;
+
+  struct Row {
+    const char* name;
+    mdw::Depth product_depth;
+  };
+  const Row rows[] = {{"F_MonthGroup", 3},
+                      {"F_MonthClass", 4},
+                      {"F_MonthCode", 5}};
+
+  std::printf("Table 6: fragmentation parameters for experiment 3\n\n");
+  mdw::TablePrinter table({"fragmentation", "number of fragments",
+                           "bitmap fragment size [pages]",
+                           "effective prefetch granule"});
+  for (const auto& row : rows) {
+    const mdw::Fragmentation f(
+        &schema, {{mdw::kApb1Time, 2}, {mdw::kApb1Product, row.product_depth}});
+    const double pages = f.BitmapFragmentPages();
+    const double granule = std::min(
+        static_cast<double>(params.bitmap_prefetch_pages),
+        std::max(1.0, std::ceil(pages)));
+    table.AddRow({row.name, mdw::TablePrinter::Int(f.FragmentCount()),
+                  mdw::TablePrinter::Num(pages, 2),
+                  mdw::TablePrinter::Num(granule, 0)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nPaper values: 11,520 / 23,040 / 345,600 fragments with bitmap\n"
+      "fragment sizes 4.9 (5) / 2.5 (3) / 0.16 (1) pages.\n");
+  return 0;
+}

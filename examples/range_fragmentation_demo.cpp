@@ -1,0 +1,72 @@
+// General MDHF with value *ranges* (paper Sec. 4.1) instead of the point
+// fragmentation used in the evaluation, plus the analytic response-time
+// model: how a DBA tool explores the trade-off between fewer/larger and
+// more/smaller fragments in microseconds.
+
+#include <cstdio>
+
+#include "core/mdw.h"
+
+int main() {
+  const auto schema = mdw::MakeApb1Schema();
+
+  // Quarter-aligned month ranges vs misaligned 5-month ranges: alignment
+  // decides whether queries keep the "no bitmap access" property.
+  const mdw::RangeFragmentation quarters(
+      &schema,
+      {mdw::RangePartition{mdw::kApb1Time, 2, {3, 6, 9, 12, 15, 18, 21, 24}}});
+  const mdw::RangeFragmentation fives(
+      &schema, {mdw::RangePartition{mdw::kApb1Time, 2, {5, 10, 15, 20, 24}}});
+
+  const mdw::StarQuery quarter_query("1QUARTER", {{mdw::kApb1Time, 1, {2}}});
+  for (const auto* frag : {&quarters, &fives}) {
+    const auto plan = frag->PlanQuery(quarter_query);
+    std::printf("%-22s -> %lld of %lld fragments, bitmaps %s\n",
+                frag->Label().c_str(),
+                static_cast<long long>(plan.fragment_count),
+                static_cast<long long>(frag->FragmentCount()),
+                plan.NeedsBitmaps() ? "REQUIRED (ranges cut the quarter)"
+                                    : "not needed (aligned ranges)");
+  }
+
+  // Point fragmentation as the degenerate range case.
+  const auto pointwise =
+      mdw::RangeFragmentation::PointwiseOf(&schema, mdw::kApb1Time, 2);
+  std::printf("%-22s -> %lld fragments (the paper's point case)\n\n",
+              pointwise.Label().c_str(),
+              static_cast<long long>(pointwise.FragmentCount()));
+
+  // The analytic response model ranks fragmentation candidates without
+  // running the simulator.
+  mdw::SimConfig config;
+  config.num_disks = 100;
+  config.num_nodes = 20;
+  const mdw::ResponseModel model(&schema, config);
+  const auto query = mdw::apb1_queries::OneStore(7);
+
+  std::printf("Analytic response-time screening for query 1STORE:\n");
+  mdw::TablePrinter table({"fragmentation", "est. response [s]",
+                           "disk-bound [s]", "cpu-bound [s]"});
+  const std::vector<std::vector<mdw::FragAttr>> candidates = {
+      {{mdw::kApb1Customer, 1}},
+      {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}},
+      {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 5}},
+  };
+  for (const auto& attrs : candidates) {
+    const mdw::Fragmentation f(&schema, attrs);
+    const mdw::QueryPlanner planner(&schema, &f);
+    const auto est = model.Estimate(planner.Plan(query));
+    table.AddRow({f.Label(),
+                  mdw::TablePrinter::Num(est.response_ms / 1000, 2),
+                  mdw::TablePrinter::Num(est.disk_bound_ms / 1000, 2),
+                  mdw::TablePrinter::Num(est.cpu_bound_ms / 1000, 2)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nThe screening reproduces the Table 3 / Fig. 6 ordering: the\n"
+      "customer fragmentation answers 1STORE in seconds (one fragment,\n"
+      "read sequentially), the month/group one needs ~2 minutes, and the\n"
+      "month/code one is ~3x worse again -- without running a single\n"
+      "simulation.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "alloc/declustering_analysis.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace mdw {
+
+DeclusteringReport AnalyzeDeclustering(const QueryPlan& plan,
+                                       const DiskAllocation& allocation) {
+  DeclusteringReport report;
+  std::vector<bool> used(static_cast<std::size_t>(allocation.num_disks()),
+                         false);
+  plan.ForEachFragment([&](FragId id) {
+    ++report.fragments_accessed;
+    used[static_cast<std::size_t>(allocation.DiskOfFragment(id))] = true;
+  });
+  report.disks_used =
+      static_cast<int>(std::count(used.begin(), used.end(), true));
+  report.ideal_disks = static_cast<int>(
+      std::min<std::int64_t>(report.fragments_accessed,
+                             allocation.num_disks()));
+  report.parallelism_loss =
+      report.disks_used == 0
+          ? 1.0
+          : static_cast<double>(report.ideal_disks) /
+                static_cast<double>(report.disks_used);
+  return report;
+}
+
+int DisksForStride(std::int64_t stride, std::int64_t count, int num_disks) {
+  MDW_CHECK(num_disks >= 1, "need at least one disk");
+  if (count <= 0) return 0;
+  const std::int64_t g = std::gcd(stride % num_disks,
+                                  static_cast<std::int64_t>(num_disks));
+  const std::int64_t cycle = num_disks / (g == 0 ? num_disks : g);
+  return static_cast<int>(std::min<std::int64_t>(count, cycle));
+}
+
+std::vector<DiskCountChoice> RankDiskCounts(
+    const StarSchema& schema, const Fragmentation& fragmentation,
+    const std::vector<StarQuery>& queries, int lo, int hi) {
+  MDW_CHECK(lo >= 1 && hi >= lo, "invalid disk-count range");
+  std::vector<DiskCountChoice> choices;
+  const QueryPlanner planner(&schema, &fragmentation);
+  std::vector<QueryPlan> plans;
+  plans.reserve(queries.size());
+  for (const auto& q : queries) plans.push_back(planner.Plan(q));
+
+  for (int d = lo; d <= hi; ++d) {
+    DiskCountChoice choice;
+    choice.num_disks = d;
+    choice.is_prime = IsPrime(d);
+    AllocationConfig config;
+    config.num_disks = d;
+    const DiskAllocation allocation(&fragmentation, config,
+                                    /*bitmap_count=*/0);
+    for (const auto& plan : plans) {
+      const auto report = AnalyzeDeclustering(plan, allocation);
+      choice.worst_parallelism_loss =
+          std::max(choice.worst_parallelism_loss, report.parallelism_loss);
+    }
+    choices.push_back(choice);
+  }
+  return choices;
+}
+
+}  // namespace mdw

@@ -1,0 +1,47 @@
+#ifndef MDW_ALLOC_DECLUSTERING_ANALYSIS_H_
+#define MDW_ALLOC_DECLUSTERING_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/disk_allocation.h"
+#include "fragment/query_planner.h"
+
+namespace mdw {
+
+/// Result of analysing how well a query's fragment set spreads over the
+/// disks of an allocation (paper Sec. 4.6: the gcd clustering problem).
+struct DeclusteringReport {
+  std::int64_t fragments_accessed = 0;
+  int disks_used = 0;
+  /// Achievable I/O parallelism: min(fragments, num_disks).
+  int ideal_disks = 0;
+  /// ideal_disks / disks_used; 1.0 = optimal, 4.8 for the paper's
+  /// 1CODE example with d = 100 and F_MonthGroup.
+  double parallelism_loss = 1.0;
+};
+
+/// Computes the set of distinct disks the plan's fact fragments occupy.
+DeclusteringReport AnalyzeDeclustering(const QueryPlan& plan,
+                                       const DiskAllocation& allocation);
+
+/// Number of distinct disks hit by an arithmetic fragment-id progression
+/// start, start+stride, ... (count terms) under plain round robin over
+/// `num_disks` disks: num_disks / gcd(stride, num_disks), capped by count.
+/// The closed form behind the paper's d=100 example.
+int DisksForStride(std::int64_t stride, std::int64_t count, int num_disks);
+
+/// For each candidate disk count in [lo, hi], the worst-case parallelism
+/// loss over a set of query plans; used to recommend (prime) disk counts.
+struct DiskCountChoice {
+  int num_disks = 0;
+  double worst_parallelism_loss = 1.0;
+  bool is_prime = false;
+};
+std::vector<DiskCountChoice> RankDiskCounts(
+    const StarSchema& schema, const Fragmentation& fragmentation,
+    const std::vector<StarQuery>& queries, int lo, int hi);
+
+}  // namespace mdw
+
+#endif  // MDW_ALLOC_DECLUSTERING_ANALYSIS_H_

@@ -1,0 +1,84 @@
+#include "alloc/disk_allocation.h"
+
+#include "common/check.h"
+
+namespace mdw {
+
+DiskAllocation::DiskAllocation(const Fragmentation* fragmentation,
+                               AllocationConfig config, int bitmap_count)
+    : fragmentation_(fragmentation),
+      config_(config),
+      bitmap_count_(bitmap_count) {
+  MDW_CHECK(fragmentation_ != nullptr, "allocation needs a fragmentation");
+  MDW_CHECK(config_.num_disks >= 1, "need at least one disk");
+  MDW_CHECK(bitmap_count_ >= 0, "bitmap count must be non-negative");
+  MDW_CHECK(config_.round_gap >= 0, "round gap must be non-negative");
+  MDW_CHECK(config_.cluster_factor >= 1, "cluster factor must be positive");
+}
+
+std::int64_t DiskAllocation::ClusterOf(FragId id) const {
+  return id / config_.cluster_factor;
+}
+
+int DiskAllocation::DiskOfFragment(FragId id) const {
+  MDW_CHECK(id >= 0 && id < fragmentation_->FragmentCount(),
+            "fragment id out of range");
+  const auto d = static_cast<std::int64_t>(config_.num_disks);
+  const std::int64_t cluster = ClusterOf(id);
+  const std::int64_t round = cluster / d;
+  return static_cast<int>((cluster + round * config_.round_gap) % d);
+}
+
+int DiskAllocation::DiskOfBitmapFragment(FragId id, int bitmap_index) const {
+  MDW_CHECK(bitmap_index >= 0 && bitmap_index < bitmap_count_,
+            "bitmap index out of range");
+  const int fact_disk = DiskOfFragment(id);
+  switch (config_.bitmap_placement) {
+    case BitmapPlacement::kSameDisk:
+      return fact_disk;
+    case BitmapPlacement::kSameNode: {
+      MDW_CHECK(config_.node_count >= 1,
+                "same-node placement needs the node count");
+      // Stagger across the owner node's disks only (stride = node count).
+      const std::int64_t stride = config_.node_count;
+      return static_cast<int>(
+          (static_cast<std::int64_t>(fact_disk) +
+           (1 + bitmap_index) * stride) %
+          config_.num_disks);
+    }
+    case BitmapPlacement::kStaggered:
+      break;
+  }
+  return static_cast<int>(
+      (static_cast<std::int64_t>(fact_disk) + 1 + bitmap_index) %
+      config_.num_disks);
+}
+
+std::int64_t DiskAllocation::FactExtentOrdinal(FragId id) const {
+  MDW_CHECK(id >= 0 && id < fragmentation_->FragmentCount(),
+            "fragment id out of range");
+  // One cluster lands on each disk per round-robin round; within the
+  // cluster's extent, fragments are stored consecutively.
+  const std::int64_t c = config_.cluster_factor;
+  const std::int64_t round = ClusterOf(id) / config_.num_disks;
+  return round * c + id % c;
+}
+
+std::int64_t DiskAllocation::BitmapExtentOrdinal(FragId id,
+                                                 int bitmap_index) const {
+  // Cluster-level ordinal: each round contributes k cluster-sized bitmap
+  // extents per disk. All fragments of one cluster share the extent.
+  const std::int64_t round = ClusterOf(id) / config_.num_disks;
+  return round * bitmap_count_ + bitmap_index;
+}
+
+std::int64_t DiskAllocation::FragmentsOnDisk(int disk) const {
+  MDW_CHECK(disk >= 0 && disk < config_.num_disks, "disk out of range");
+  std::int64_t count = 0;
+  for (FragId id = 0; id < fragmentation_->FragmentCount(); ++id) {
+    if (DiskOfFragment(id) == disk) ++count;
+  }
+  return count;
+}
+
+}  // namespace mdw

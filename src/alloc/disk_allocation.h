@@ -1,0 +1,94 @@
+#ifndef MDW_ALLOC_DISK_ALLOCATION_H_
+#define MDW_ALLOC_DISK_ALLOCATION_H_
+
+#include <cstdint>
+
+#include "fragment/fragmentation.h"
+
+namespace mdw {
+
+/// Placement of bitmap fragments relative to their fact fragment
+/// (paper Sec. 4 / Fig. 2 and Sec. 6.2).
+enum class BitmapPlacement {
+  /// "Staggered round robin": bitmap fragment b of fact fragment on disk j
+  /// goes to disk (j + 1 + b) mod d, enabling parallel bitmap I/O within a
+  /// subquery.
+  kStaggered,
+  /// All bitmap fragments co-located with their fact fragment (serialises
+  /// bitmap I/O on one disk; the comparison baseline).
+  kSameDisk,
+  /// Shared Nothing variant (paper footnote 3): bitmap fragments must stay
+  /// on disks of the fact fragment's owner node; they are staggered with a
+  /// stride of `node_count` so disk (j + (1+b)*node_count) mod d keeps the
+  /// same owner when node_count divides num_disks.
+  kSameNode,
+};
+
+/// Configuration of the physical allocation step.
+struct AllocationConfig {
+  int num_disks = 100;
+  BitmapPlacement bitmap_placement = BitmapPlacement::kStaggered;
+  /// Optional gap scheme (Sec. 4.6): after every full round-robin round the
+  /// starting disk is shifted by `round_gap` to break gcd clustering
+  /// between the fragment stride of a query and the disk count.
+  /// 0 = plain round robin (the paper's default).
+  int round_gap = 0;
+  /// Fragment clustering (Sec. 6.3 outlook): groups of `cluster_factor`
+  /// consecutive fragments are placed as one allocation unit — their fact
+  /// extents contiguous on one disk, their bitmap fragments merged into
+  /// one contiguous extent per bitmap. 1 = paper default (no clustering).
+  int cluster_factor = 1;
+  /// Node count used by BitmapPlacement::kSameNode (disk ownership is
+  /// disk % node_count). Ignored by the other placements.
+  int node_count = 0;
+};
+
+/// Maps fact fragments and bitmap fragments to disks: full declustering
+/// with (optionally gapped) round robin for fact fragments and staggered
+/// placement for bitmap fragments (paper Sec. 4.6). Also provides extent
+/// ordinals used by the simulator to derive on-disk positions (fragments
+/// allocated to a disk are stored consecutively, fact extents before
+/// bitmap extents).
+class DiskAllocation {
+ public:
+  /// `bitmap_count` is k, the number of materialised bitmaps after
+  /// elimination (each is partitioned into one fragment per fact fragment).
+  DiskAllocation(const Fragmentation* fragmentation, AllocationConfig config,
+                 int bitmap_count);
+
+  const Fragmentation& fragmentation() const { return *fragmentation_; }
+  int num_disks() const { return config_.num_disks; }
+  int bitmap_count() const { return bitmap_count_; }
+  const AllocationConfig& config() const { return config_; }
+
+  /// Disk holding fact fragment `id`.
+  int DiskOfFragment(FragId id) const;
+
+  /// Disk holding bitmap fragment `bitmap_index` (0..k-1) of fragment `id`.
+  int DiskOfBitmapFragment(FragId id, int bitmap_index) const;
+
+  /// Ordinal of fragment `id` among the fact fragments of its disk, in
+  /// fragment units (clustered fragments occupy consecutive slots).
+  std::int64_t FactExtentOrdinal(FragId id) const;
+
+  /// Ordinal used to position the bitmap extent of fragment `id` (or of
+  /// its whole cluster when cluster_factor > 1) for bitmap `bitmap_index`
+  /// within its disk's bitmap region, in units of cluster-sized bitmap
+  /// extents.
+  std::int64_t BitmapExtentOrdinal(FragId id, int bitmap_index) const;
+
+  /// The cluster a fragment belongs to (== id when cluster_factor == 1).
+  std::int64_t ClusterOf(FragId id) const;
+
+  /// Number of fact fragments allocated to `disk`.
+  std::int64_t FragmentsOnDisk(int disk) const;
+
+ private:
+  const Fragmentation* fragmentation_;
+  AllocationConfig config_;
+  int bitmap_count_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_ALLOC_DISK_ALLOCATION_H_

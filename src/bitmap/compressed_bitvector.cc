@@ -1,0 +1,143 @@
+#include "bitmap/compressed_bitvector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace mdw {
+
+namespace {
+
+constexpr std::uint32_t kFillFlag = 0x8000'0000u;
+constexpr std::uint32_t kFillValueBit = 0x4000'0000u;
+constexpr std::uint32_t kMaxRun = 0x3FFF'FFFFu;
+constexpr std::uint32_t kPayloadMask = 0x7FFF'FFFFu;
+
+bool IsFill(std::uint32_t word) { return (word & kFillFlag) != 0; }
+bool FillValue(std::uint32_t word) { return (word & kFillValueBit) != 0; }
+std::uint32_t RunLength(std::uint32_t word) { return word & kMaxRun; }
+
+}  // namespace
+
+bool CompressedBitVector::GroupReader::Next(std::uint32_t* group) {
+  if (remaining_fill_ > 0) {
+    --remaining_fill_;
+    *group = fill_group_;
+    return true;
+  }
+  if (index_ == words_.size()) return false;
+  const std::uint32_t word = words_[index_++];
+  if (IsFill(word)) {
+    const std::uint32_t run = RunLength(word);
+    MDW_CHECK(run > 0, "corrupt fill word");
+    fill_group_ = FillValue(word) ? kPayloadMask : 0;
+    remaining_fill_ = run - 1;
+    *group = fill_group_;
+    return true;
+  }
+  *group = word & kPayloadMask;
+  return true;
+}
+
+void CompressedBitVector::AppendGroup(std::uint32_t group) {
+  const bool all_zero = group == 0;
+  const bool all_one = group == kPayloadMask;
+  if (all_zero || all_one) {
+    if (!words_.empty() && IsFill(words_.back()) &&
+        FillValue(words_.back()) == all_one &&
+        RunLength(words_.back()) < kMaxRun) {
+      ++words_.back();
+      return;
+    }
+    words_.push_back(kFillFlag | (all_one ? kFillValueBit : 0u) | 1u);
+    return;
+  }
+  words_.push_back(group);
+}
+
+CompressedBitVector::CompressedBitVector(const BitVector& bits)
+    : size_bits_(bits.size()) {
+  const std::int64_t groups = CeilDiv(size_bits_, 31);
+  std::int64_t bit = 0;
+  for (std::int64_t g = 0; g < groups; ++g) {
+    std::uint32_t group = 0;
+    const std::int64_t limit = std::min<std::int64_t>(31, size_bits_ - bit);
+    for (std::int64_t i = 0; i < limit; ++i, ++bit) {
+      if (bits.Get(bit)) group |= 1u << i;
+    }
+    // The trailing partial group is padded with zeros; size_bits_
+    // truncates them again on decompression.
+    AppendGroup(group);
+  }
+}
+
+std::int64_t CompressedBitVector::UncompressedBytes() const {
+  return CeilDiv(size_bits_, 32) * 4;
+}
+
+double CompressedBitVector::CompressionRatio() const {
+  if (SizeBytes() == 0) return 1.0;
+  return static_cast<double>(UncompressedBytes()) /
+         static_cast<double>(SizeBytes());
+}
+
+std::int64_t CompressedBitVector::Count() const {
+  GroupReader reader(words_);
+  std::int64_t count = 0;
+  std::int64_t bits_seen = 0;
+  std::uint32_t group;
+  while (reader.Next(&group)) {
+    // Mask padding bits of the final group.
+    const std::int64_t valid = std::min<std::int64_t>(31, size_bits_ - bits_seen);
+    if (valid < 31) group &= (1u << valid) - 1;
+    count += __builtin_popcount(group);
+    bits_seen += 31;
+  }
+  return count;
+}
+
+BitVector CompressedBitVector::Decompress() const {
+  BitVector bits(size_bits_);
+  GroupReader reader(words_);
+  std::int64_t bit = 0;
+  std::uint32_t group;
+  while (reader.Next(&group)) {
+    const std::int64_t limit = std::min<std::int64_t>(31, size_bits_ - bit);
+    for (std::int64_t i = 0; i < limit; ++i) {
+      if ((group >> i) & 1) bits.Set(bit + i);
+    }
+    bit += 31;
+  }
+  return bits;
+}
+
+template <typename Op>
+CompressedBitVector CompressedBitVector::Combine(
+    const CompressedBitVector& other, Op op) const {
+  MDW_CHECK(size_bits_ == other.size_bits_,
+            "size mismatch in compressed Boolean operation");
+  CompressedBitVector result;
+  result.size_bits_ = size_bits_;
+  GroupReader a(words_), b(other.words_);
+  std::uint32_t ga, gb;
+  while (a.Next(&ga)) {
+    MDW_CHECK(b.Next(&gb), "compressed bitmaps of equal size disagree");
+    result.AppendGroup(op(ga, gb) & kPayloadMask);
+  }
+  return result;
+}
+
+CompressedBitVector CompressedBitVector::And(
+    const CompressedBitVector& other) const {
+  return Combine(other,
+                 [](std::uint32_t x, std::uint32_t y) { return x & y; });
+}
+
+CompressedBitVector CompressedBitVector::Or(
+    const CompressedBitVector& other) const {
+  return Combine(other,
+                 [](std::uint32_t x, std::uint32_t y) { return x | y; });
+}
+
+}  // namespace mdw

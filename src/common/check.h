@@ -1,0 +1,19 @@
+#ifndef MDW_COMMON_CHECK_H_
+#define MDW_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// MDW_CHECK(cond, msg): invariant check that aborts with a diagnostic.
+/// The library is exception-free; programming errors and violated
+/// preconditions terminate the process (Google style: crash early).
+#define MDW_CHECK(cond, msg)                                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "MDW_CHECK failed at %s:%d: %s\n  %s\n",          \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // MDW_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+#ifndef MDW_COMMON_MATH_UTIL_H_
+#define MDW_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <numeric>
+
+namespace mdw {
+
+/// Integer ceiling division for non-negative operands.
+constexpr std::int64_t CeilDiv(std::int64_t numerator,
+                               std::int64_t denominator) {
+  return (numerator + denominator - 1) / denominator;
+}
+
+/// Number of bits needed to distinguish `n` values (ceil(log2(n)); 0 for
+/// n <= 1). This is the per-level field width of the encoded bitmap index.
+constexpr int BitsFor(std::int64_t n) {
+  int bits = 0;
+  std::int64_t capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// True iff `n` is prime. Used by the declustering analysis (Sec. 4.6
+/// recommends a prime number of disks to avoid gcd clustering).
+constexpr bool IsPrime(std::int64_t n) {
+  if (n < 2) return false;
+  for (std::int64_t f = 2; f * f <= n; ++f) {
+    if (n % f == 0) return false;
+  }
+  return true;
+}
+
+/// Smallest prime >= n.
+constexpr std::int64_t NextPrime(std::int64_t n) {
+  std::int64_t candidate = n < 2 ? 2 : n;
+  while (!IsPrime(candidate)) ++candidate;
+  return candidate;
+}
+
+}  // namespace mdw
+
+#endif  // MDW_COMMON_MATH_UTIL_H_

@@ -1,0 +1,55 @@
+#ifndef MDW_COMMON_RNG_H_
+#define MDW_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace mdw {
+
+/// Deterministic pseudo-random source used across the simulator and the
+/// workload generator. A thin wrapper over std::mt19937_64 so that all
+/// randomness in the repository flows through one seeded interface and
+/// experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t Uniform(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Zipf-distributed value in [0, n) with skew parameter `theta` in [0, 1).
+  /// theta == 0 degenerates to uniform. Used by the data-skew extension
+  /// (the paper lists skew effects as future work).
+  std::int64_t Zipf(std::int64_t n, double theta) {
+    if (theta <= 0.0) return Uniform(0, n - 1);
+    // Inverse-CDF on the continuous approximation of the Zipf distribution.
+    const double u = UniformReal();
+    const double exponent = 1.0 - theta;
+    const double value = static_cast<double>(n) *
+                         std::pow(u, 1.0 / exponent) /
+                         std::pow(1.0, 1.0 / exponent);
+    auto result = static_cast<std::int64_t>(value);
+    if (result >= n) result = n - 1;
+    if (result < 0) result = 0;
+    return result;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_COMMON_RNG_H_

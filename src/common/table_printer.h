@@ -1,0 +1,38 @@
+#ifndef MDW_COMMON_TABLE_PRINTER_H_
+#define MDW_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdw {
+
+/// Console table formatter used by the benchmark harnesses to print the
+/// rows/series of the paper's tables and figures in aligned columns.
+///
+/// Usage:
+///   TablePrinter t({"d", "p", "response [s]", "speedup"});
+///   t.AddRow({"20", "1", "593.1", "1.00"});
+///   t.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table to `out` with a separator line under the header.
+  void Print(std::FILE* out) const;
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string Num(double value, int precision = 2);
+  /// Formats an integer with thousands separators ("5,189,760").
+  static std::string Int(std::int64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_COMMON_TABLE_PRINTER_H_

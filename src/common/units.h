@@ -1,0 +1,24 @@
+#ifndef MDW_COMMON_UNITS_H_
+#define MDW_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace mdw {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+/// Simulated time is kept in milliseconds (double); helpers below convert.
+inline constexpr double kMsPerSecond = 1000.0;
+
+inline constexpr double SecondsToMs(double s) { return s * kMsPerSecond; }
+inline constexpr double MsToSeconds(double ms) { return ms / kMsPerSecond; }
+
+inline constexpr double BytesToMiB(std::int64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+}  // namespace mdw
+
+#endif  // MDW_COMMON_UNITS_H_

@@ -1,0 +1,84 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "fragment/bitmap_elimination.h"
+#include "fragment/query_planner.h"
+
+namespace mdw {
+
+AllocationAdvisor::AllocationAdvisor(const StarSchema* schema,
+                                     AdvisorOptions options)
+    : schema_(schema), options_(options) {
+  MDW_CHECK(schema_ != nullptr, "advisor needs a schema");
+}
+
+std::vector<FragmentationCandidate> AllocationAdvisor::Evaluate(
+    const std::vector<WeightedQuery>& mix) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<FragmentationCandidate> candidates;
+  for (auto& fragmentation : EnumerateFragmentations(*schema_)) {
+    FragmentationCandidate candidate{std::move(fragmentation), 0, 0.0, 0,
+                                     {}, 0.0, 0.0, 0};
+    candidate.fragments = candidate.fragmentation.FragmentCount();
+    candidate.bitmap_fragment_pages =
+        candidate.fragmentation.BitmapFragmentPages();
+    candidate.remaining_bitmaps =
+        RemainingBitmapCount(candidate.fragmentation);
+    candidate.bitmap_storage_bytes =
+        EstimateStorage(candidate.fragmentation).bitmap_raw_bytes;
+    candidate.violations =
+        CheckThresholds(candidate.fragmentation, options_.thresholds,
+                        candidate.remaining_bitmaps);
+    if (options_.max_bitmap_storage_bytes > 0 &&
+        candidate.bitmap_storage_bytes > options_.max_bitmap_storage_bytes) {
+      candidate.violations.push_back(
+          {ThresholdViolation::Kind::kTooManyBitmaps,
+           "bitmap storage " +
+               std::to_string(candidate.bitmap_storage_bytes) +
+               " B exceeds the budget of " +
+               std::to_string(options_.max_bitmap_storage_bytes) + " B"});
+    }
+    if (candidate.violations.empty()) {
+      candidate.total_io_mib = TotalMixIoMib(
+          *schema_, candidate.fragmentation, mix, options_.cost_params);
+      if (options_.ranking == AdvisorRanking::kResponseTime) {
+        const ResponseModel model(schema_, options_.hardware);
+        const QueryPlanner planner(schema_, &candidate.fragmentation);
+        double total = 0;
+        for (const auto& wq : mix) {
+          total +=
+              wq.weight * model.Estimate(planner.Plan(wq.query)).response_ms;
+        }
+        candidate.total_response_ms = total;
+      }
+    } else {
+      candidate.total_io_mib = kInf;
+      candidate.total_response_ms = kInf;
+    }
+    candidates.push_back(std::move(candidate));
+  }
+  const bool by_response = options_.ranking == AdvisorRanking::kResponseTime;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [by_response](const FragmentationCandidate& a,
+                                 const FragmentationCandidate& b) {
+                     return by_response
+                                ? a.total_response_ms < b.total_response_ms
+                                : a.total_io_mib < b.total_io_mib;
+                   });
+  return candidates;
+}
+
+std::vector<FragmentationCandidate> AllocationAdvisor::Recommend(
+    const std::vector<WeightedQuery>& mix) const {
+  auto all = Evaluate(mix);
+  std::vector<FragmentationCandidate> admissible;
+  for (auto& c : all) {
+    if (c.violations.empty()) admissible.push_back(std::move(c));
+  }
+  return admissible;
+}
+
+}  // namespace mdw

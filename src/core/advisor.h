@@ -1,0 +1,79 @@
+#ifndef MDW_CORE_ADVISOR_H_
+#define MDW_CORE_ADVISOR_H_
+
+#include <vector>
+
+#include "cost/cost_report.h"
+#include "cost/response_model.h"
+#include "cost/storage_model.h"
+#include "fragment/enumeration.h"
+#include "fragment/thresholds.h"
+
+namespace mdw {
+
+/// Ranking criterion for admissible fragmentation candidates.
+enum class AdvisorRanking {
+  /// Weighted total I/O volume of the mix (guideline 3 of Sec. 4.7).
+  kIoVolume,
+  /// Weighted analytic response time on a given hardware configuration
+  /// (extension: accounts for parallelism, not just volume).
+  kResponseTime,
+};
+
+/// Options of the allocation advisor.
+struct AdvisorOptions {
+  ThresholdPolicy thresholds;
+  IoCostParams cost_params;
+  AdvisorRanking ranking = AdvisorRanking::kIoVolume;
+  /// Hardware for kResponseTime ranking.
+  SimConfig hardware;
+  /// Optional cap on *raw* bitmap storage after elimination (0 = off);
+  /// the "(iii) ... depend[s] on the ... disk storage space" threshold of
+  /// Sec. 4.7 expressed in bytes instead of bitmap count.
+  std::int64_t max_bitmap_storage_bytes = 0;
+};
+
+/// One evaluated fragmentation candidate.
+struct FragmentationCandidate {
+  Fragmentation fragmentation;
+  std::int64_t fragments = 0;
+  double bitmap_fragment_pages = 0;
+  int remaining_bitmaps = 0;
+  /// Threshold violations; empty = admissible.
+  std::vector<ThresholdViolation> violations;
+  /// Weighted total I/O of the query mix (only computed for admissible
+  /// candidates; infinity otherwise).
+  double total_io_mib = 0;
+  /// Weighted analytic response time of the mix (only when ranking by
+  /// response time; infinity for rejected candidates).
+  double total_response_ms = 0;
+  /// Raw bitmap storage after elimination.
+  std::int64_t bitmap_storage_bytes = 0;
+};
+
+/// The "tool" of paper Sec. 4.7: enumerates all MDHF fragmentations of a
+/// star schema, prunes them with the thresholds (minimal bitmap fragment
+/// size, maximum fragments, maximum bitmaps, at least one fragment per
+/// disk), evaluates the analytical I/O cost of a weighted query mix on the
+/// survivors, and ranks them by total I/O work.
+class AllocationAdvisor {
+ public:
+  AllocationAdvisor(const StarSchema* schema, AdvisorOptions options);
+
+  /// Evaluates every enumerated fragmentation against `mix`. Candidates
+  /// are sorted admissible-first by ascending total I/O.
+  std::vector<FragmentationCandidate> Evaluate(
+      const std::vector<WeightedQuery>& mix) const;
+
+  /// The admissible candidates only, best first.
+  std::vector<FragmentationCandidate> Recommend(
+      const std::vector<WeightedQuery>& mix) const;
+
+ private:
+  const StarSchema* schema_;
+  AdvisorOptions options_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_CORE_ADVISOR_H_

@@ -1,0 +1,43 @@
+#ifndef MDW_CORE_MDW_H_
+#define MDW_CORE_MDW_H_
+
+/// Umbrella header for the MDHF library — multi-dimensional hierarchical
+/// fragmentation and allocation for parallel data warehouses, after
+/// Stöhr/Märtens/Rahm, VLDB 2000.
+///
+/// Typical usage:
+///   #include "core/mdw.h"
+///   auto schema = mdw::MakeApb1Schema();
+///   mdw::Fragmentation f(&schema, {{mdw::kApb1Time, 2},
+///                                  {mdw::kApb1Product, 3}});
+///   mdw::QueryPlanner planner(&schema, &f);
+///   auto plan = planner.Plan(mdw::apb1_queries::OneMonthOneGroup(3, 41));
+
+#include "alloc/declustering_analysis.h"
+#include "alloc/disk_allocation.h"
+#include "bitmap/compressed_bitvector.h"
+#include "bitmap/index_set.h"
+#include "core/advisor.h"
+#include "core/mini_warehouse.h"
+#include "core/paged_layout.h"
+#include "cost/cost_report.h"
+#include "cost/io_cost_model.h"
+#include "cost/response_model.h"
+#include "cost/storage_model.h"
+#include "fragment/bitmap_elimination.h"
+#include "fragment/enumeration.h"
+#include "fragment/fragmentation.h"
+#include "fragment/query_planner.h"
+#include "fragment/range_fragmentation.h"
+#include "fragment/star_query.h"
+#include "fragment/thresholds.h"
+#include "index/btree.h"
+#include "schema/apb1.h"
+#include "schema/dimension_table.h"
+#include "schema/star_schema.h"
+#include "sim/simulator.h"
+#include "workload/query_generator.h"
+#include "workload/query_parser.h"
+#include "workload/workload_driver.h"
+
+#endif  // MDW_CORE_MDW_H_

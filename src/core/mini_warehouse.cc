@@ -1,0 +1,176 @@
+#include "core/mini_warehouse.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mdw {
+
+MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed)
+    : schema_(std::move(schema)) {
+  const std::int64_t max_rows = schema_.MaxFactCount();
+  MDW_CHECK(max_rows <= 50'000'000,
+            "schema too large to materialise; use the simulator instead");
+  const int dims = schema_.num_dimensions();
+  facts_.columns.assign(static_cast<std::size_t>(dims), {});
+
+  Rng rng(seed);
+  // Enumerate every leaf-value combination (mixed radix over the leaf
+  // cardinalities) and admit it with probability density.
+  std::vector<std::int64_t> leaf_cards;
+  for (DimId d = 0; d < dims; ++d) {
+    leaf_cards.push_back(
+        schema_.dimension(d).hierarchy().LeafCardinality());
+  }
+  std::vector<std::int64_t> combo(static_cast<std::size_t>(dims), 0);
+  for (std::int64_t i = 0; i < max_rows; ++i) {
+    if (rng.UniformReal() < schema_.density()) {
+      for (DimId d = 0; d < dims; ++d) {
+        facts_.columns[static_cast<std::size_t>(d)].push_back(
+            combo[static_cast<std::size_t>(d)]);
+      }
+      units_sold_.push_back(rng.Uniform(1, 100));
+      dollar_sales_cents_.push_back(rng.Uniform(100, 100'000));
+    }
+    // Advance the odometer.
+    for (int d = dims - 1; d >= 0; --d) {
+      auto& v = combo[static_cast<std::size_t>(d)];
+      if (++v < leaf_cards[static_cast<std::size_t>(d)]) break;
+      v = 0;
+    }
+  }
+  indexes_ = std::make_unique<IndexSet>(schema_, facts_);
+}
+
+bool MiniWarehouse::RowMatches(std::int64_t row,
+                               const StarQuery& query) const {
+  for (const auto& pred : query.predicates()) {
+    const auto& h = schema_.dimension(pred.dim).hierarchy();
+    const std::int64_t leaf =
+        facts_.columns[static_cast<std::size_t>(pred.dim)]
+                      [static_cast<std::size_t>(row)];
+    const std::int64_t value = h.AncestorOfLeaf(leaf, pred.depth);
+    if (std::find(pred.values.begin(), pred.values.end(), value) ==
+        pred.values.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+MiniWarehouse::AggregateResult MiniWarehouse::ExecuteFullScan(
+    const StarQuery& query) const {
+  AggregateResult result;
+  for (std::int64_t row = 0; row < row_count(); ++row) {
+    if (RowMatches(row, query)) {
+      ++result.rows;
+      result.units_sold += units_sold_[static_cast<std::size_t>(row)];
+      result.dollar_sales_cents +=
+          dollar_sales_cents_[static_cast<std::size_t>(row)];
+    }
+  }
+  return result;
+}
+
+MiniWarehouse::AggregateResult MiniWarehouse::ExecuteWithBitmaps(
+    const StarQuery& query) const {
+  BitVector hits(row_count());
+  hits.SetAll();
+  for (const auto& pred : query.predicates()) {
+    BitVector pred_rows(row_count());
+    for (const auto value : pred.values) {
+      pred_rows |= indexes_->Select(pred.dim, pred.depth, value);
+    }
+    hits &= pred_rows;
+  }
+  AggregateResult result;
+  hits.ForEachSetBit([&](std::int64_t row) {
+    ++result.rows;
+    result.units_sold += units_sold_[static_cast<std::size_t>(row)];
+    result.dollar_sales_cents +=
+        dollar_sales_cents_[static_cast<std::size_t>(row)];
+  });
+  return result;
+}
+
+MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithFragmentation(
+    const StarQuery& query, const Fragmentation& fragmentation) const {
+  MDW_CHECK(&fragmentation.schema() == &schema_,
+            "fragmentation must belong to this warehouse's schema");
+  const QueryPlanner planner(&schema_, &fragmentation);
+  const QueryPlan plan = planner.Plan(query);
+
+  MdhfExecution exec;
+  exec.query_class = plan.query_class();
+  exec.io_class = plan.io_class();
+  exec.bitmaps_read = plan.BitmapsPerFragment();
+  exec.fragments_processed = plan.FragmentCount();
+
+  const std::unordered_set<FragId> fragments = [&] {
+    std::unordered_set<FragId> set;
+    plan.ForEachFragment([&set](FragId id) { set.insert(id); });
+    return set;
+  }();
+
+  // Bitmap filter for the predicates the plan marks as needing bitmaps;
+  // all-ones when none do (Q1/Q3: fragment membership is the filter).
+  BitVector filter(row_count());
+  filter.SetAll();
+  for (const auto& access : plan.accesses()) {
+    if (!access.needs_bitmap) continue;
+    const Predicate* pred = query.PredicateOn(access.dim);
+    MDW_CHECK(pred != nullptr, "plan access without predicate");
+    const Depth frag_depth = fragmentation.FragDepthOf(access.dim);
+    // Suffix-only evaluation (skipping the prefix bits shared within a
+    // fragment) is sound only if every IN-list value lies below the *same*
+    // fragmentation-level ancestor; a foreign suffix pattern would
+    // otherwise match unrelated rows inside the other selected fragments.
+    const auto& h = schema_.dimension(access.dim).hierarchy();
+    bool same_ancestor = frag_depth >= 0;
+    if (frag_depth >= 0) {
+      const std::int64_t first =
+          h.Ancestor(pred->values.front(), pred->depth, frag_depth);
+      for (const auto value : pred->values) {
+        if (h.Ancestor(value, pred->depth, frag_depth) != first) {
+          same_ancestor = false;
+          break;
+        }
+      }
+    }
+    BitVector pred_rows(row_count());
+    for (const auto value : pred->values) {
+      if (same_ancestor) {
+        pred_rows |= indexes_->SelectWithinFragment(pred->dim, pred->depth,
+                                                    value, frag_depth);
+      } else {
+        pred_rows |= indexes_->Select(pred->dim, pred->depth, value);
+      }
+    }
+    filter &= pred_rows;
+  }
+
+  std::vector<std::int64_t> leaf_keys(
+      static_cast<std::size_t>(schema_.num_dimensions()));
+  for (std::int64_t row = 0; row < row_count(); ++row) {
+    for (DimId d = 0; d < schema_.num_dimensions(); ++d) {
+      leaf_keys[static_cast<std::size_t>(d)] =
+          facts_.columns[static_cast<std::size_t>(d)]
+                        [static_cast<std::size_t>(row)];
+    }
+    if (fragments.find(fragmentation.FragmentOfRow(leaf_keys)) ==
+        fragments.end()) {
+      continue;
+    }
+    ++exec.rows_scanned;
+    if (!filter.Get(row)) continue;
+    ++exec.result.rows;
+    exec.result.units_sold += units_sold_[static_cast<std::size_t>(row)];
+    exec.result.dollar_sales_cents +=
+        dollar_sales_cents_[static_cast<std::size_t>(row)];
+  }
+  return exec;
+}
+
+}  // namespace mdw

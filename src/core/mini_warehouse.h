@@ -1,0 +1,76 @@
+#ifndef MDW_CORE_MINI_WAREHOUSE_H_
+#define MDW_CORE_MINI_WAREHOUSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bitmap/index_set.h"
+#include "fragment/query_planner.h"
+
+namespace mdw {
+
+/// A fully materialised, in-memory star warehouse at a scale small enough
+/// to hold every fact row. It executes star queries three ways — full
+/// scan, bitmap-index path, and MDHF fragment-confined path — and is the
+/// functional ground truth validating that the fragmentation/planner/index
+/// machinery computes exactly the rows a full scan computes. (The
+/// full-scale APB-1 configuration is only ever *simulated*; see
+/// sim/simulator.h.)
+class MiniWarehouse {
+ public:
+  /// Populates the fact table by sampling each possible dimension-value
+  /// combination independently with probability schema.density() (the
+  /// APB-1 density semantics), and builds all bitmap join indices.
+  MiniWarehouse(StarSchema schema, std::uint64_t seed);
+
+  const StarSchema& schema() const { return schema_; }
+  const FactColumns& facts() const { return facts_; }
+  const IndexSet& indexes() const { return *indexes_; }
+  std::int64_t row_count() const { return facts_.row_count(); }
+
+  /// SUM aggregate over the matching rows.
+  struct AggregateResult {
+    std::int64_t rows = 0;
+    std::int64_t units_sold = 0;
+    std::int64_t dollar_sales_cents = 0;
+
+    friend bool operator==(const AggregateResult& a,
+                           const AggregateResult& b) = default;
+  };
+
+  /// Reference execution: scans every fact row and applies the predicates
+  /// directly against the dimension hierarchies.
+  AggregateResult ExecuteFullScan(const StarQuery& query) const;
+
+  /// Bitmap-index execution without fragmentation: intersects the index
+  /// selections of all predicates, then aggregates the marked rows.
+  AggregateResult ExecuteWithBitmaps(const StarQuery& query) const;
+
+  /// MDHF execution under `fragmentation`: confines processing to the
+  /// plan's fragments, uses bitmaps only for the predicates the plan says
+  /// need them, and reports the work actually touched.
+  struct MdhfExecution {
+    AggregateResult result;
+    std::int64_t fragments_processed = 0;
+    std::int64_t rows_scanned = 0;  ///< rows in the processed fragments
+    int bitmaps_read = 0;           ///< per fragment, from the plan
+    QueryClass query_class = QueryClass::kUnsupported;
+    IoClass io_class = IoClass::kIoc2NoSupp;
+  };
+  MdhfExecution ExecuteWithFragmentation(
+      const StarQuery& query, const Fragmentation& fragmentation) const;
+
+ private:
+  bool RowMatches(std::int64_t row, const StarQuery& query) const;
+
+  StarSchema schema_;
+  FactColumns facts_;
+  std::vector<std::int64_t> units_sold_;
+  std::vector<std::int64_t> dollar_sales_cents_;
+  std::unique_ptr<IndexSet> indexes_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_CORE_MINI_WAREHOUSE_H_

@@ -1,0 +1,98 @@
+#include "core/paged_layout.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace mdw {
+
+PagedLayout::PagedLayout(const MiniWarehouse* warehouse, LayoutOrder kind,
+                         const Fragmentation* fragmentation)
+    : warehouse_(warehouse),
+      tuples_per_page_(warehouse->schema().physical().TuplesPerPage()),
+      page_count_(CeilDiv(warehouse->row_count(), tuples_per_page_)) {
+  MDW_CHECK(warehouse_ != nullptr, "layout needs a warehouse");
+  const std::int64_t rows = warehouse_->row_count();
+  std::vector<std::int64_t> order(static_cast<std::size_t>(rows));
+  std::iota(order.begin(), order.end(), 0);
+
+  if (kind == LayoutOrder::kArrival) {
+    Rng rng(987);
+    std::shuffle(order.begin(), order.end(), rng.engine());
+  } else if (kind == LayoutOrder::kFragmentClustered) {
+    MDW_CHECK(fragmentation != nullptr,
+              "fragment-clustered layout needs a fragmentation");
+    MDW_CHECK(&fragmentation->schema() == &warehouse_->schema(),
+              "fragmentation must belong to the warehouse's schema");
+    // Cluster rows by fragment id (stable: insertion order within a
+    // fragment), the physical order MDHF prescribes.
+    const auto& facts = warehouse_->facts();
+    const int dims = warehouse_->schema().num_dimensions();
+    std::vector<FragId> fragment_of_row(static_cast<std::size_t>(rows));
+    std::vector<std::int64_t> keys(static_cast<std::size_t>(dims));
+    for (std::int64_t row = 0; row < rows; ++row) {
+      for (DimId d = 0; d < dims; ++d) {
+        keys[static_cast<std::size_t>(d)] =
+            facts.columns[static_cast<std::size_t>(d)]
+                         [static_cast<std::size_t>(row)];
+      }
+      fragment_of_row[static_cast<std::size_t>(row)] =
+          fragmentation->FragmentOfRow(keys);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int64_t a, std::int64_t b) {
+                       return fragment_of_row[static_cast<std::size_t>(a)] <
+                              fragment_of_row[static_cast<std::size_t>(b)];
+                     });
+  }
+
+  position_of_row_.resize(static_cast<std::size_t>(rows));
+  for (std::int64_t position = 0; position < rows; ++position) {
+    position_of_row_[static_cast<std::size_t>(
+        order[static_cast<std::size_t>(position)])] = position;
+  }
+}
+
+std::int64_t PagedLayout::PositionOfRow(std::int64_t row) const {
+  MDW_CHECK(row >= 0 && row < warehouse_->row_count(), "row out of range");
+  return position_of_row_[static_cast<std::size_t>(row)];
+}
+
+PagedLayout::ScanStats PagedLayout::Analyze(const StarQuery& query) const {
+  ScanStats stats;
+  stats.pages_total = page_count_;
+  std::unordered_set<std::int64_t> hit_pages;
+  const auto& schema = warehouse_->schema();
+  const auto& facts = warehouse_->facts();
+  for (std::int64_t row = 0; row < warehouse_->row_count(); ++row) {
+    bool hit = true;
+    for (const auto& pred : query.predicates()) {
+      const auto& h = schema.dimension(pred.dim).hierarchy();
+      const std::int64_t value = h.AncestorOfLeaf(
+          facts.columns[static_cast<std::size_t>(pred.dim)]
+                       [static_cast<std::size_t>(row)],
+          pred.depth);
+      if (std::find(pred.values.begin(), pred.values.end(), value) ==
+          pred.values.end()) {
+        hit = false;
+        break;
+      }
+    }
+    if (!hit) continue;
+    ++stats.hit_rows;
+    hit_pages.insert(PageOfPosition(PositionOfRow(row)));
+  }
+  stats.pages_with_hits = static_cast<std::int64_t>(hit_pages.size());
+  stats.hits_per_hit_page =
+      stats.pages_with_hits == 0
+          ? 0
+          : static_cast<double>(stats.hit_rows) /
+                static_cast<double>(stats.pages_with_hits);
+  return stats;
+}
+
+}  // namespace mdw

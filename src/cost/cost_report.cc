@@ -1,0 +1,58 @@
+#include "cost/cost_report.h"
+
+namespace mdw {
+
+TablePrinter MakeCostComparisonTable(const std::string& query_name,
+                                     const std::vector<CostColumn>& columns) {
+  std::vector<std::string> header = {"query " + query_name};
+  for (const auto& c : columns) header.push_back(c.label);
+
+  TablePrinter table(header);
+  auto row = [&](const std::string& name, auto getter, bool integral) {
+    std::vector<std::string> cells = {name};
+    for (const auto& c : columns) {
+      const double v = getter(c.estimate);
+      cells.push_back(integral
+                          ? TablePrinter::Int(static_cast<std::int64_t>(v))
+                          : TablePrinter::Num(v, 1));
+    }
+    table.AddRow(cells);
+  };
+
+  row("#fragments to be processed",
+      [](const IoCostEstimate& e) { return static_cast<double>(e.fragments); },
+      true);
+  row("#fact table I/O [ops]",
+      [](const IoCostEstimate& e) {
+        return static_cast<double>(e.fact_io_ops);
+      },
+      true);
+  row("#fact table I/O [pages]",
+      [](const IoCostEstimate& e) {
+        return static_cast<double>(e.fact_pages_read);
+      },
+      true);
+  row("#bitmap I/O [pages]",
+      [](const IoCostEstimate& e) {
+        return static_cast<double>(e.bitmap_pages_read);
+      },
+      true);
+  row("total I/O size [MiB]",
+      [](const IoCostEstimate& e) { return e.total_io_mib; }, false);
+  return table;
+}
+
+double TotalMixIoMib(const StarSchema& schema,
+                     const Fragmentation& fragmentation,
+                     const std::vector<WeightedQuery>& mix,
+                     const IoCostParams& params) {
+  const QueryPlanner planner(&schema, &fragmentation);
+  const IoCostModel model(&schema, params);
+  double total = 0;
+  for (const auto& wq : mix) {
+    total += wq.weight * model.Estimate(planner.Plan(wq.query)).total_io_mib;
+  }
+  return total;
+}
+
+}  // namespace mdw

@@ -1,0 +1,38 @@
+#ifndef MDW_COST_COST_REPORT_H_
+#define MDW_COST_COST_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "cost/io_cost_model.h"
+
+namespace mdw {
+
+/// One column of a Table-3-style comparison: a fragmentation label and the
+/// estimate of the same query under it.
+struct CostColumn {
+  std::string label;
+  IoCostEstimate estimate;
+};
+
+/// Builds the paper's Table 3 layout (metric rows, one column per
+/// fragmentation) for a single query type.
+TablePrinter MakeCostComparisonTable(const std::string& query_name,
+                                     const std::vector<CostColumn>& columns);
+
+/// Total I/O (MiB) of a weighted query mix under one fragmentation; the
+/// ranking criterion of guideline 3 in Sec. 4.7.
+struct WeightedQuery {
+  StarQuery query;
+  double weight = 1.0;
+};
+
+double TotalMixIoMib(const StarSchema& schema,
+                     const Fragmentation& fragmentation,
+                     const std::vector<WeightedQuery>& mix,
+                     const IoCostParams& params = {});
+
+}  // namespace mdw
+
+#endif  // MDW_COST_COST_REPORT_H_

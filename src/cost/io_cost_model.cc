@@ -1,0 +1,88 @@
+#include "cost/io_cost_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace mdw {
+
+IoCostModel::IoCostModel(const StarSchema* schema, IoCostParams params)
+    : schema_(schema), params_(params) {
+  MDW_CHECK(schema_ != nullptr, "cost model needs a schema");
+  MDW_CHECK(params_.fact_prefetch_pages >= 1 &&
+                params_.bitmap_prefetch_pages >= 1,
+            "prefetch granules must be positive");
+}
+
+double IoCostModel::ExpectedGroupsHit(double groups, double hits) {
+  if (groups <= 0) return 0;
+  if (hits <= 0) return 0;
+  return groups * (1.0 - std::pow(1.0 - 1.0 / groups, hits));
+}
+
+IoCostEstimate IoCostModel::Estimate(const QueryPlan& plan) const {
+  const Fragmentation& frag = plan.fragmentation();
+  IoCostEstimate est;
+  est.fragments = plan.FragmentCount();
+
+  const double tuples_per_frag = frag.TuplesPerFragment();
+  const double tuples_per_page =
+      static_cast<double>(schema_->physical().TuplesPerPage());
+  const double frag_pages = std::ceil(tuples_per_frag / tuples_per_page);
+  est.fact_pages_per_fragment = frag_pages;
+  est.hits_total = plan.ExpectedHits();
+  est.hits_per_fragment = plan.HitsPerFragment();
+
+  // ---- Fact table I/O ----
+  const double fact_granule =
+      static_cast<double>(params_.fact_prefetch_pages);
+  const double granules_per_frag = std::ceil(frag_pages / fact_granule);
+  double fact_ops_per_frag;
+  double fact_pages_per_frag_read;
+  if (!plan.NeedsBitmaps()) {
+    // IOC1: every row of the fragment is relevant; the whole fragment is
+    // scanned with full prefetch efficiency.
+    fact_ops_per_frag = granules_per_frag;
+    fact_pages_per_frag_read = frag_pages;
+  } else {
+    // IOC2: only hit pages are fetched; a granule is read iff it contains
+    // at least one hit (hits uniform over the fragment's pages).
+    const double hit_granules =
+        ExpectedGroupsHit(granules_per_frag, plan.HitsPerFragment());
+    fact_ops_per_frag = std::ceil(hit_granules);
+    fact_pages_per_frag_read = fact_ops_per_frag * fact_granule;
+    if (fact_pages_per_frag_read > frag_pages) {
+      fact_pages_per_frag_read = frag_pages;
+    }
+  }
+  est.fact_io_ops = static_cast<std::int64_t>(
+      fact_ops_per_frag * static_cast<double>(est.fragments));
+  est.fact_pages_read = static_cast<std::int64_t>(
+      fact_pages_per_frag_read * static_cast<double>(est.fragments));
+
+  // ---- Bitmap I/O ----
+  const double bitmap_frag_pages = frag.BitmapFragmentPages();
+  const double bitmap_granule =
+      std::min(static_cast<double>(params_.bitmap_prefetch_pages),
+               std::max(1.0, std::ceil(bitmap_frag_pages)));
+  est.effective_bitmap_granule = bitmap_granule;
+  const int bitmaps = plan.BitmapsPerFragment();
+  if (bitmaps > 0) {
+    const double ops_per_bitmap =
+        std::max(1.0, std::ceil(bitmap_frag_pages / bitmap_granule));
+    const double pages_per_bitmap = ops_per_bitmap * bitmap_granule;
+    est.bitmap_io_ops = static_cast<std::int64_t>(
+        ops_per_bitmap * bitmaps * static_cast<double>(est.fragments));
+    est.bitmap_pages_read = static_cast<std::int64_t>(
+        pages_per_bitmap * bitmaps * static_cast<double>(est.fragments));
+  }
+
+  est.total_io_mib =
+      static_cast<double>((est.fact_pages_read + est.bitmap_pages_read) *
+                          schema_->physical().page_size_bytes) /
+      static_cast<double>(kMiB);
+  return est;
+}
+
+}  // namespace mdw

@@ -1,0 +1,98 @@
+#include "cost/response_model.h"
+
+#include <algorithm>
+
+#include "alloc/declustering_analysis.h"
+#include "common/check.h"
+
+namespace mdw {
+
+ResponseModel::ResponseModel(const StarSchema* schema, SimConfig config)
+    : schema_(schema),
+      config_(config),
+      io_model_(schema, IoCostParams{config.fact_prefetch_pages,
+                                     config.bitmap_prefetch_pages}) {
+  MDW_CHECK(schema_ != nullptr, "response model needs a schema");
+  // Validate the parts this model uses (SimConfig::Validate lives in the
+  // sim library, which links against this one).
+  MDW_CHECK(config_.num_disks >= 1 && config_.num_nodes >= 1,
+            "need at least one disk and one node");
+}
+
+ResponseEstimate ResponseModel::Estimate(
+    const QueryPlan& plan, const DiskAllocation* allocation) const {
+  const IoCostEstimate io = io_model_.Estimate(plan);
+  const auto& disk = config_.disk;
+  const auto& cpu = config_.cpu;
+
+  ResponseEstimate est;
+
+  // ---- disk demand ----
+  // IOC1 scans are sequential within a fragment (no seek between
+  // consecutive granules); IOC2 reads skip granules and pay a short seek
+  // per operation. Bitmap reads land on other disks (staggered) and pay a
+  // short seek too.
+  const bool sequential = !plan.NeedsBitmaps();
+  const double fact_seek = sequential ? 0.0 : disk.min_seek_ms;
+  const double fact_pages_per_op =
+      io.fact_io_ops == 0 ? 0
+                          : static_cast<double>(io.fact_pages_read) /
+                                static_cast<double>(io.fact_io_ops);
+  const double fact_ms =
+      static_cast<double>(io.fact_io_ops) *
+      (fact_seek + disk.settle_ms + disk.per_page_ms * fact_pages_per_op);
+  const double bitmap_pages_per_op =
+      io.bitmap_io_ops == 0 ? 0
+                            : static_cast<double>(io.bitmap_pages_read) /
+                                  static_cast<double>(io.bitmap_io_ops);
+  const double bitmap_ms =
+      static_cast<double>(io.bitmap_io_ops) *
+      (disk.min_seek_ms + disk.settle_ms +
+       disk.per_page_ms * bitmap_pages_per_op);
+  est.disk_ms_total = fact_ms + bitmap_ms;
+
+  // ---- CPU demand ----
+  const double per_subquery_overhead =
+      static_cast<double>(cpu.initiate_subquery + cpu.terminate_subquery) +
+      2 * cpu.MessageInstructions(config_.small_message_bytes);
+  const double instructions =
+      static_cast<double>(io.fact_pages_read) *
+          static_cast<double>(cpu.read_page) +
+      static_cast<double>(io.bitmap_pages_read) *
+          static_cast<double>(cpu.read_page + cpu.process_bitmap_page) +
+      io.hits_total *
+          static_cast<double>(cpu.extract_row + cpu.aggregate_row) +
+      static_cast<double>(io.fragments) * per_subquery_overhead +
+      static_cast<double>(cpu.initiate_query + cpu.terminate_query);
+  est.cpu_ms_total = cpu.MsFor(instructions);
+
+  // ---- bounds and pipeline ----
+  // Fact reads are confined to the disks actually holding the plan's
+  // fragments (possibly few, by the gcd clustering of Sec. 4.6); the
+  // staggered bitmap fragments fan out from those disks.
+  int fact_disks = static_cast<int>(std::min<std::int64_t>(
+      config_.num_disks, std::max<std::int64_t>(1, io.fragments)));
+  if (allocation != nullptr &&
+      io.fragments <= 1'000'000) {  // enumeration guard
+    fact_disks = AnalyzeDeclustering(plan, *allocation).disks_used;
+  }
+  est.effective_disks = fact_disks;
+  const std::int64_t bitmap_disks = std::min<std::int64_t>(
+      config_.num_disks,
+      static_cast<std::int64_t>(fact_disks) *
+          std::max(1, plan.BitmapsPerFragment()));
+  // Bitmap and fact phases are sequential within a subquery and hit
+  // (largely) disjoint disk sets: add their per-set bounds.
+  est.disk_bound_ms =
+      fact_ms / static_cast<double>(fact_disks) +
+      bitmap_ms / static_cast<double>(bitmap_disks);
+  est.cpu_bound_ms =
+      est.cpu_ms_total / static_cast<double>(config_.num_nodes);
+  const double frags = std::max<double>(1, static_cast<double>(io.fragments));
+  est.pipeline_ms = (est.disk_ms_total + est.cpu_ms_total) / frags;
+  est.response_ms =
+      std::max(est.disk_bound_ms, est.cpu_bound_ms) + est.pipeline_ms;
+  return est;
+}
+
+}  // namespace mdw

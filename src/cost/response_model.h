@@ -1,0 +1,49 @@
+#ifndef MDW_COST_RESPONSE_MODEL_H_
+#define MDW_COST_RESPONSE_MODEL_H_
+
+#include "alloc/disk_allocation.h"
+#include "cost/io_cost_model.h"
+#include "sim/sim_config.h"
+
+namespace mdw {
+
+/// First-order analytic response-time estimate for a query plan on a
+/// given hardware configuration. This complements the simulator: the
+/// bound-based estimate is what a DBA tool (paper Sec. 4.7) can evaluate
+/// for hundreds of fragmentation candidates in microseconds, while the
+/// simulator refines the interesting ones with queueing, seek and
+/// scheduling effects.
+struct ResponseEstimate {
+  double disk_ms_total = 0;   ///< summed disk service demand
+  double cpu_ms_total = 0;    ///< summed CPU demand
+  double disk_bound_ms = 0;   ///< disk_ms_total / num_disks
+  double cpu_bound_ms = 0;    ///< cpu_ms_total / num_nodes
+  double pipeline_ms = 0;     ///< latency of one average subquery
+  double response_ms = 0;     ///< max(bounds) + pipeline latency
+  int effective_disks = 0;    ///< disks actually reachable by the plan
+};
+
+/// Derives ResponseEstimates from I/O estimates using the device
+/// parameters of SimConfig (Table 4).
+class ResponseModel {
+ public:
+  ResponseModel(const StarSchema* schema, SimConfig config);
+
+  /// Without an allocation, the plan is assumed to reach
+  /// min(num_disks, fragments) disks. Passing the actual `allocation`
+  /// accounts for the gcd clustering of Sec. 4.6 (e.g. 1CODE's 24
+  /// fragments landing on only 5 of 100 disks).
+  ResponseEstimate Estimate(const QueryPlan& plan,
+                            const DiskAllocation* allocation = nullptr) const;
+
+  const SimConfig& config() const { return config_; }
+
+ private:
+  const StarSchema* schema_;
+  SimConfig config_;
+  IoCostModel io_model_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_COST_RESPONSE_MODEL_H_

@@ -1,0 +1,70 @@
+#include "cost/storage_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "fragment/bitmap_elimination.h"
+
+namespace mdw {
+
+std::int64_t EstimateWahBytes(std::int64_t total_bits, double set_bits) {
+  // Raw WAH upper bound: one 32-bit word per 31-bit group.
+  const std::int64_t groups = CeilDiv(total_bits, 31);
+  const std::int64_t raw_cap = groups * 4;
+  if (set_bits <= 0) return 8;  // a single fill word (+ slack)
+  // Uniform sparse model: each set bit lands in its own group with
+  // probability ~exp(-31*k/n); an isolated bit costs a literal plus the
+  // following fill word. Approximate the word count as
+  // 2 * (groups that contain a set bit) + 1.
+  const double p_group_hit =
+      1.0 - std::pow(1.0 - 31.0 / static_cast<double>(total_bits),
+                     set_bits);
+  const double hit_groups = static_cast<double>(groups) * p_group_hit;
+  const auto estimate = static_cast<std::int64_t>(8.0 * hit_groups + 8.0);
+  return std::min(estimate, raw_cap);
+}
+
+StorageBreakdown EstimateStorage(const Fragmentation& fragmentation) {
+  const StarSchema& schema = fragmentation.schema();
+  const std::int64_t n = schema.FactCount();
+
+  StorageBreakdown breakdown;
+  breakdown.fact_bytes = n * schema.physical().fact_tuple_bytes;
+
+  for (const auto& requirement : BitmapRequirements(fragmentation)) {
+    const Dimension& dim = schema.dimension(requirement.dim);
+    DimensionStorage storage;
+    storage.dim = requirement.dim;
+    storage.bitmaps = requirement.remaining;
+    storage.raw_bytes = static_cast<std::int64_t>(requirement.remaining) *
+                        CeilDiv(n, 8);
+    if (dim.index_kind() == IndexKind::kEncoded) {
+      // Bit slices are ~half ones: effectively incompressible.
+      storage.compressed_bytes = storage.raw_bytes;
+    } else {
+      // Simple index: the remaining levels are the ones *below* the
+      // fragmentation depth (or all levels when the dimension is not
+      // fragmented). A level of cardinality c holds c bitmaps of density
+      // 1/c each.
+      const Depth frag_depth = fragmentation.FragDepthOf(requirement.dim);
+      const auto& h = dim.hierarchy();
+      std::int64_t compressed = 0;
+      for (Depth level = 0; level < h.num_levels(); ++level) {
+        if (level <= frag_depth) continue;  // eliminated
+        const std::int64_t c = h.Cardinality(level);
+        compressed += c * EstimateWahBytes(
+                              n, static_cast<double>(n) /
+                                     static_cast<double>(c));
+      }
+      storage.compressed_bytes = compressed;
+    }
+    breakdown.bitmap_count += storage.bitmaps;
+    breakdown.bitmap_raw_bytes += storage.raw_bytes;
+    breakdown.bitmap_compressed_bytes += storage.compressed_bytes;
+    breakdown.per_dimension.push_back(storage);
+  }
+  return breakdown;
+}
+
+}  // namespace mdw

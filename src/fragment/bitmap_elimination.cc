@@ -1,0 +1,40 @@
+#include "fragment/bitmap_elimination.h"
+
+namespace mdw {
+
+std::vector<DimensionBitmaps> BitmapRequirements(
+    const Fragmentation& fragmentation) {
+  const StarSchema& schema = fragmentation.schema();
+  std::vector<DimensionBitmaps> result;
+  for (DimId d = 0; d < schema.num_dimensions(); ++d) {
+    const Dimension& dim = schema.dimension(d);
+    DimensionBitmaps entry;
+    entry.dim = d;
+    entry.total = dim.TotalBitmapCount();
+    const Depth frag_depth = fragmentation.FragDepthOf(d);
+    if (frag_depth < 0) {
+      entry.eliminated = 0;
+    } else if (dim.index_kind() == IndexKind::kEncoded) {
+      entry.eliminated = dim.hierarchy().PrefixBits(frag_depth);
+    } else {
+      int dropped = 0;
+      for (Depth lvl = 0; lvl <= frag_depth; ++lvl) {
+        dropped += static_cast<int>(dim.hierarchy().Cardinality(lvl));
+      }
+      entry.eliminated = dropped;
+    }
+    entry.remaining = entry.total - entry.eliminated;
+    result.push_back(entry);
+  }
+  return result;
+}
+
+int RemainingBitmapCount(const Fragmentation& fragmentation) {
+  int total = 0;
+  for (const auto& entry : BitmapRequirements(fragmentation)) {
+    total += entry.remaining;
+  }
+  return total;
+}
+
+}  // namespace mdw

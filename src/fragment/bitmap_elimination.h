@@ -1,0 +1,37 @@
+#ifndef MDW_FRAGMENT_BITMAP_ELIMINATION_H_
+#define MDW_FRAGMENT_BITMAP_ELIMINATION_H_
+
+#include <vector>
+
+#include "fragment/fragmentation.h"
+
+namespace mdw {
+
+/// Bitmaps that remain materialised for one dimension under a
+/// fragmentation (paper Sec. 4.2, last paragraph): selections on
+/// fragmentation attributes and on higher-level attributes of a
+/// fragmentation dimension never need bitmaps (every row of a selected
+/// fragment matches), so those bitmaps contain only '1' bits within each
+/// fragment and can be dropped.
+struct DimensionBitmaps {
+  DimId dim = -1;
+  int total = 0;        ///< bitmaps without fragmentation
+  int eliminated = 0;   ///< dropped thanks to the fragmentation
+  int remaining = 0;    ///< total - eliminated
+};
+
+/// Per-dimension bitmap requirements under `fragmentation`.
+/// For an encoded index of a dimension fragmented at depth f, the
+/// PrefixBits(f) prefix bitmaps are dropped (10 of PRODUCT's 15 for
+/// group-level fragmentation); for a simple index, all bitmaps at depths
+/// <= f are dropped (all 34 TIME bitmaps for month-level fragmentation).
+std::vector<DimensionBitmaps> BitmapRequirements(
+    const Fragmentation& fragmentation);
+
+/// Total bitmaps remaining under `fragmentation` (32 for F_MonthGroup on
+/// the paper's APB-1 configuration, down from 76).
+int RemainingBitmapCount(const Fragmentation& fragmentation);
+
+}  // namespace mdw
+
+#endif  // MDW_FRAGMENT_BITMAP_ELIMINATION_H_

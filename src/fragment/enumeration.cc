@@ -1,0 +1,46 @@
+#include "fragment/enumeration.h"
+
+namespace mdw {
+
+std::vector<Fragmentation> EnumerateFragmentations(const StarSchema& schema) {
+  std::vector<Fragmentation> result;
+  const int n = schema.num_dimensions();
+  // Mixed-radix counter: digit d in [0, levels(d)]; value 0 = dimension not
+  // fragmented, value k = fragmented at depth k-1.
+  std::vector<int> digit(static_cast<std::size_t>(n), 0);
+  while (true) {
+    std::vector<FragAttr> attrs;
+    for (DimId d = 0; d < n; ++d) {
+      const int v = digit[static_cast<std::size_t>(d)];
+      if (v > 0) attrs.push_back({d, v - 1});
+    }
+    if (!attrs.empty()) {
+      result.emplace_back(&schema, std::move(attrs));
+    }
+    int d = n - 1;
+    while (d >= 0) {
+      auto& v = digit[static_cast<std::size_t>(d)];
+      if (++v <= schema.dimension(d).hierarchy().num_levels()) break;
+      v = 0;
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return result;
+}
+
+int CountOptions(const std::vector<Fragmentation>& options, int dims,
+                 double min_bitmap_fragment_pages) {
+  int count = 0;
+  for (const auto& f : options) {
+    if (f.num_attrs() != dims) continue;
+    if (min_bitmap_fragment_pages > 0.0 &&
+        f.BitmapFragmentPages() < min_bitmap_fragment_pages) {
+      continue;
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace mdw

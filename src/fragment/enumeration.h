@@ -1,0 +1,24 @@
+#ifndef MDW_FRAGMENT_ENUMERATION_H_
+#define MDW_FRAGMENT_ENUMERATION_H_
+
+#include <vector>
+
+#include "fragment/fragmentation.h"
+
+namespace mdw {
+
+/// Enumerates every possible MDHF point fragmentation of `schema`: all
+/// non-empty subsets of dimensions crossed with all per-dimension level
+/// choices. For the APB-1 schema this yields (6+1)(2+1)(1+1)(3+1) - 1 = 167
+/// fragmentations — the design space of paper Table 2.
+std::vector<Fragmentation> EnumerateFragmentations(const StarSchema& schema);
+
+/// Count of enumerated fragmentations with exactly `dims` dimensions whose
+/// bitmap fragments are at least `min_bitmap_fragment_pages` pages (pass 0
+/// for the unconstrained count). Reproduces the cells of Table 2.
+int CountOptions(const std::vector<Fragmentation>& options, int dims,
+                 double min_bitmap_fragment_pages);
+
+}  // namespace mdw
+
+#endif  // MDW_FRAGMENT_ENUMERATION_H_

@@ -1,0 +1,265 @@
+#include "fragment/query_planner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mdw {
+
+const char* ToString(QueryClass c) {
+  switch (c) {
+    case QueryClass::kQ1: return "Q1";
+    case QueryClass::kQ2: return "Q2";
+    case QueryClass::kQ3: return "Q3";
+    case QueryClass::kQ4: return "Q4";
+    case QueryClass::kUnsupported: return "unsupported";
+  }
+  return "?";
+}
+
+const char* ToString(IoClass c) {
+  switch (c) {
+    case IoClass::kIoc1Opt: return "IOC1-opt";
+    case IoClass::kIoc1: return "IOC1";
+    case IoClass::kIoc2: return "IOC2";
+    case IoClass::kIoc2NoSupp: return "IOC2-nosupp";
+  }
+  return "?";
+}
+
+QueryPlan::QueryPlan(const Fragmentation* fragmentation,
+                     std::vector<std::vector<std::int64_t>> slices,
+                     QueryClass query_class, IoClass io_class,
+                     std::vector<PredicateAccess> accesses,
+                     double selectivity)
+    : fragmentation_(fragmentation),
+      slices_(std::move(slices)),
+      query_class_(query_class),
+      io_class_(io_class),
+      accesses_(std::move(accesses)),
+      selectivity_(selectivity) {
+  MDW_CHECK(static_cast<int>(slices_.size()) == fragmentation_->num_attrs(),
+            "one slice per fragmentation attribute");
+}
+
+const std::vector<std::int64_t>& QueryPlan::slice(int i) const {
+  MDW_CHECK(i >= 0 && i < static_cast<int>(slices_.size()),
+            "slice index out of range");
+  return slices_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t QueryPlan::FragmentCount() const {
+  std::int64_t count = 1;
+  for (const auto& s : slices_) {
+    count *= static_cast<std::int64_t>(s.size());
+  }
+  return count;
+}
+
+bool QueryPlan::NeedsBitmaps() const {
+  return std::any_of(accesses_.begin(), accesses_.end(),
+                     [](const PredicateAccess& a) { return a.needs_bitmap; });
+}
+
+int QueryPlan::BitmapsPerFragment() const {
+  int total = 0;
+  for (const auto& a : accesses_) {
+    if (a.needs_bitmap) total += a.bitmaps_read;
+  }
+  return total;
+}
+
+double QueryPlan::ExpectedHits() const {
+  return selectivity_ *
+         static_cast<double>(fragmentation_->schema().FactCount());
+}
+
+double QueryPlan::HitsPerFragment() const {
+  return ExpectedHits() / static_cast<double>(FragmentCount());
+}
+
+double QueryPlan::FragmentSelectivity() const {
+  return HitsPerFragment() / fragmentation_->TuplesPerFragment();
+}
+
+void QueryPlan::ForEachFragment(
+    const std::function<void(FragId)>& fn) const {
+  const int n = fragmentation_->num_attrs();
+  if (n == 0) {
+    fn(0);
+    return;
+  }
+  // Mixed-radix odometer over the slices, producing ascending fragment ids
+  // because slices are sorted and later attributes vary fastest.
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> coords(static_cast<std::size_t>(n));
+  while (true) {
+    for (int i = 0; i < n; ++i) {
+      coords[static_cast<std::size_t>(i)] =
+          slices_[static_cast<std::size_t>(i)][cursor[static_cast<std::size_t>(i)]];
+    }
+    fn(fragmentation_->FragmentIdOf(coords));
+    int i = n - 1;
+    while (i >= 0) {
+      auto& c = cursor[static_cast<std::size_t>(i)];
+      if (++c < slices_[static_cast<std::size_t>(i)].size()) break;
+      c = 0;
+      --i;
+    }
+    if (i < 0) break;
+  }
+}
+
+std::vector<FragId> QueryPlan::MaterializeFragments(std::int64_t cap) const {
+  MDW_CHECK(FragmentCount() <= cap,
+            "fragment set larger than the materialisation cap");
+  std::vector<FragId> ids;
+  ids.reserve(static_cast<std::size_t>(FragmentCount()));
+  ForEachFragment([&ids](FragId id) { ids.push_back(id); });
+  return ids;
+}
+
+QueryPlanner::QueryPlanner(const StarSchema* schema,
+                           const Fragmentation* fragmentation)
+    : schema_(schema), fragmentation_(fragmentation) {
+  MDW_CHECK(schema_ != nullptr && fragmentation_ != nullptr,
+            "planner needs schema and fragmentation");
+  MDW_CHECK(&fragmentation_->schema() == schema_,
+            "fragmentation must belong to the schema");
+}
+
+QueryPlan QueryPlanner::Plan(const StarQuery& query) const {
+  const Fragmentation& frag = *fragmentation_;
+
+  // Step 1 (Sec. 4.3): the fragment slice per fragmentation attribute.
+  std::vector<std::vector<std::int64_t>> slices(
+      static_cast<std::size_t>(frag.num_attrs()));
+  bool any_frag_dim_referenced = false;
+  bool any_lower = false;    // predicate below the fragmentation level (Q2)
+  bool any_higher = false;   // predicate above the fragmentation level (Q3)
+  bool any_equal = false;    // predicate exactly on a fragmentation attribute
+
+  for (int i = 0; i < frag.num_attrs(); ++i) {
+    const FragAttr& attr = frag.attr(i);
+    const auto& h = schema_->dimension(attr.dim).hierarchy();
+    auto& slice = slices[static_cast<std::size_t>(i)];
+    const Predicate* pred = query.PredicateOn(attr.dim);
+    if (pred == nullptr) {
+      // Unreferenced fragmentation dimension: all its values.
+      slice.resize(static_cast<std::size_t>(frag.CardOf(i)));
+      for (std::int64_t v = 0; v < frag.CardOf(i); ++v) {
+        slice[static_cast<std::size_t>(v)] = v;
+      }
+      continue;
+    }
+    any_frag_dim_referenced = true;
+    if (pred->depth == attr.depth) {
+      any_equal = true;
+      slice = pred->values;
+    } else if (pred->depth < attr.depth) {
+      // Coarser predicate (paper: "higher level", Q3): expand each value to
+      // its descendants at the fragmentation level.
+      any_higher = true;
+      for (const auto v : pred->values) {
+        const std::int64_t per = h.DescendantsPer(pred->depth, attr.depth);
+        for (std::int64_t k = 0; k < per; ++k) {
+          slice.push_back(v * per + k);
+        }
+      }
+    } else {
+      // Finer predicate (paper: "lower level", Q2): each value maps to its
+      // single ancestor fragment slice.
+      any_lower = true;
+      for (const auto v : pred->values) {
+        slice.push_back(h.Ancestor(v, pred->depth, attr.depth));
+      }
+      std::sort(slice.begin(), slice.end());
+      slice.erase(std::unique(slice.begin(), slice.end()), slice.end());
+    }
+    std::sort(slice.begin(), slice.end());
+  }
+
+  // Step 2 (Sec. 4.3): bitmap requirements per predicate.
+  std::vector<PredicateAccess> accesses;
+  bool all_preds_on_frag_dims = true;
+  bool all_preds_at_frag_depth = !query.predicates().empty();
+  for (const auto& pred : query.predicates()) {
+    PredicateAccess access;
+    access.dim = pred.dim;
+    access.depth = pred.depth;
+    const Depth frag_depth = frag.FragDepthOf(pred.dim);
+    const auto& dim = schema_->dimension(pred.dim);
+    if (frag_depth < 0) {
+      // Dimension not represented in F: full bitmap access.
+      all_preds_on_frag_dims = false;
+      all_preds_at_frag_depth = false;
+      access.needs_bitmap = true;
+      access.bitmaps_read =
+          dim.BitmapsForSelection(pred.depth) *
+          static_cast<int>(pred.values.size());
+    } else if (pred.depth > frag_depth) {
+      // Finer than the fragmentation level: bitmaps for the suffix bits
+      // below the fragmentation level (encoded) or one bitmap (simple).
+      all_preds_at_frag_depth = false;
+      access.needs_bitmap = true;
+      if (dim.index_kind() == IndexKind::kEncoded) {
+        access.bitmaps_read = (dim.hierarchy().PrefixBits(pred.depth) -
+                               dim.hierarchy().PrefixBits(frag_depth)) *
+                              static_cast<int>(pred.values.size());
+      } else {
+        access.bitmaps_read = static_cast<int>(pred.values.size());
+      }
+    } else {
+      // At or above the fragmentation level: every row of the selected
+      // fragments matches; no bitmap needed (Q1/Q3).
+      if (pred.depth != frag_depth) all_preds_at_frag_depth = false;
+      access.needs_bitmap = false;
+      access.bitmaps_read = 0;
+    }
+    accesses.push_back(access);
+  }
+
+  // Query class (Sec. 4.2).
+  QueryClass query_class;
+  if (!any_frag_dim_referenced) {
+    query_class = QueryClass::kUnsupported;
+  } else if (any_lower && any_higher) {
+    query_class = QueryClass::kQ4;
+  } else if (any_lower) {
+    query_class = QueryClass::kQ2;
+  } else if (any_higher) {
+    query_class = QueryClass::kQ3;
+  } else {
+    query_class = QueryClass::kQ1;
+  }
+  (void)any_equal;
+
+  // I/O class (Sec. 4.5).
+  const bool needs_bitmaps = std::any_of(
+      accesses.begin(), accesses.end(),
+      [](const PredicateAccess& a) { return a.needs_bitmap; });
+  IoClass io_class;
+  if (!any_frag_dim_referenced && !query.predicates().empty()) {
+    io_class = IoClass::kIoc2NoSupp;
+  } else if (!needs_bitmaps && all_preds_on_frag_dims) {
+    // IOC1: Dim(Q) subset of Dim(F) and every predicate at or above its
+    // fragmentation level. IOC1-opt additionally requires every
+    // fragmentation dimension referenced exactly at its level.
+    const bool every_frag_dim_referenced = [&] {
+      for (int i = 0; i < frag.num_attrs(); ++i) {
+        if (query.PredicateOn(frag.attr(i).dim) == nullptr) return false;
+      }
+      return frag.num_attrs() > 0;
+    }();
+    io_class = (every_frag_dim_referenced && all_preds_at_frag_depth)
+                   ? IoClass::kIoc1Opt
+                   : IoClass::kIoc1;
+  } else {
+    io_class = IoClass::kIoc2;
+  }
+
+  return QueryPlan(fragmentation_, std::move(slices), query_class, io_class,
+                   std::move(accesses), query.Selectivity(*schema_));
+}
+
+}  // namespace mdw

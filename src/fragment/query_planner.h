@@ -1,0 +1,120 @@
+#ifndef MDW_FRAGMENT_QUERY_PLANNER_H_
+#define MDW_FRAGMENT_QUERY_PLANNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fragment/fragmentation.h"
+#include "fragment/star_query.h"
+
+namespace mdw {
+
+/// The paper's four basic query types with respect to a fragmentation F
+/// (Sec. 4.2), plus the unsupported case.
+enum class QueryClass {
+  kQ1,          ///< only fragmentation attributes (at their exact level)
+  kQ2,          ///< lower-level attributes of fragmentation dimensions
+  kQ3,          ///< higher-level attributes of fragmentation dimensions
+  kQ4,          ///< mixed: lower *and* higher level on >= 2 frag dimensions
+  kUnsupported  ///< no fragmentation dimension referenced at all
+};
+
+/// The paper's I/O overhead classes (Sec. 4.5).
+enum class IoClass {
+  kIoc1Opt,      ///< clustered hits, no bitmap access, single fragment
+  kIoc1,         ///< clustered hits, no bitmap access
+  kIoc2,         ///< spread hits, bitmap I/O required
+  kIoc2NoSupp    ///< all fragments and all referenced bitmaps processed
+};
+
+const char* ToString(QueryClass c);
+const char* ToString(IoClass c);
+
+/// How one query predicate is evaluated under a fragmentation
+/// (Sec. 4.3, step 2).
+struct PredicateAccess {
+  DimId dim = -1;
+  Depth depth = -1;
+  /// True iff a bitmap must be read for this predicate: the dimension is
+  /// not in F, or it is in F but the predicate is on a *lower* (finer)
+  /// level than the fragmentation attribute.
+  bool needs_bitmap = false;
+  /// Bitmaps read per fragment *per predicate value*: the encoded prefix
+  /// (or the suffix below the fragmentation level), or 1 for simple
+  /// indices.
+  int bitmaps_read = 0;
+};
+
+/// The fragments a query must process, represented as one value-slice per
+/// fragmentation attribute (the cross product of the slices), plus the
+/// access classification. Fragment sets are enumerated lazily because the
+/// cross product can be large.
+class QueryPlan {
+ public:
+  QueryPlan(const Fragmentation* fragmentation,
+            std::vector<std::vector<std::int64_t>> slices,
+            QueryClass query_class, IoClass io_class,
+            std::vector<PredicateAccess> accesses, double selectivity);
+
+  const Fragmentation& fragmentation() const { return *fragmentation_; }
+  QueryClass query_class() const { return query_class_; }
+  IoClass io_class() const { return io_class_; }
+  const std::vector<PredicateAccess>& accesses() const { return accesses_; }
+
+  /// Value slice of the i-th fragmentation attribute.
+  const std::vector<std::int64_t>& slice(int i) const;
+
+  /// Number of fragments to be processed (product of slice sizes).
+  std::int64_t FragmentCount() const;
+
+  /// True iff any predicate needs bitmap access.
+  bool NeedsBitmaps() const;
+  /// Total bitmaps read per fragment (sum over predicates and values).
+  int BitmapsPerFragment() const;
+
+  /// Overall query selectivity on the fact table.
+  double selectivity() const { return selectivity_; }
+  /// Expected hit rows over the whole query.
+  double ExpectedHits() const;
+  /// Expected hit rows in one processed fragment.
+  double HitsPerFragment() const;
+  /// Fraction of a processed fragment's rows that are hits.
+  double FragmentSelectivity() const;
+
+  /// Enumerates the fragment ids to process, in allocation order
+  /// (ascending id).
+  void ForEachFragment(const std::function<void(FragId)>& fn) const;
+
+  /// Materialises the fragment ids; aborts if more than `cap` fragments
+  /// (guard against accidentally exploding cross products).
+  std::vector<FragId> MaterializeFragments(
+      std::int64_t cap = 1'000'000) const;
+
+ private:
+  const Fragmentation* fragmentation_;
+  std::vector<std::vector<std::int64_t>> slices_;
+  QueryClass query_class_;
+  IoClass io_class_;
+  std::vector<PredicateAccess> accesses_;
+  double selectivity_;
+};
+
+/// Derives QueryPlans from StarQueries for a fixed fragmentation,
+/// implementing Sec. 4.2 (query classes), Sec. 4.3 step 1-2 (fragment set
+/// and bitmap requirements) and Sec. 4.5 (I/O classes).
+class QueryPlanner {
+ public:
+  QueryPlanner(const StarSchema* schema, const Fragmentation* fragmentation);
+
+  QueryPlan Plan(const StarQuery& query) const;
+
+ private:
+  const StarSchema* schema_;
+  const Fragmentation* fragmentation_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_FRAGMENT_QUERY_PLANNER_H_

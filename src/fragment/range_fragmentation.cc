@@ -1,0 +1,196 @@
+#include "fragment/range_fragmentation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace mdw {
+
+RangeFragmentation::RangeFragmentation(
+    const StarSchema* schema, std::vector<RangePartition> partitions)
+    : schema_(schema), partitions_(std::move(partitions)) {
+  MDW_CHECK(schema_ != nullptr, "range fragmentation needs a schema");
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const auto& p = partitions_[i];
+    MDW_CHECK(p.dim >= 0 && p.dim < schema_->num_dimensions(),
+              "partition references unknown dimension");
+    const auto& h = schema_->dimension(p.dim).hierarchy();
+    MDW_CHECK(p.depth >= 0 && p.depth < h.num_levels(),
+              "partition depth out of range");
+    MDW_CHECK(!p.upper_bounds.empty(), "partition needs at least one range");
+    std::int64_t previous = 0;
+    for (const auto bound : p.upper_bounds) {
+      MDW_CHECK(bound > previous, "upper bounds must strictly increase");
+      previous = bound;
+    }
+    MDW_CHECK(previous == h.Cardinality(p.depth),
+              "ranges must cover the whole domain (paper Sec. 4.1)");
+    for (std::size_t j = 0; j < i; ++j) {
+      MDW_CHECK(partitions_[j].dim != p.dim,
+                "each partition must use a distinct dimension");
+    }
+  }
+}
+
+RangeFragmentation RangeFragmentation::PointwiseOf(const StarSchema* schema,
+                                                   DimId dim, Depth depth) {
+  const auto card = schema->dimension(dim).hierarchy().Cardinality(depth);
+  RangePartition partition{dim, depth, {}};
+  partition.upper_bounds.reserve(static_cast<std::size_t>(card));
+  for (std::int64_t v = 1; v <= card; ++v) {
+    partition.upper_bounds.push_back(v);
+  }
+  return RangeFragmentation(schema, {std::move(partition)});
+}
+
+RangePartition RangeFragmentation::EqualSplit(const StarSchema& schema,
+                                              DimId dim, Depth depth,
+                                              int parts) {
+  const auto card = schema.dimension(dim).hierarchy().Cardinality(depth);
+  MDW_CHECK(parts >= 1 && parts <= card, "invalid number of parts");
+  RangePartition partition{dim, depth, {}};
+  for (int i = 1; i <= parts; ++i) {
+    partition.upper_bounds.push_back(card * i / parts);
+  }
+  // Remove duplicates caused by integer division on tiny domains.
+  partition.upper_bounds.erase(
+      std::unique(partition.upper_bounds.begin(),
+                  partition.upper_bounds.end()),
+      partition.upper_bounds.end());
+  return partition;
+}
+
+const RangePartition& RangeFragmentation::partition(int i) const {
+  MDW_CHECK(i >= 0 && i < num_attrs(), "partition index out of range");
+  return partitions_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t RangeFragmentation::FragmentCount() const {
+  std::int64_t product = 1;
+  for (const auto& p : partitions_) product *= p.num_ranges();
+  return product;
+}
+
+std::int64_t RangeFragmentation::RangeOfValue(int i,
+                                              std::int64_t value) const {
+  const auto& bounds = partition(i).upper_bounds;
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), value);
+  MDW_CHECK(it != bounds.end(), "value beyond the partition's domain");
+  return it - bounds.begin();
+}
+
+FragId RangeFragmentation::FragmentOfRow(
+    const std::vector<std::int64_t>& leaf_keys) const {
+  MDW_CHECK(static_cast<int>(leaf_keys.size()) == schema_->num_dimensions(),
+            "one leaf key per dimension required");
+  FragId id = 0;
+  for (int i = 0; i < num_attrs(); ++i) {
+    const auto& p = partitions_[static_cast<std::size_t>(i)];
+    const auto& h = schema_->dimension(p.dim).hierarchy();
+    const std::int64_t value = h.AncestorOfLeaf(
+        leaf_keys[static_cast<std::size_t>(p.dim)], p.depth);
+    id = id * p.num_ranges() + RangeOfValue(i, value);
+  }
+  return id;
+}
+
+double RangeFragmentation::AvgTuplesPerFragment() const {
+  return static_cast<double>(schema_->FactCount()) /
+         static_cast<double>(FragmentCount());
+}
+
+double RangeFragmentation::BitmapFragmentPages() const {
+  return AvgTuplesPerFragment() / 8.0 /
+         static_cast<double>(schema_->physical().page_size_bytes);
+}
+
+RangeFragmentation::Plan RangeFragmentation::PlanQuery(
+    const StarQuery& query) const {
+  Plan plan;
+  plan.slices.resize(static_cast<std::size_t>(num_attrs()));
+
+  // Whether each fragmentation attribute fully covers its selected ranges
+  // (only then can bitmap access for its predicate be skipped).
+  std::vector<bool> partially_covered(
+      static_cast<std::size_t>(num_attrs()), false);
+
+  for (int i = 0; i < num_attrs(); ++i) {
+    const auto& p = partitions_[static_cast<std::size_t>(i)];
+    const auto& h = schema_->dimension(p.dim).hierarchy();
+    auto& slice = plan.slices[static_cast<std::size_t>(i)];
+    const Predicate* pred = query.PredicateOn(p.dim);
+    if (pred == nullptr) {
+      slice.resize(static_cast<std::size_t>(p.num_ranges()));
+      for (std::int64_t r = 0; r < p.num_ranges(); ++r) {
+        slice[static_cast<std::size_t>(r)] = r;
+      }
+      continue;
+    }
+    // Map each predicate value to its value block at the partition depth:
+    // [lo, hi] inclusive.
+    for (const auto v : pred->values) {
+      std::int64_t lo, hi;
+      if (pred->depth <= p.depth) {
+        const std::int64_t per = h.DescendantsPer(pred->depth, p.depth);
+        lo = v * per;
+        hi = lo + per - 1;
+      } else {
+        lo = hi = h.Ancestor(v, pred->depth, p.depth);
+        // A finer predicate never covers whole values at the partition
+        // depth, let alone whole ranges.
+        partially_covered[static_cast<std::size_t>(i)] = true;
+      }
+      const std::int64_t first_range = RangeOfValue(i, lo);
+      const std::int64_t last_range = RangeOfValue(i, hi);
+      for (std::int64_t r = first_range; r <= last_range; ++r) {
+        slice.push_back(r);
+        // Range r covers [lower, upper); fully covered by [lo, hi]?
+        const std::int64_t upper = p.upper_bounds[static_cast<std::size_t>(r)];
+        const std::int64_t lower =
+            r == 0 ? 0 : p.upper_bounds[static_cast<std::size_t>(r - 1)];
+        if (pred->depth <= p.depth && (lower < lo || upper - 1 > hi)) {
+          partially_covered[static_cast<std::size_t>(i)] = true;
+        }
+      }
+    }
+    std::sort(slice.begin(), slice.end());
+    slice.erase(std::unique(slice.begin(), slice.end()), slice.end());
+  }
+
+  plan.fragment_count = 1;
+  for (const auto& slice : plan.slices) {
+    plan.fragment_count *= static_cast<std::int64_t>(slice.size());
+  }
+
+  for (const auto& pred : query.predicates()) {
+    Plan::Access access;
+    access.dim = pred.dim;
+    int attr = -1;
+    for (int i = 0; i < num_attrs(); ++i) {
+      if (partitions_[static_cast<std::size_t>(i)].dim == pred.dim) attr = i;
+    }
+    if (attr < 0) {
+      access.needs_bitmap = true;  // dimension not in the fragmentation
+    } else {
+      access.needs_bitmap = partially_covered[static_cast<std::size_t>(attr)];
+    }
+    plan.accesses.push_back(access);
+  }
+  return plan;
+}
+
+std::string RangeFragmentation::Label() const {
+  if (partitions_.empty()) return "{unfragmented}";
+  std::string label = "{";
+  for (int i = 0; i < num_attrs(); ++i) {
+    if (i > 0) label += ", ";
+    const auto& p = partitions_[static_cast<std::size_t>(i)];
+    label += schema_->dimension(p.dim).AttributeLabel(p.depth) + "/" +
+             std::to_string(p.num_ranges());
+  }
+  label += "}";
+  return label;
+}
+
+}  // namespace mdw

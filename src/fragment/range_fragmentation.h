@@ -1,0 +1,99 @@
+#ifndef MDW_FRAGMENT_RANGE_FRAGMENTATION_H_
+#define MDW_FRAGMENT_RANGE_FRAGMENTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fragment/fragmentation.h"
+#include "fragment/star_query.h"
+
+namespace mdw {
+
+/// One range-partitioned fragmentation attribute of the *general* MDHF
+/// (paper Sec. 4.1): disjoint value ranges covering the attribute's whole
+/// domain. `upper_bounds` holds the exclusive upper bound of each range in
+/// ascending order; the last bound equals the attribute's cardinality.
+/// Range i covers values [upper_bounds[i-1], upper_bounds[i]).
+struct RangePartition {
+  DimId dim = -1;
+  Depth depth = -1;
+  std::vector<std::int64_t> upper_bounds;
+
+  std::int64_t num_ranges() const {
+    return static_cast<std::int64_t>(upper_bounds.size());
+  }
+};
+
+/// The general range-based MDHF. The paper's point fragmentations are the
+/// special case of one value per range; range fragmentation trades fewer,
+/// larger fragments for partially-relevant fragments: a selected fragment
+/// only consists entirely of relevant rows when the query's value block
+/// covers its whole range, otherwise bitmap filtering is required.
+class RangeFragmentation {
+ public:
+  RangeFragmentation(const StarSchema* schema,
+                     std::vector<RangePartition> partitions);
+
+  /// Point fragmentation expressed as ranges of width one.
+  static RangeFragmentation PointwiseOf(const StarSchema* schema, DimId dim,
+                                        Depth depth);
+  /// Equal-width split of an attribute into `parts` ranges.
+  static RangePartition EqualSplit(const StarSchema& schema, DimId dim,
+                                   Depth depth, int parts);
+
+  const StarSchema& schema() const { return *schema_; }
+  int num_attrs() const { return static_cast<int>(partitions_.size()); }
+  const RangePartition& partition(int i) const;
+
+  /// Total fragments: product of per-attribute range counts.
+  std::int64_t FragmentCount() const;
+
+  /// Index of the range containing `value` of attribute `i`.
+  std::int64_t RangeOfValue(int i, std::int64_t value) const;
+
+  /// Fragment id of a fact row given its leaf keys (row-major, last
+  /// attribute fastest, matching Fragmentation).
+  FragId FragmentOfRow(const std::vector<std::int64_t>& leaf_keys) const;
+
+  /// Average tuples per fragment assumes uniform data; individual
+  /// fragments scale with their ranges' widths.
+  double AvgTuplesPerFragment() const;
+  double BitmapFragmentPages() const;  ///< for the *average* fragment
+
+  /// Plan of a star query against this fragmentation.
+  struct Plan {
+    /// Per query predicate: does it require bitmap filtering? For
+    /// predicates on fragmentation attributes this is true iff some
+    /// selected range is only partially covered by the predicate's value
+    /// block (never the case for point fragmentations).
+    struct Access {
+      DimId dim = -1;
+      bool needs_bitmap = false;
+    };
+
+    /// Selected range indices per attribute (cross product = fragments).
+    std::vector<std::vector<std::int64_t>> slices;
+    std::int64_t fragment_count = 1;
+    std::vector<Access> accesses;
+
+    bool NeedsBitmaps() const {
+      for (const auto& a : accesses) {
+        if (a.needs_bitmap) return true;
+      }
+      return false;
+    }
+  };
+
+  Plan PlanQuery(const StarQuery& query) const;
+
+  std::string Label() const;
+
+ private:
+  const StarSchema* schema_;
+  std::vector<RangePartition> partitions_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_FRAGMENT_RANGE_FRAGMENTATION_H_

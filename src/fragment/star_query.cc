@@ -1,0 +1,92 @@
+#include "fragment/star_query.h"
+
+#include "common/check.h"
+#include "schema/apb1.h"
+
+namespace mdw {
+
+StarQuery::StarQuery(std::string name, std::vector<Predicate> predicates)
+    : name_(std::move(name)), predicates_(std::move(predicates)) {
+  for (std::size_t i = 0; i < predicates_.size(); ++i) {
+    MDW_CHECK(!predicates_[i].values.empty(),
+              "predicate needs at least one value");
+    for (std::size_t j = 0; j < i; ++j) {
+      MDW_CHECK(predicates_[j].dim != predicates_[i].dim,
+                "at most one predicate per dimension");
+    }
+  }
+}
+
+const Predicate* StarQuery::PredicateOn(DimId dim) const {
+  for (const auto& p : predicates_) {
+    if (p.dim == dim) return &p;
+  }
+  return nullptr;
+}
+
+double StarQuery::Selectivity(const StarSchema& schema) const {
+  double selectivity = 1.0;
+  for (const auto& p : predicates_) {
+    const auto& h = schema.dimension(p.dim).hierarchy();
+    selectivity *= static_cast<double>(p.values.size()) /
+                   static_cast<double>(h.Cardinality(p.depth));
+  }
+  return selectivity;
+}
+
+double StarQuery::ExpectedHits(const StarSchema& schema) const {
+  return Selectivity(schema) * static_cast<double>(schema.FactCount());
+}
+
+namespace apb1_queries {
+
+// Depth constants of the APB-1 hierarchies (root = 0).
+namespace {
+constexpr Depth kProductGroup = 3;
+constexpr Depth kProductCode = 5;
+constexpr Depth kCustomerStore = 1;
+constexpr Depth kTimeQuarter = 1;
+constexpr Depth kTimeMonth = 2;
+}  // namespace
+
+StarQuery OneStore(std::int64_t store) {
+  return StarQuery("1STORE", {{kApb1Customer, kCustomerStore, {store}}});
+}
+
+StarQuery OneMonth(std::int64_t month) {
+  return StarQuery("1MONTH", {{kApb1Time, kTimeMonth, {month}}});
+}
+
+StarQuery OneCode(std::int64_t code) {
+  return StarQuery("1CODE", {{kApb1Product, kProductCode, {code}}});
+}
+
+StarQuery OneMonthOneGroup(std::int64_t month, std::int64_t group) {
+  return StarQuery("1MONTH1GROUP", {{kApb1Time, kTimeMonth, {month}},
+                                    {kApb1Product, kProductGroup, {group}}});
+}
+
+StarQuery OneCodeOneMonth(std::int64_t code, std::int64_t month) {
+  return StarQuery("1CODE1MONTH", {{kApb1Product, kProductCode, {code}},
+                                   {kApb1Time, kTimeMonth, {month}}});
+}
+
+StarQuery OneCodeOneQuarter(std::int64_t code, std::int64_t quarter) {
+  return StarQuery("1CODE1QUARTER",
+                   {{kApb1Product, kProductCode, {code}},
+                    {kApb1Time, kTimeQuarter, {quarter}}});
+}
+
+StarQuery OneQuarter(std::int64_t quarter) {
+  return StarQuery("1QUARTER", {{kApb1Time, kTimeQuarter, {quarter}}});
+}
+
+StarQuery OneGroupOneStore(std::int64_t group, std::int64_t store) {
+  return StarQuery("1GROUP1STORE",
+                   {{kApb1Product, kProductGroup, {group}},
+                    {kApb1Customer, kCustomerStore, {store}}});
+}
+
+}  // namespace apb1_queries
+
+}  // namespace mdw

@@ -1,0 +1,75 @@
+#ifndef MDW_FRAGMENT_STAR_QUERY_H_
+#define MDW_FRAGMENT_STAR_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/star_schema.h"
+
+namespace mdw {
+
+/// An exact-match (or IN-list) predicate on one dimension attribute:
+/// "dimension `dim` at hierarchy depth `depth` equals one of `values`".
+/// The paper's query types all use a single value; IN-lists generalise the
+/// planner without changing its structure.
+struct Predicate {
+  DimId dim;
+  Depth depth;
+  std::vector<std::int64_t> values;
+};
+
+/// A star (join) query: selections on dimension hierarchy attributes plus
+/// an aggregation over the matching fact rows (paper Sec. 3.1). The
+/// aggregation measures are irrelevant to allocation decisions; we model
+/// SUM over all measure columns.
+class StarQuery {
+ public:
+  StarQuery(std::string name, std::vector<Predicate> predicates);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  int num_predicates() const { return static_cast<int>(predicates_.size()); }
+
+  /// The predicate on `dim`, or nullptr.
+  const Predicate* PredicateOn(DimId dim) const;
+
+  /// Fraction of the fact table matching all predicates assuming uniform,
+  /// independent dimensions (the paper's uniformity assumption):
+  /// product of |values| / Cardinality(depth).
+  double Selectivity(const StarSchema& schema) const;
+
+  /// Expected number of hit rows: Selectivity * N.
+  double ExpectedHits(const StarSchema& schema) const;
+
+ private:
+  std::string name_;
+  std::vector<Predicate> predicates_;
+};
+
+/// Factory helpers for the paper's APB-1 query types (Sec. 3.1/6).
+/// Dimension ids follow schema construction order (see schema/apb1.h).
+namespace apb1_queries {
+
+/// 1STORE: aggregate one customer store over everything else.
+StarQuery OneStore(std::int64_t store);
+/// 1MONTH: aggregate one month.
+StarQuery OneMonth(std::int64_t month);
+/// 1CODE: aggregate one product code.
+StarQuery OneCode(std::int64_t code);
+/// 1MONTH1GROUP: one month and one product group (two-dimensional join).
+StarQuery OneMonthOneGroup(std::int64_t month, std::int64_t group);
+/// 1CODE1MONTH: one product code within one month.
+StarQuery OneCodeOneMonth(std::int64_t code, std::int64_t month);
+/// 1CODE1QUARTER: one product code within one quarter.
+StarQuery OneCodeOneQuarter(std::int64_t code, std::int64_t quarter);
+/// 1QUARTER: aggregate one quarter.
+StarQuery OneQuarter(std::int64_t quarter);
+/// 1GROUP1STORE: one product group and one customer store.
+StarQuery OneGroupOneStore(std::int64_t group, std::int64_t store);
+
+}  // namespace apb1_queries
+
+}  // namespace mdw
+
+#endif  // MDW_FRAGMENT_STAR_QUERY_H_

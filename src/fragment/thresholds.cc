@@ -1,0 +1,62 @@
+#include "fragment/thresholds.h"
+
+#include <cstdio>
+
+namespace mdw {
+
+std::int64_t MaxFragmentCount(std::int64_t fact_count,
+                              std::int64_t page_size_bytes,
+                              std::int64_t prefetch_granule_pages) {
+  return fact_count / (8 * page_size_bytes * prefetch_granule_pages);
+}
+
+namespace {
+
+std::string Format(const char* fmt, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<ThresholdViolation> CheckThresholds(
+    const Fragmentation& fragmentation, const ThresholdPolicy& policy,
+    int materialized_bitmaps) {
+  std::vector<ThresholdViolation> violations;
+  const std::int64_t n_frags = fragmentation.FragmentCount();
+
+  if (policy.min_bitmap_fragment_pages > 0.0) {
+    const double pages = fragmentation.BitmapFragmentPages();
+    if (pages < policy.min_bitmap_fragment_pages) {
+      violations.push_back(
+          {ThresholdViolation::Kind::kBitmapFragmentTooSmall,
+           Format("bitmap fragment is %.3f pages, below the minimum of %.1f",
+                  pages, policy.min_bitmap_fragment_pages)});
+    }
+  }
+  if (policy.max_fragments > 0 && n_frags > policy.max_fragments) {
+    violations.push_back(
+        {ThresholdViolation::Kind::kTooManyFragments,
+         Format("%.0f fragments exceed the administration cap of %.0f",
+                static_cast<double>(n_frags),
+                static_cast<double>(policy.max_fragments))});
+  }
+  if (policy.max_bitmaps > 0 && materialized_bitmaps > policy.max_bitmaps) {
+    violations.push_back(
+        {ThresholdViolation::Kind::kTooManyBitmaps,
+         Format("%.0f materialised bitmaps exceed the cap of %.0f",
+                static_cast<double>(materialized_bitmaps),
+                static_cast<double>(policy.max_bitmaps))});
+  }
+  if (policy.min_fragments > 0 && n_frags < policy.min_fragments) {
+    violations.push_back(
+        {ThresholdViolation::Kind::kTooFewFragments,
+         Format("%.0f fragments cannot utilise %.0f disks",
+                static_cast<double>(n_frags),
+                static_cast<double>(policy.min_fragments))});
+  }
+  return violations;
+}
+
+}  // namespace mdw

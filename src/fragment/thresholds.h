@@ -1,0 +1,57 @@
+#ifndef MDW_FRAGMENT_THRESHOLDS_H_
+#define MDW_FRAGMENT_THRESHOLDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fragment/fragmentation.h"
+
+namespace mdw {
+
+/// Upper bound on the number of fragments so that a bitmap fragment is at
+/// least `prefetch_granule` pages (paper Sec. 4.4):
+///   n_max = N / (8 * PgSize * PrefetchGran)
+/// For the paper's configuration (N = 1,866,240,000, PgSize = 4K,
+/// PrefetchGran = 4) this yields 14,238.
+std::int64_t MaxFragmentCount(std::int64_t fact_count,
+                              std::int64_t page_size_bytes,
+                              std::int64_t prefetch_granule_pages);
+
+/// The administrator-tunable limits of Sec. 4.4/4.7 guideline 1:
+/// (i) minimal bitmap fragment size, (ii) maximum number of fragments to
+/// administer, (iii) maximum number of bitmaps to materialise, plus the
+/// lower bound of at least one fragment per disk.
+struct ThresholdPolicy {
+  /// (i) bitmap fragments must be at least this many pages (0 disables).
+  double min_bitmap_fragment_pages = 4.0;
+  /// (ii) fragment-count cap for administration overhead (0 disables).
+  std::int64_t max_fragments = 0;
+  /// (iii) cap on materialised bitmaps after elimination (0 disables).
+  int max_bitmaps = 0;
+  /// Lower bound: at least one fragment per fact-table disk (0 disables).
+  std::int64_t min_fragments = 0;
+};
+
+/// One violated threshold with a human-readable explanation.
+struct ThresholdViolation {
+  enum class Kind {
+    kBitmapFragmentTooSmall,
+    kTooManyFragments,
+    kTooManyBitmaps,
+    kTooFewFragments,
+  };
+  Kind kind;
+  std::string detail;
+};
+
+/// Checks `fragmentation` against `policy`; empty result means admissible.
+/// `materialized_bitmaps` is the bitmap count after fragmentation-based
+/// elimination (see bitmap_elimination.h).
+std::vector<ThresholdViolation> CheckThresholds(
+    const Fragmentation& fragmentation, const ThresholdPolicy& policy,
+    int materialized_bitmaps);
+
+}  // namespace mdw
+
+#endif  // MDW_FRAGMENT_THRESHOLDS_H_

@@ -1,0 +1,177 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace mdw {
+
+BPlusTree::BPlusTree() : root_(std::make_unique<Node>()) {}
+
+const BPlusTree::Node* BPlusTree::FindLeaf(std::int64_t key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    const auto it =
+        std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    const auto child = static_cast<std::size_t>(it - node->keys.begin());
+    node = node->children[child].get();
+  }
+  return node;
+}
+
+const std::int64_t* BPlusTree::Lookup(std::int64_t key) const {
+  const Node* leaf = FindLeaf(key);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return nullptr;
+  return &leaf->values[static_cast<std::size_t>(it - leaf->keys.begin())];
+}
+
+std::unique_ptr<BPlusTree::Node> BPlusTree::InsertInto(
+    Node* node, std::int64_t key, std::int64_t value,
+    std::int64_t* separator) {
+  if (node->leaf) {
+    const auto it =
+        std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    const auto pos = static_cast<std::size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && *it == key) {
+      node->values[pos] = value;  // upsert
+      return nullptr;
+    }
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + static_cast<std::ptrdiff_t>(pos),
+                        value);
+    ++size_;
+    if (static_cast<int>(node->keys.size()) <= kMaxKeys) return nullptr;
+    // Split the leaf in half; the right half starts at `separator`.
+    auto right = std::make_unique<Node>();
+    const std::size_t half = node->keys.size() / 2;
+    right->keys.assign(node->keys.begin() + static_cast<std::ptrdiff_t>(half),
+                       node->keys.end());
+    right->values.assign(
+        node->values.begin() + static_cast<std::ptrdiff_t>(half),
+        node->values.end());
+    node->keys.resize(half);
+    node->values.resize(half);
+    right->next_leaf = node->next_leaf;
+    node->next_leaf = right.get();
+    *separator = right->keys.front();
+    return right;
+  }
+
+  const auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+  const auto child = static_cast<std::size_t>(it - node->keys.begin());
+  std::int64_t child_separator = 0;
+  auto new_child =
+      InsertInto(node->children[child].get(), key, value, &child_separator);
+  if (new_child == nullptr) return nullptr;
+  node->keys.insert(node->keys.begin() + static_cast<std::ptrdiff_t>(child),
+                    child_separator);
+  node->children.insert(
+      node->children.begin() + static_cast<std::ptrdiff_t>(child) + 1,
+      std::move(new_child));
+  if (static_cast<int>(node->keys.size()) <= kMaxKeys) return nullptr;
+  // Split the inner node; the middle key moves up.
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  const std::size_t mid = node->keys.size() / 2;
+  *separator = node->keys[mid];
+  right->keys.assign(node->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                     node->keys.end());
+  for (std::size_t i = mid + 1; i < node->children.size(); ++i) {
+    right->children.push_back(std::move(node->children[i]));
+  }
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  return right;
+}
+
+void BPlusTree::Insert(std::int64_t key, std::int64_t value) {
+  std::int64_t separator = 0;
+  auto right = InsertInto(root_.get(), key, value, &separator);
+  if (right == nullptr) return;
+  auto new_root = std::make_unique<Node>();
+  new_root->leaf = false;
+  new_root->keys.push_back(separator);
+  new_root->children.push_back(std::move(root_));
+  new_root->children.push_back(std::move(right));
+  root_ = std::move(new_root);
+  ++height_;
+}
+
+void BPlusTree::Scan(
+    std::int64_t lo, std::int64_t hi,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) const {
+  if (lo > hi) return;
+  const Node* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < lo) continue;
+      if (leaf->keys[i] > hi) return;
+      fn(leaf->keys[i], leaf->values[i]);
+    }
+    leaf = leaf->next_leaf;
+  }
+}
+
+int BPlusTree::LeafDepth() const {
+  int depth = 0;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++depth;
+  }
+  return depth;
+}
+
+void BPlusTree::CheckNode(const Node* node, int depth, std::int64_t lo,
+                          std::int64_t hi, int leaf_depth) const {
+  MDW_CHECK(std::is_sorted(node->keys.begin(), node->keys.end()),
+            "keys must be sorted");
+  for (const auto key : node->keys) {
+    MDW_CHECK(key >= lo && key <= hi, "key outside its subtree bounds");
+  }
+  if (node != root_.get()) {
+    MDW_CHECK(static_cast<int>(node->keys.size()) >= kMaxKeys / 2 - 1,
+              "underfull node");
+  }
+  MDW_CHECK(static_cast<int>(node->keys.size()) <= kMaxKeys,
+            "overfull node");
+  if (node->leaf) {
+    MDW_CHECK(depth == leaf_depth, "leaves must share one depth");
+    MDW_CHECK(node->keys.size() == node->values.size(),
+              "leaf key/value mismatch");
+    return;
+  }
+  MDW_CHECK(node->children.size() == node->keys.size() + 1,
+            "inner fanout mismatch");
+  for (std::size_t i = 0; i < node->children.size(); ++i) {
+    const std::int64_t child_lo =
+        i == 0 ? lo : node->keys[i - 1];
+    const std::int64_t child_hi =
+        i == node->keys.size() ? hi : node->keys[i] - 1;
+    CheckNode(node->children[i].get(), depth + 1, child_lo, child_hi,
+              leaf_depth);
+  }
+}
+
+void BPlusTree::CheckInvariants() const {
+  CheckNode(root_.get(), 0, std::numeric_limits<std::int64_t>::min(),
+            std::numeric_limits<std::int64_t>::max(), LeafDepth());
+  // The leaf chain must enumerate exactly size() entries in order.
+  const Node* leaf = root_.get();
+  while (!leaf->leaf) leaf = leaf->children.front().get();
+  std::int64_t count = 0;
+  std::int64_t previous = std::numeric_limits<std::int64_t>::min();
+  while (leaf != nullptr) {
+    for (const auto key : leaf->keys) {
+      MDW_CHECK(key > previous, "leaf chain out of order");
+      previous = key;
+      ++count;
+    }
+    leaf = leaf->next_leaf;
+  }
+  MDW_CHECK(count == size_, "leaf chain does not match size()");
+}
+
+}  // namespace mdw

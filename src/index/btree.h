@@ -1,0 +1,76 @@
+#ifndef MDW_INDEX_BTREE_H_
+#define MDW_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace mdw {
+
+/// An in-memory B+-tree mapping int64 keys to int64 values — the
+/// dimension-table index of the paper's setup ("the dimension tables have
+/// B*-tree indices", Sec. 5). Dimension tables in a warehouse are
+/// load-then-read, so the tree supports upsert, point lookup and ordered
+/// range scans; deletion is deliberately out of scope.
+///
+/// Leaves are chained for efficient scans. All nodes hold at most
+/// kMaxKeys keys and (apart from the root) at least kMaxKeys/2.
+class BPlusTree {
+ public:
+  static constexpr int kMaxKeys = 64;
+
+  BPlusTree();
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts or overwrites `key`.
+  void Insert(std::int64_t key, std::int64_t value);
+
+  /// Pointer to the value of `key`, or nullptr. Invalidated by Insert.
+  const std::int64_t* Lookup(std::int64_t key) const;
+
+  /// Invokes `fn(key, value)` for every entry with lo <= key <= hi, in
+  /// ascending key order.
+  void Scan(std::int64_t lo, std::int64_t hi,
+            const std::function<void(std::int64_t, std::int64_t)>& fn) const;
+
+  std::int64_t size() const { return size_; }
+  int height() const { return height_; }
+
+  /// Aborts if any structural invariant is violated (ordering, fanout
+  /// bounds, uniform leaf depth, leaf chaining). For tests.
+  void CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<std::int64_t> keys;
+    // Leaf payload.
+    std::vector<std::int64_t> values;
+    Node* next_leaf = nullptr;
+    // Inner node children: children[i] covers keys < keys[i] (and
+    // children.back() the rest); children.size() == keys.size() + 1.
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  /// Inserts into the subtree under `node`. If the node splits, returns
+  /// the new right sibling and sets `*separator` to the smallest key of
+  /// the right subtree.
+  std::unique_ptr<Node> InsertInto(Node* node, std::int64_t key,
+                                   std::int64_t value,
+                                   std::int64_t* separator);
+
+  const Node* FindLeaf(std::int64_t key) const;
+  void CheckNode(const Node* node, int depth, std::int64_t lo,
+                 std::int64_t hi, int leaf_depth) const;
+  int LeafDepth() const;
+
+  std::unique_ptr<Node> root_;
+  std::int64_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_INDEX_BTREE_H_

@@ -1,0 +1,77 @@
+#include "schema/apb1.h"
+
+#include "common/check.h"
+
+namespace mdw {
+
+StarSchema MakeApb1Schema(const Apb1Params& params) {
+  MDW_CHECK(params.channels >= 1, "need at least one channel");
+  MDW_CHECK(params.months % 12 == 0, "months must cover whole years");
+
+  const std::int64_t channels = params.channels;
+  const std::int64_t codes = 960 * channels;
+  const std::int64_t stores = 96 * channels;
+  MDW_CHECK(stores % 10 == 0, "APB-1 assumes 10 stores per retailer");
+  const std::int64_t retailers = stores / 10;
+  const std::int64_t months = params.months;
+
+  // Hierarchy ratios per APB-1 (paper Table 1): 8 divisions, 3 lines per
+  // division, 5 families per line, 4 groups per family, 2 classes per
+  // group, `channels` codes per class.
+  Dimension product(
+      "product",
+      Hierarchy({{"division", 8},
+                 {"line", 24},
+                 {"family", 120},
+                 {"group", 480},
+                 {"class", 960},
+                 {"code", codes}}),
+      IndexKind::kEncoded);
+
+  Dimension customer(
+      "customer",
+      Hierarchy({{"retailer", retailers}, {"store", stores}}),
+      IndexKind::kEncoded);
+
+  Dimension channel("channel", Hierarchy({{"channel", channels}}),
+                    IndexKind::kSimple);
+
+  Dimension time(
+      "time",
+      Hierarchy(
+          {{"year", months / 12}, {"quarter", months / 3}, {"month", months}}),
+      IndexKind::kSimple);
+
+  return StarSchema("sales",
+                    {std::move(product), std::move(customer),
+                     std::move(channel), std::move(time)},
+                    params.density, params.physical);
+}
+
+StarSchema MakeTinyApb1Schema(double density) {
+  // Same shape, tiny cardinalities: 1,  product 2/6/12/24/48/120? keep the
+  // divide-chain property of the big schema but ~100x smaller leaves.
+  Dimension product("product",
+                    Hierarchy({{"division", 2},
+                               {"line", 6},
+                               {"family", 12},
+                               {"group", 24},
+                               {"class", 48},
+                               {"code", 96}}),
+                    IndexKind::kEncoded);
+  Dimension customer("customer",
+                     Hierarchy({{"retailer", 8}, {"store", 40}}),
+                     IndexKind::kEncoded);
+  Dimension channel("channel", Hierarchy({{"channel", 3}}),
+                    IndexKind::kSimple);
+  Dimension time("time",
+                 Hierarchy({{"year", 1}, {"quarter", 4}, {"month", 12}}),
+                 IndexKind::kSimple);
+  PhysicalParams physical;
+  return StarSchema("tiny_sales",
+                    {std::move(product), std::move(customer),
+                     std::move(channel), std::move(time)},
+                    density, physical);
+}
+
+}  // namespace mdw

@@ -1,0 +1,43 @@
+#ifndef MDW_SCHEMA_APB1_H_
+#define MDW_SCHEMA_APB1_H_
+
+#include "schema/star_schema.h"
+
+namespace mdw {
+
+/// Parameters of the APB-1 star schema generator (paper Sec. 3.1).
+/// The benchmark scales all dimensions with the number of channels; the
+/// paper's configuration is 15 channels, 24 months, density 25%, yielding
+/// 1,866,240,000 fact rows.
+struct Apb1Params {
+  int channels = 15;
+  int months = 24;          ///< must be divisible by 12
+  double density = 0.25;    ///< fraction of possible value combinations
+  PhysicalParams physical = {};
+};
+
+/// Builds the APB-1 star schema of the paper:
+///   PRODUCT  (encoded index): division 8, line 24, family 120, group 480,
+///                             class 960, code 960*channels
+///   CUSTOMER (encoded index): retailer stores/10, store 96*channels
+///   CHANNEL  (simple index):  channel `channels`
+///   TIME     (simple index):  year months/12, quarter months/3, month
+/// Aborts if the scaling does not produce a balanced hierarchy (e.g. a
+/// store count not divisible by 10).
+StarSchema MakeApb1Schema(const Apb1Params& params = {});
+
+/// A scaled-down APB-1-shaped schema whose fact table is small enough to
+/// materialise in memory; used by tests, examples, and the functional
+/// mini-warehouse. Keeps the same four dimensions and hierarchy shapes but
+/// with tiny cardinalities (e.g. 120 product codes, 40 stores).
+StarSchema MakeTinyApb1Schema(double density = 0.25);
+
+/// Dimension ids of the APB-1 schema in construction order.
+inline constexpr DimId kApb1Product = 0;
+inline constexpr DimId kApb1Customer = 1;
+inline constexpr DimId kApb1Channel = 2;
+inline constexpr DimId kApb1Time = 3;
+
+}  // namespace mdw
+
+#endif  // MDW_SCHEMA_APB1_H_

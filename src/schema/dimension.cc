@@ -1,0 +1,29 @@
+#include "schema/dimension.h"
+
+namespace mdw {
+
+Dimension::Dimension(std::string name, Hierarchy hierarchy,
+                     IndexKind index_kind)
+    : name_(std::move(name)),
+      hierarchy_(std::move(hierarchy)),
+      index_kind_(index_kind) {}
+
+int Dimension::TotalBitmapCount() const {
+  if (index_kind_ == IndexKind::kEncoded) return hierarchy_.TotalBits();
+  int total = 0;
+  for (Depth d = 0; d < hierarchy_.num_levels(); ++d) {
+    total += static_cast<int>(hierarchy_.Cardinality(d));
+  }
+  return total;
+}
+
+int Dimension::BitmapsForSelection(Depth d) const {
+  if (index_kind_ == IndexKind::kEncoded) return hierarchy_.PrefixBits(d);
+  return 1;
+}
+
+std::string Dimension::AttributeLabel(Depth d) const {
+  return name_ + "::" + hierarchy_.level(d).name;
+}
+
+}  // namespace mdw

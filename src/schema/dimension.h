@@ -1,0 +1,54 @@
+#ifndef MDW_SCHEMA_DIMENSION_H_
+#define MDW_SCHEMA_DIMENSION_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/hierarchy.h"
+
+namespace mdw {
+
+/// Kind of bitmap join index maintained on the fact table for a dimension
+/// (paper Sec. 3.2): low-cardinality dimensions (TIME, CHANNEL) use simple
+/// bitmap indices (one bitmap per value *per level*), high-cardinality
+/// dimensions (PRODUCT, CUSTOMER) use one encoded bitmap index per
+/// dimension with hierarchical encoding.
+enum class IndexKind {
+  kSimple,
+  kEncoded,
+};
+
+/// A denormalised star-schema dimension: a name, a balanced hierarchy and
+/// the bitmap index kind used for its foreign key on the fact table.
+class Dimension {
+ public:
+  Dimension(std::string name, Hierarchy hierarchy, IndexKind index_kind);
+
+  const std::string& name() const { return name_; }
+  const Hierarchy& hierarchy() const { return hierarchy_; }
+  IndexKind index_kind() const { return index_kind_; }
+
+  /// Number of bitmaps the dimension's index materialises when no
+  /// fragmentation-based elimination applies (paper Sec. 3.2):
+  ///  - encoded: TotalBits() bitmaps (15 for PRODUCT, 12 for CUSTOMER);
+  ///  - simple: sum of level cardinalities (34 for TIME, 15 for CHANNEL).
+  int TotalBitmapCount() const;
+
+  /// Bitmaps that must be read to locate all fact rows of one element at
+  /// depth `d`:
+  ///  - encoded: the PrefixBits(d) prefix bitmaps;
+  ///  - simple: exactly 1 (the bitmap of the selected value).
+  int BitmapsForSelection(Depth d) const;
+
+  /// "dimension::level" label as the paper writes fragmentation attributes.
+  std::string AttributeLabel(Depth d) const;
+
+ private:
+  std::string name_;
+  Hierarchy hierarchy_;
+  IndexKind index_kind_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_SCHEMA_DIMENSION_H_

@@ -1,0 +1,78 @@
+#include "schema/dimension_table.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.h"
+
+namespace mdw {
+
+std::string LevelValueName(const Dimension& dimension, Depth depth,
+                           std::int64_t value) {
+  std::string level = dimension.hierarchy().level(depth).name;
+  std::transform(level.begin(), level.end(), level.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return level + "_" + std::to_string(value);
+}
+
+DimensionTable::DimensionTable(const Dimension& dimension)
+    : dimension_(&dimension) {
+  const auto& h = dimension.hierarchy();
+  rows_.reserve(static_cast<std::size_t>(h.LeafCardinality()));
+  for (std::int64_t leaf = 0; leaf < h.LeafCardinality(); ++leaf) {
+    Row row;
+    row.key = leaf;
+    for (Depth d = 0; d < h.num_levels(); ++d) {
+      const std::int64_t value = h.AncestorOfLeaf(leaf, d);
+      row.level_values.push_back(value);
+      row.level_names.push_back(LevelValueName(dimension, d, value));
+    }
+    rows_.push_back(std::move(row));
+    index_.Insert(leaf, static_cast<std::int64_t>(rows_.size()) - 1);
+  }
+}
+
+const DimensionTable::Row& DimensionTable::RowForKey(std::int64_t key) const {
+  const std::int64_t* ordinal = index_.Lookup(key);
+  MDW_CHECK(ordinal != nullptr, "unknown dimension key");
+  return rows_[static_cast<std::size_t>(*ordinal)];
+}
+
+std::vector<std::int64_t> DimensionTable::KeysBelow(
+    Depth depth, std::int64_t value) const {
+  const auto [first, last] = dimension_->hierarchy().LeafRange(value, depth);
+  std::vector<std::int64_t> keys;
+  keys.reserve(static_cast<std::size_t>(last - first + 1));
+  index_.Scan(first, last, [&keys](std::int64_t key, std::int64_t) {
+    keys.push_back(key);
+  });
+  return keys;
+}
+
+bool DimensionTable::ResolveName(const std::string& name, Depth* depth,
+                                 std::int64_t* value) const {
+  const auto& h = dimension_->hierarchy();
+  for (Depth d = 0; d < h.num_levels(); ++d) {
+    for (std::int64_t v = 0; v < h.Cardinality(d); ++v) {
+      if (LevelValueName(*dimension_, d, v) == name) {
+        *depth = d;
+        *value = v;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::int64_t DimensionTable::ApproximateBytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& row : rows_) {
+    bytes += 8 + 8 * static_cast<std::int64_t>(row.level_values.size());
+    for (const auto& name : row.level_names) {
+      bytes += static_cast<std::int64_t>(name.size());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace mdw

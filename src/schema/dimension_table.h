@@ -1,0 +1,64 @@
+#ifndef MDW_SCHEMA_DIMENSION_TABLE_H_
+#define MDW_SCHEMA_DIMENSION_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/btree.h"
+#include "schema/dimension.h"
+
+namespace mdw {
+
+/// A materialised, denormalised dimension table (paper Fig. 1): one row
+/// per leaf element carrying the ancestor value and a generated name for
+/// every hierarchy level, indexed by a B+-tree on the primary key (the
+/// paper's setup: "the dimension tables have B*-tree indices"). The four
+/// APB-1 dimension tables together occupy ~1 MB (Sec. 4) — they are kept
+/// fully in memory, exactly as the paper assumes they are cached.
+class DimensionTable {
+ public:
+  explicit DimensionTable(const Dimension& dimension);
+
+  struct Row {
+    std::int64_t key = 0;                    ///< leaf value (primary key)
+    std::vector<std::int64_t> level_values;  ///< ancestor per depth
+    std::vector<std::string> level_names;    ///< e.g. "GROUP_41"
+  };
+
+  const Dimension& dimension() const { return *dimension_; }
+  std::int64_t row_count() const {
+    return static_cast<std::int64_t>(rows_.size());
+  }
+
+  /// Row of primary key `key` (B+-tree point lookup).
+  const Row& RowForKey(std::int64_t key) const;
+
+  /// Primary keys of all leaves below `value` at `depth` (B+-tree range
+  /// scan over the contiguous leaf range of the balanced hierarchy) —
+  /// the join the dimension table serves in star query processing.
+  std::vector<std::int64_t> KeysBelow(Depth depth, std::int64_t value) const;
+
+  /// Resolves a level name ("GROUP_41") to (depth, value); returns false
+  /// if no level name matches.
+  bool ResolveName(const std::string& name, Depth* depth,
+                   std::int64_t* value) const;
+
+  /// Approximate in-memory footprint (paper: all dimension tables ~1 MB).
+  std::int64_t ApproximateBytes() const;
+
+  const BPlusTree& index() const { return index_; }
+
+ private:
+  const Dimension* dimension_;
+  std::vector<Row> rows_;
+  BPlusTree index_;
+};
+
+/// Generated name of `value` at `depth` of `dimension` ("GROUP_41").
+std::string LevelValueName(const Dimension& dimension, Depth depth,
+                           std::int64_t value);
+
+}  // namespace mdw
+
+#endif  // MDW_SCHEMA_DIMENSION_TABLE_H_

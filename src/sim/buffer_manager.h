@@ -1,0 +1,65 @@
+#ifndef MDW_SIM_BUFFER_MANAGER_H_
+#define MDW_SIM_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace mdw {
+
+/// A simple LRU buffer pool, tracked at prefetch-granule granularity: each
+/// cached entry is one granule read (a run of consecutive pages) and costs
+/// its page count against the pool capacity. The paper maintains separate
+/// pools for the fact table (1000 pages) and bitmaps (5000 pages) per
+/// node; the Simulator instantiates two pools per node.
+///
+/// Granule-level (rather than page-level) bookkeeping is an accuracy
+/// trade-off: the simulator always reads whole granules, so a granule is
+/// the natural caching unit, and it keeps the hot path O(1).
+class BufferManager {
+ public:
+  explicit BufferManager(std::int64_t capacity_pages);
+
+  /// Cache key for a granule: the caller packs (space, disk, start page).
+  using Key = std::uint64_t;
+
+  /// True (and LRU-touched) iff the granule is cached.
+  bool Lookup(Key key);
+
+  /// Inserts a granule of `pages` pages, evicting LRU entries as needed.
+  /// Granules larger than the pool are admitted alone (capacity is then
+  /// temporarily exceeded by that single entry, mirroring a scan that
+  /// flushes the pool).
+  void Insert(Key key, std::int64_t pages);
+
+  std::int64_t capacity_pages() const { return capacity_pages_; }
+  std::int64_t used_pages() const { return used_pages_; }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+  std::int64_t evictions() const { return evictions_; }
+
+  /// Packs a cache key from its parts.
+  static Key MakeKey(int space, int disk, std::int64_t start_page) {
+    return (static_cast<Key>(space) << 60) |
+           (static_cast<Key>(static_cast<unsigned>(disk)) << 44) |
+           static_cast<Key>(start_page);
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::int64_t pages;
+  };
+
+  std::int64_t capacity_pages_;
+  std::int64_t used_pages_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator> map_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_SIM_BUFFER_MANAGER_H_

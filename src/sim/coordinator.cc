@@ -1,0 +1,195 @@
+#include "sim/coordinator.h"
+
+#include "common/check.h"
+
+namespace mdw {
+
+void NotifySlotFreed(SimContext* ctx) {
+  if (ctx->slot_waiters.empty()) return;
+  std::vector<QueryCoordinator*> waiters;
+  waiters.swap(ctx->slot_waiters);
+  for (auto* coordinator : waiters) {
+    coordinator->waiting_for_slot_ = false;
+    coordinator->TryAssign();
+  }
+}
+
+QueryCoordinator::QueryCoordinator(SimContext* ctx, const QueryPlan* plan,
+                                   const SubqueryWork* work,
+                                   int coordinator_node,
+                                   std::function<void(double)> done)
+    : ctx_(ctx),
+      plan_(plan),
+      work_(work),
+      coordinator_node_(coordinator_node),
+      done_(std::move(done)),
+      rr_node_(coordinator_node) {
+  MDW_CHECK(coordinator_node_ >= 0 &&
+                coordinator_node_ < ctx_->config->num_nodes,
+            "coordinator node out of range");
+}
+
+void QueryCoordinator::Submit() {
+  submit_time_ = ctx_->queue->now();
+  // Coordination occupies one task slot on the coordinator node while the
+  // query is active (Sec. 5: the coordinator processes only t-1
+  // subqueries).
+  ++ctx_->node_active[static_cast<std::size_t>(coordinator_node_)];
+  BuildTasks();
+  ctx_->cpu(coordinator_node_)
+      .Execute(static_cast<double>(ctx_->config->cpu.initiate_query),
+               [this]() { TryAssign(); });
+}
+
+void QueryCoordinator::BuildTasks() {
+  const int cluster = ctx_->config->fragment_cluster_factor;
+  std::vector<FragId> current;
+  current.reserve(static_cast<std::size_t>(cluster));
+  plan_->ForEachFragment([&](FragId id) {
+    current.push_back(id);
+    if (static_cast<int>(current.size()) == cluster) {
+      tasks_.push_back(current);
+      current.clear();
+    }
+  });
+  if (!current.empty()) tasks_.push_back(std::move(current));
+  remaining_tasks_ = tasks_.size();
+
+  if (ctx_->config->architecture == Architecture::kSharedNothing) {
+    // Shared Nothing: a task must run on the node owning its fragment's
+    // disk (all fragments of a cluster share that disk).
+    node_tasks_.assign(static_cast<std::size_t>(ctx_->config->num_nodes),
+                       {});
+    node_cursor_.assign(static_cast<std::size_t>(ctx_->config->num_nodes),
+                        0);
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      const int disk =
+          ctx_->allocation->DiskOfFragment(tasks_[i].front());
+      node_tasks_[static_cast<std::size_t>(
+                      ctx_->config->OwnerNode(disk))].push_back(i);
+    }
+  }
+}
+
+bool QueryCoordinator::HasTaskFor(int node) const {
+  if (ctx_->config->architecture == Architecture::kSharedNothing) {
+    const auto n = static_cast<std::size_t>(node);
+    return node_cursor_[n] < node_tasks_[n].size();
+  }
+  return next_task_ < tasks_.size();
+}
+
+std::int64_t QueryCoordinator::NextTaskFor(int node) {
+  if (!HasTaskFor(node)) return -1;
+  if (ctx_->config->architecture == Architecture::kSharedNothing) {
+    const auto n = static_cast<std::size_t>(node);
+    return static_cast<std::int64_t>(node_tasks_[n][node_cursor_[n]++]);
+  }
+  return static_cast<std::int64_t>(next_task_++);
+}
+
+bool QueryCoordinator::NodeAvailable(int node) const {
+  if (ctx_->config->global_task_cap > 0 &&
+      ctx_->global_active >= ctx_->config->global_task_cap) {
+    return false;
+  }
+  return ctx_->node_active[static_cast<std::size_t>(node)] <
+         ctx_->config->tasks_per_node;
+}
+
+void QueryCoordinator::TryAssign() {
+  if (assigning_ || finished_) return;
+  if (remaining_tasks_ == 0) {
+    if (outstanding_ == 0) Finish();
+    return;
+  }
+  const int p = ctx_->config->num_nodes;
+  for (int step = 0; step < p; ++step) {
+    const int node = (rr_node_ + step) % p;
+    if (NodeAvailable(node) && HasTaskFor(node)) {
+      rr_node_ = (node + 1) % p;
+      const std::int64_t task = NextTaskFor(node);
+      AssignTo(node, static_cast<std::size_t>(task));
+      return;
+    }
+  }
+  // No assignable (node, task) pair: park until any query releases a slot.
+  if (!waiting_for_slot_) {
+    waiting_for_slot_ = true;
+    ctx_->slot_waiters.push_back(this);
+  }
+}
+
+void QueryCoordinator::AssignTo(int node, std::size_t task_index) {
+  MDW_CHECK(remaining_tasks_ > 0, "no task left to assign");
+  assigning_ = true;
+  --remaining_tasks_;
+  ++ctx_->node_active[static_cast<std::size_t>(node)];
+  ++ctx_->global_active;
+  ++outstanding_;
+  const auto& costs = ctx_->config->cpu;
+  const std::int64_t msg_bytes = ctx_->config->small_message_bytes;
+
+  // Coordinator CPU sends the assignment message, the wire carries it,
+  // the worker CPU receives it and starts the subquery.
+  ctx_->cpu(coordinator_node_)
+      .Execute(costs.MessageInstructions(msg_bytes), [this, node,
+                                                      task_index]() {
+        // The coordinator may dispatch the next task while this message
+        // travels.
+        assigning_ = false;
+        TryAssign();
+        ctx_->network->Transfer(
+            ctx_->config->small_message_bytes, [this, node, task_index]() {
+              const auto& c = ctx_->config->cpu;
+              ctx_->cpu(node).Execute(
+                  c.MessageInstructions(ctx_->config->small_message_bytes),
+                  [this, node, task_index]() {
+                    auto* subquery = new SubqueryExec(
+                        ctx_, work_, tasks_[task_index], node,
+                        [this, node]() { SendResult(node); });
+                    subquery->Start();
+                  });
+            });
+      });
+}
+
+void QueryCoordinator::SendResult(int node) {
+  // Worker sends the partial aggregate back to the coordinator.
+  const auto& costs = ctx_->config->cpu;
+  const std::int64_t bytes = ctx_->config->small_message_bytes;
+  ctx_->cpu(node).Execute(costs.MessageInstructions(bytes),
+                          [this, node, bytes]() {
+                            ctx_->network->Transfer(bytes, [this, node]() {
+                              OnResultArrived(node);
+                            });
+                          });
+}
+
+void QueryCoordinator::OnResultArrived(int node) {
+  const auto& costs = ctx_->config->cpu;
+  ctx_->cpu(coordinator_node_)
+      .Execute(
+          costs.MessageInstructions(ctx_->config->small_message_bytes),
+          [this, node]() {
+            --ctx_->node_active[static_cast<std::size_t>(node)];
+            --ctx_->global_active;
+            --outstanding_;
+            TryAssign();  // also detects completion of the whole query
+            NotifySlotFreed(ctx_);
+          });
+}
+
+void QueryCoordinator::Finish() {
+  finished_ = true;
+  ctx_->cpu(coordinator_node_)
+      .Execute(static_cast<double>(ctx_->config->cpu.terminate_query),
+               [this]() {
+                 --ctx_->node_active[static_cast<std::size_t>(
+                     coordinator_node_)];
+                 NotifySlotFreed(ctx_);
+                 done_(ctx_->queue->now() - submit_time_);
+               });
+}
+
+}  // namespace mdw

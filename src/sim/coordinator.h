@@ -1,0 +1,74 @@
+#ifndef MDW_SIM_COORDINATOR_H_
+#define MDW_SIM_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/subquery.h"
+
+namespace mdw {
+
+/// Wakes every coordinator waiting for a free task slot (multi-user mode:
+/// a slot released by one query may unblock another).
+void NotifySlotFreed(SimContext* ctx);
+
+/// Coordinates one star query (paper Sec. 5): plans the query on a
+/// coordinator node, builds the task list of subqueries sorted in
+/// allocation order (so consecutive subqueries hit different disks),
+/// assigns tasks round-robin to nodes with at most `tasks_per_node`
+/// concurrent tasks each (the coordination itself occupying one slot on
+/// the coordinator node), gathers partial aggregates, and reports the
+/// query response time. Message CPU and wire costs are charged per
+/// assignment and per result. The caller owns the coordinator and must
+/// keep it alive until `done` has run.
+class QueryCoordinator {
+ public:
+  /// `plan` must outlive the query. `done(response_ms)` runs at query
+  /// completion.
+  QueryCoordinator(SimContext* ctx, const QueryPlan* plan,
+                   const SubqueryWork* work, int coordinator_node,
+                   std::function<void(double)> done);
+
+  /// Submits the query at the current simulated time.
+  void Submit();
+
+ private:
+  void BuildTasks();
+  void TryAssign();
+  bool NodeAvailable(int node) const;
+  /// Pops the next task assignable to `node` (Shared Disk: the global
+  /// list head; Shared Nothing: the node's own queue), or -1.
+  std::int64_t NextTaskFor(int node);
+  bool HasTaskFor(int node) const;
+  void AssignTo(int node, std::size_t task_index);
+  void SendResult(int node);
+  void OnResultArrived(int node);
+  void Finish();
+
+  SimContext* ctx_;
+  const QueryPlan* plan_;
+  const SubqueryWork* work_;
+  int coordinator_node_;
+  std::function<void(double)> done_;
+
+  SimTime submit_time_ = 0;
+  std::vector<std::vector<FragId>> tasks_;  ///< fragment cluster per task
+  std::size_t next_task_ = 0;               ///< Shared Disk cursor
+  /// Shared Nothing: per-node task queues (tasks are pinned to the node
+  /// owning their fragments' disk); cursor per node.
+  std::vector<std::vector<std::size_t>> node_tasks_;
+  std::vector<std::size_t> node_cursor_;
+  std::size_t remaining_tasks_ = 0;
+  int outstanding_ = 0;
+  int rr_node_ = 0;
+  bool assigning_ = false;
+  bool waiting_for_slot_ = false;
+  bool finished_ = false;
+
+  friend void NotifySlotFreed(SimContext* ctx);
+};
+
+}  // namespace mdw
+
+#endif  // MDW_SIM_COORDINATOR_H_

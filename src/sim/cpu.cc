@@ -1,0 +1,18 @@
+#include "sim/cpu.h"
+
+#include "common/check.h"
+
+namespace mdw {
+
+Cpu::Cpu(EventQueue* queue, CpuCosts costs, std::string name)
+    : costs_(costs), server_(queue, std::move(name)) {
+  MDW_CHECK(costs_.mips > 0, "CPU speed must be positive");
+}
+
+void Cpu::Execute(double instructions, std::function<void()> done) {
+  MDW_CHECK(instructions >= 0, "negative instruction demand");
+  const double demand = costs_.MsFor(instructions);
+  server_.Request([demand]() { return demand; }, std::move(done));
+}
+
+}  // namespace mdw

@@ -1,0 +1,61 @@
+#ifndef MDW_SIM_CPU_H_
+#define MDW_SIM_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/resource.h"
+
+namespace mdw {
+
+/// CPU cost parameters in instructions (paper Table 4).
+struct CpuCosts {
+  double mips = 50.0;  ///< node speed: 50 MIPS
+
+  std::int64_t initiate_query = 50'000;
+  std::int64_t terminate_query = 10'000;
+  std::int64_t initiate_subquery = 10'000;
+  std::int64_t terminate_subquery = 10'000;
+  std::int64_t read_page = 3'000;
+  std::int64_t process_bitmap_page = 1'500;
+  std::int64_t extract_row = 100;
+  std::int64_t aggregate_row = 100;
+  /// send/receive: 1,000 instructions + 1 per message byte
+  std::int64_t message_base = 1'000;
+
+  double MsFor(double instructions) const {
+    return instructions / (mips * 1'000.0);
+  }
+  /// Instructions to send or receive a message: 1,000 + one per byte.
+  double MessageInstructions(std::int64_t bytes) const {
+    return static_cast<double>(message_base + bytes);
+  }
+  double MessageMs(std::int64_t bytes) const {
+    return MsFor(MessageInstructions(bytes));
+  }
+};
+
+/// One processing node's CPU: an FCFS server executing instruction
+/// demands. All query processing steps (Table 4) are charged here.
+class Cpu {
+ public:
+  Cpu(EventQueue* queue, CpuCosts costs, std::string name);
+
+  /// Executes `instructions` and then `done`.
+  void Execute(double instructions, std::function<void()> done);
+
+  const CpuCosts& costs() const { return costs_; }
+  double busy_ms() const { return server_.busy_ms(); }
+  double Utilization(SimTime horizon) const {
+    return server_.Utilization(horizon);
+  }
+
+ private:
+  CpuCosts costs_;
+  FcfsServer server_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_SIM_CPU_H_

@@ -1,0 +1,49 @@
+#include "sim/disk.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace mdw {
+
+Disk::Disk(EventQueue* queue, DiskParams params, std::int64_t total_pages,
+           std::string name)
+    : params_(params),
+      total_pages_(std::max<std::int64_t>(total_pages, 1)),
+      pages_per_track_(std::max<std::int64_t>(
+          CeilDiv(total_pages_, params.tracks), 1)),
+      server_(queue, std::move(name)) {
+  MDW_CHECK(params_.tracks >= 1, "disk needs at least one track");
+}
+
+std::int64_t Disk::TrackOf(std::int64_t page) const {
+  return std::min(page / pages_per_track_, params_.tracks - 1);
+}
+
+double Disk::ServiceTime(std::int64_t start_page, std::int64_t pages) {
+  const std::int64_t target = TrackOf(start_page);
+  const std::int64_t distance = std::llabs(target - head_track_);
+  double seek = 0;
+  if (distance > 0) {
+    seek = params_.min_seek_ms +
+           (MaxSeekMs() - params_.min_seek_ms) *
+               static_cast<double>(distance) /
+               static_cast<double>(params_.tracks);
+  }
+  head_track_ = TrackOf(start_page + pages);
+  return seek + params_.settle_ms +
+         params_.per_page_ms * static_cast<double>(pages);
+}
+
+void Disk::Read(std::int64_t start_page, std::int64_t pages,
+                std::function<void()> done) {
+  MDW_CHECK(pages >= 1, "read must transfer at least one page");
+  pages_read_ += pages;
+  server_.Request(
+      [this, start_page, pages]() { return ServiceTime(start_page, pages); },
+      std::move(done));
+}
+
+}  // namespace mdw

@@ -1,0 +1,72 @@
+#ifndef MDW_SIM_DISK_H_
+#define MDW_SIM_DISK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/resource.h"
+
+namespace mdw {
+
+/// Disk timing parameters (paper Table 4): average seek 10 ms, settle +
+/// controller delay 3 ms per access plus 1 ms per page transferred.
+/// Seek time varies with track distance (the paper stresses that its disk
+/// model "calculates varying seek times based on track positions rather
+/// than giving constant or stochastically distributed response times");
+/// we model seek(dist) = min + (max - min) * dist / max_track with
+/// min = 2 ms and max chosen so that a uniformly random seek averages
+/// `avg_seek_ms` (E[dist/max_track] = 1/3 for independent uniform track
+/// positions): max = min + 3 * (avg - min).
+struct DiskParams {
+  double avg_seek_ms = 10.0;
+  double min_seek_ms = 2.0;
+  double settle_ms = 3.0;        ///< settle + controller delay per access
+  double per_page_ms = 1.0;      ///< transfer per page
+  std::int64_t tracks = 20'000;  ///< tracks per disk surface
+};
+
+/// One disk device: an FCFS server whose service time is
+/// seek(track distance) + settle + pages * transfer. The head position
+/// advances to the end of each read, so consecutive reads of adjacent
+/// extents pay (almost) no seek — this produces the paper's superlinear
+/// speed-up when the same data is spread over more disks.
+class Disk {
+ public:
+  /// `total_pages` is the disk's occupied capacity, used to map page
+  /// offsets to tracks.
+  Disk(EventQueue* queue, DiskParams params, std::int64_t total_pages,
+       std::string name);
+
+  /// Reads `pages` consecutive pages starting at `start_page`.
+  void Read(std::int64_t start_page, std::int64_t pages,
+            std::function<void()> done);
+
+  double MaxSeekMs() const {
+    return params_.min_seek_ms +
+           3.0 * (params_.avg_seek_ms - params_.min_seek_ms);
+  }
+
+  std::int64_t TrackOf(std::int64_t page) const;
+
+  double busy_ms() const { return server_.busy_ms(); }
+  std::int64_t io_count() const { return server_.completed(); }
+  std::int64_t pages_read() const { return pages_read_; }
+  double Utilization(SimTime horizon) const {
+    return server_.Utilization(horizon);
+  }
+
+ private:
+  double ServiceTime(std::int64_t start_page, std::int64_t pages);
+
+  DiskParams params_;
+  std::int64_t total_pages_;
+  std::int64_t pages_per_track_;
+  std::int64_t head_track_ = 0;
+  std::int64_t pages_read_ = 0;
+  FcfsServer server_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_SIM_DISK_H_

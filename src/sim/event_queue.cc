@@ -1,0 +1,34 @@
+#include "sim/event_queue.h"
+
+#include "common/check.h"
+
+namespace mdw {
+
+void EventQueue::ScheduleAt(SimTime t, std::function<void()> fn) {
+  MDW_CHECK(t >= now_, "cannot schedule events in the past");
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  MDW_CHECK(delay >= 0, "negative delay");
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is safe here
+  // because we pop immediately afterwards.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = event.time;
+  ++events_processed_;
+  event.fn();
+  return true;
+}
+
+void EventQueue::RunUntilEmpty() {
+  while (RunOne()) {
+  }
+}
+
+}  // namespace mdw

@@ -1,0 +1,59 @@
+#ifndef MDW_SIM_EVENT_QUEUE_H_
+#define MDW_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mdw {
+
+/// Simulated time in milliseconds.
+using SimTime = double;
+
+/// The discrete-event engine at the heart of the simulator — our
+/// replacement for the commercial CSIM library the paper used. Events are
+/// (time, callback) pairs executed in non-decreasing time order; equal
+/// times break ties by insertion order so runs are fully deterministic.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now).
+  void ScheduleAt(SimTime t, std::function<void()> fn);
+  /// Schedules `fn` to run `delay` ms from now.
+  void ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Runs the earliest event; returns false if the queue is empty.
+  bool RunOne();
+  /// Runs events until the queue drains.
+  void RunUntilEmpty();
+
+  std::int64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,22 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mdw {
+
+void SummarizeResponses(SimResult* result) {
+  const auto& r = result->response_ms;
+  if (r.empty()) {
+    result->avg_response_ms = 0;
+    result->min_response_ms = 0;
+    result->max_response_ms = 0;
+    return;
+  }
+  result->avg_response_ms =
+      std::accumulate(r.begin(), r.end(), 0.0) / static_cast<double>(r.size());
+  result->min_response_ms = *std::min_element(r.begin(), r.end());
+  result->max_response_ms = *std::max_element(r.begin(), r.end());
+}
+
+}  // namespace mdw

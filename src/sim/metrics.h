@@ -1,0 +1,49 @@
+#ifndef MDW_SIM_METRICS_H_
+#define MDW_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mdw {
+
+/// Aggregated outcome of one simulation run.
+struct SimResult {
+  std::vector<double> response_ms;  ///< per query, in submission order
+
+  double avg_response_ms = 0;
+  double min_response_ms = 0;
+  double max_response_ms = 0;
+  double makespan_ms = 0;  ///< completion time of the last query
+
+  double avg_disk_utilization = 0;
+  double max_disk_utilization = 0;
+  double avg_cpu_utilization = 0;
+  double max_cpu_utilization = 0;
+  /// Load imbalance: busiest device / average device (1.0 = perfectly
+  /// balanced). The paper's Shared Disk argument is precisely that this
+  /// stays near 1 even under skew.
+  double disk_imbalance = 1.0;
+  double cpu_imbalance = 1.0;
+
+  std::int64_t disk_ios = 0;
+  std::int64_t disk_pages = 0;
+  std::int64_t messages = 0;
+  std::int64_t buffer_hits = 0;
+  std::int64_t subqueries = 0;
+  std::int64_t events = 0;
+
+  /// Queries completed per second of simulated time (multi-user metric).
+  double ThroughputPerSecond() const {
+    return makespan_ms <= 0
+               ? 0
+               : static_cast<double>(response_ms.size()) * 1000.0 /
+                     makespan_ms;
+  }
+};
+
+/// Fills the avg/min/max response fields from `response_ms`.
+void SummarizeResponses(SimResult* result);
+
+}  // namespace mdw
+
+#endif  // MDW_SIM_METRICS_H_

@@ -1,0 +1,24 @@
+#include "sim/network.h"
+
+#include "common/check.h"
+
+namespace mdw {
+
+Network::Network(EventQueue* queue, double mbit_per_s)
+    : queue_(queue), mbit_per_s_(mbit_per_s) {
+  MDW_CHECK(queue_ != nullptr, "network needs an event queue");
+  MDW_CHECK(mbit_per_s_ > 0, "network speed must be positive");
+}
+
+double Network::WireDelayMs(std::int64_t bytes) const {
+  // bytes * 8 bits / (mbit/s * 1e6 bit/s) seconds -> ms
+  return static_cast<double>(bytes) * 8.0 / (mbit_per_s_ * 1'000.0);
+}
+
+void Network::Transfer(std::int64_t bytes, std::function<void()> done) {
+  ++messages_;
+  bytes_sent_ += bytes;
+  queue_->ScheduleAfter(WireDelayMs(bytes), std::move(done));
+}
+
+}  // namespace mdw

@@ -1,0 +1,36 @@
+#ifndef MDW_SIM_NETWORK_H_
+#define MDW_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace mdw {
+
+/// The paper's idealised, contention-free network: transfer delay is
+/// proportional to message size at `mbit_per_s` (100 Mbit/s in Table 4);
+/// no queueing, no topology. CPU send/receive costs are charged separately
+/// on the nodes (CpuCosts::MessageMs).
+class Network {
+ public:
+  Network(EventQueue* queue, double mbit_per_s);
+
+  /// Delivers `done` after the wire delay of a `bytes`-sized message.
+  void Transfer(std::int64_t bytes, std::function<void()> done);
+
+  double WireDelayMs(std::int64_t bytes) const;
+
+  std::int64_t messages() const { return messages_; }
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  EventQueue* queue_;
+  double mbit_per_s_;
+  std::int64_t messages_ = 0;
+  std::int64_t bytes_sent_ = 0;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_SIM_NETWORK_H_

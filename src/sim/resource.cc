@@ -1,0 +1,36 @@
+#include "sim/resource.h"
+
+#include "common/check.h"
+
+namespace mdw {
+
+FcfsServer::FcfsServer(EventQueue* queue, std::string name)
+    : queue_(queue), name_(std::move(name)) {
+  MDW_CHECK(queue_ != nullptr, "server needs an event queue");
+}
+
+void FcfsServer::Request(std::function<double()> demand_ms,
+                         std::function<void()> done) {
+  pending_.push_back(Pending{std::move(demand_ms), std::move(done)});
+  if (!busy_) StartNext();
+}
+
+void FcfsServer::StartNext() {
+  if (pending_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Pending job = std::move(pending_.front());
+  pending_.pop_front();
+  const double demand = job.demand_ms();
+  MDW_CHECK(demand >= 0, "negative service demand");
+  busy_ms_ += demand;
+  queue_->ScheduleAfter(demand, [this, done = std::move(job.done)]() {
+    ++completed_;
+    done();
+    StartNext();
+  });
+}
+
+}  // namespace mdw

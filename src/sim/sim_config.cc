@@ -1,0 +1,49 @@
+#include "sim/sim_config.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace mdw {
+
+const char* ToString(Architecture a) {
+  switch (a) {
+    case Architecture::kSharedDisk: return "Shared Disk";
+    case Architecture::kSharedNothing: return "Shared Nothing";
+  }
+  return "?";
+}
+
+void SimConfig::Validate() const {
+  MDW_CHECK(num_disks >= 1, "need at least one disk");
+  MDW_CHECK(num_nodes >= 1, "need at least one node");
+  MDW_CHECK(tasks_per_node >= 1, "need at least one task per node");
+  MDW_CHECK(global_task_cap >= 0, "global task cap must be non-negative");
+  MDW_CHECK(fact_prefetch_pages >= 1 && bitmap_prefetch_pages >= 1,
+            "prefetch granules must be positive");
+  MDW_CHECK(fact_buffer_pages >= fact_prefetch_pages,
+            "fact buffer smaller than one prefetch granule");
+  MDW_CHECK(bitmap_buffer_pages >= bitmap_prefetch_pages,
+            "bitmap buffer smaller than one prefetch granule");
+  MDW_CHECK(fragment_cluster_factor >= 1,
+            "cluster factor must be at least 1");
+  MDW_CHECK(fragment_skew_theta >= 0.0 && fragment_skew_theta < 1.0,
+            "skew theta must be in [0, 1)");
+  if (architecture == Architecture::kSharedNothing) {
+    MDW_CHECK(num_disks % num_nodes == 0,
+              "Shared Nothing assumes disks evenly divided among nodes");
+    MDW_CHECK(bitmap_placement != BitmapPlacement::kStaggered,
+              "Shared Nothing cannot stagger bitmaps across nodes; use "
+              "kSameNode or kSameDisk (paper footnote 3)");
+  }
+}
+
+std::string SimConfig::Label() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "d=%d p=%d t=%d %s bitmap-io",
+                num_disks, num_nodes, tasks_per_node,
+                parallel_bitmap_io ? "parallel" : "serial");
+  return buf;
+}
+
+}  // namespace mdw

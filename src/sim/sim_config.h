@@ -1,0 +1,82 @@
+#ifndef MDW_SIM_SIM_CONFIG_H_
+#define MDW_SIM_SIM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "alloc/disk_allocation.h"
+#include "sim/cpu.h"
+#include "sim/disk.h"
+
+namespace mdw {
+
+/// PDBS architecture (paper Sec. 1): Shared Disk is the paper's focus
+/// (every node reaches every disk, subqueries go anywhere); Shared
+/// Nothing pins each disk to one owner node (disk % p) and subqueries
+/// must run on the node owning their fragment's disk — no dynamic load
+/// balancing (paper Sec. 2 and footnote 3).
+enum class Architecture {
+  kSharedDisk,
+  kSharedNothing,
+};
+
+const char* ToString(Architecture a);
+
+/// Full configuration of a SIMPAD run: hardware sizes, the device and CPU
+/// parameters of paper Table 4, buffer/prefetch settings, and the
+/// allocation/processing policies evaluated in Sec. 6.
+struct SimConfig {
+  // ---- architecture ----
+  Architecture architecture = Architecture::kSharedDisk;
+
+  // ---- hardware ----
+  int num_disks = 100;
+  int num_nodes = 20;
+  /// Max concurrent tasks per node, t. A query's coordination itself
+  /// occupies one task slot on its coordinator node (Sec. 5).
+  int tasks_per_node = 4;
+  /// Optional global cap on concurrent subqueries across all nodes
+  /// (0 = unlimited); the x-axis control of Fig. 6.
+  int global_task_cap = 0;
+
+  // ---- devices ----
+  DiskParams disk;
+  CpuCosts cpu;
+  double network_mbit_per_s = 100.0;
+  std::int64_t small_message_bytes = 128;
+
+  // ---- buffer manager ----
+  std::int64_t fact_buffer_pages = 1'000;
+  std::int64_t bitmap_buffer_pages = 5'000;
+  int fact_prefetch_pages = 8;
+  int bitmap_prefetch_pages = 5;
+
+  // ---- policies ----
+  /// Read the bitmap fragments of a subquery concurrently (Sec. 6.2)?
+  bool parallel_bitmap_io = true;
+  BitmapPlacement bitmap_placement = BitmapPlacement::kStaggered;
+  /// Gap scheme of Sec. 4.6 (0 = plain round robin).
+  int round_gap = 0;
+  /// Fragments processed per subquery (Sec. 6.3 outlook; 1 = paper).
+  int fragment_cluster_factor = 1;
+
+  /// Data skew across fragments (Sec. 7 future work): per-fragment hit
+  /// counts are scaled by Zipf-like weights with parameter theta in
+  /// [0, 1); 0 = uniform (the paper's setting). Total hits are preserved.
+  double fragment_skew_theta = 0.0;
+
+  std::uint64_t seed = 42;
+
+  /// Owner node of a disk under Shared Nothing.
+  int OwnerNode(int disk) const { return disk % num_nodes; }
+
+  /// Aborts on inconsistent settings.
+  void Validate() const;
+
+  /// Short human-readable summary ("d=100 p=20 t=4 ...").
+  std::string Label() const;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_SIM_SIM_CONFIG_H_

@@ -1,0 +1,194 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "fragment/bitmap_elimination.h"
+#include "fragment/query_planner.h"
+#include "sim/coordinator.h"
+#include "sim/subquery.h"
+
+namespace mdw {
+
+Simulator::Simulator(const StarSchema* schema,
+                     const Fragmentation* fragmentation, SimConfig config)
+    : schema_(schema), fragmentation_(fragmentation), config_(config) {
+  MDW_CHECK(schema_ != nullptr && fragmentation_ != nullptr,
+            "simulator needs schema and fragmentation");
+  MDW_CHECK(&fragmentation_->schema() == schema_,
+            "fragmentation must belong to the schema");
+  config_.Validate();
+}
+
+SimResult Simulator::RunSingleUser(const std::vector<StarQuery>& queries) {
+  return Run(queries, /*streams=*/1);
+}
+
+SimResult Simulator::RunMultiUser(const std::vector<StarQuery>& queries,
+                                  int streams) {
+  MDW_CHECK(streams >= 1, "need at least one stream");
+  return Run(queries, streams);
+}
+
+SimResult Simulator::Run(const std::vector<StarQuery>& queries,
+                         int streams) {
+  MDW_CHECK(!queries.empty(), "no queries to run");
+
+  // ---- plans and per-query subquery work ----
+  const QueryPlanner planner(schema_, fragmentation_);
+  std::vector<QueryPlan> plans;
+  std::vector<SubqueryWork> works;
+  plans.reserve(queries.size());
+  works.reserve(queries.size());
+  int max_bitmaps_per_fragment = 0;
+  for (const auto& q : queries) {
+    plans.push_back(planner.Plan(q));
+    works.push_back(MakeSubqueryWork(plans.back(), config_));
+    max_bitmaps_per_fragment =
+        std::max(max_bitmaps_per_fragment, works.back().bitmaps);
+  }
+
+  // ---- physical allocation ----
+  const int materialized_bitmaps =
+      std::max(RemainingBitmapCount(*fragmentation_),
+               max_bitmaps_per_fragment);
+  AllocationConfig alloc_config;
+  alloc_config.num_disks = config_.num_disks;
+  alloc_config.bitmap_placement = config_.bitmap_placement;
+  alloc_config.round_gap = config_.round_gap;
+  alloc_config.cluster_factor = config_.fragment_cluster_factor;
+  alloc_config.node_count = config_.num_nodes;
+  const DiskAllocation allocation(fragmentation_, alloc_config,
+                                  materialized_bitmaps);
+
+  // ---- on-disk layout and devices ----
+  EventQueue queue;
+  SimContext ctx;
+  ctx.queue = &queue;
+  ctx.config = &config_;
+  ctx.allocation = &allocation;
+
+  const std::int64_t cluster = config_.fragment_cluster_factor;
+  ctx.frag_extent_pages = static_cast<std::int64_t>(std::ceil(
+      fragmentation_->TuplesPerFragment() /
+      static_cast<double>(schema_->physical().TuplesPerPage())));
+  // Bitmap extents are cluster-sized: the bitmap fragments of clustered
+  // fragments are stored (and read) contiguously.
+  ctx.bitmap_extent_pages = static_cast<std::int64_t>(std::max(
+      1.0, std::ceil(fragmentation_->BitmapFragmentPages() *
+                     static_cast<double>(cluster))));
+  const std::int64_t clusters =
+      CeilDiv(fragmentation_->FragmentCount(), cluster);
+  const std::int64_t rounds = CeilDiv(clusters, config_.num_disks);
+  ctx.fact_region_pages = rounds * cluster * ctx.frag_extent_pages;
+  const std::int64_t total_pages =
+      ctx.fact_region_pages +
+      rounds * materialized_bitmaps * ctx.bitmap_extent_pages;
+
+  std::vector<std::unique_ptr<Disk>> disks;
+  for (int i = 0; i < config_.num_disks; ++i) {
+    disks.push_back(std::make_unique<Disk>(&queue, config_.disk, total_pages,
+                                           "disk" + std::to_string(i)));
+  }
+  std::vector<std::unique_ptr<Cpu>> cpus;
+  std::vector<std::unique_ptr<BufferManager>> fact_buffers;
+  std::vector<std::unique_ptr<BufferManager>> bitmap_buffers;
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    cpus.push_back(std::make_unique<Cpu>(&queue, config_.cpu,
+                                         "cpu" + std::to_string(i)));
+    fact_buffers.push_back(
+        std::make_unique<BufferManager>(config_.fact_buffer_pages));
+    bitmap_buffers.push_back(
+        std::make_unique<BufferManager>(config_.bitmap_buffer_pages));
+  }
+  Network network(&queue, config_.network_mbit_per_s);
+  Rng rng(config_.seed);
+
+  ctx.disks = &disks;
+  ctx.cpus = &cpus;
+  ctx.network = &network;
+  ctx.fact_buffers = &fact_buffers;
+  ctx.bitmap_buffers = &bitmap_buffers;
+  ctx.rng = &rng;
+  ctx.node_active.assign(static_cast<std::size_t>(config_.num_nodes), 0);
+
+  // ---- streams: round-robin distribution of the query list ----
+  SimResult result;
+  std::vector<std::vector<std::size_t>> stream_queries(
+      static_cast<std::size_t>(streams));
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    stream_queries[i % static_cast<std::size_t>(streams)].push_back(i);
+  }
+
+  // Submits stream `s`'s `pos`-th query; chains the next one on completion.
+  // Coordinators stay alive until the run ends (they may still sit on the
+  // slot-waiter list after finishing).
+  std::vector<std::unique_ptr<QueryCoordinator>> coordinators;
+  coordinators.reserve(queries.size());
+  std::function<void(std::size_t, std::size_t)> submit =
+      [&](std::size_t s, std::size_t pos) {
+        if (pos >= stream_queries[s].size()) return;
+        const std::size_t qi = stream_queries[s][pos];
+        const int coordinator = static_cast<int>(
+            rng.Uniform(0, config_.num_nodes - 1));
+        coordinators.push_back(std::make_unique<QueryCoordinator>(
+            &ctx, &plans[qi], &works[qi], coordinator,
+            [&, s, pos](double response_ms) {
+              result.response_ms.push_back(response_ms);
+              submit(s, pos + 1);
+            }));
+        coordinators.back()->Submit();
+      };
+  for (std::size_t s = 0; s < stream_queries.size(); ++s) {
+    if (!stream_queries[s].empty()) submit(s, 0);
+  }
+
+  queue.RunUntilEmpty();
+
+  // ---- gather metrics ----
+  result.makespan_ms = queue.now();
+  SummarizeResponses(&result);
+  double disk_util_sum = 0;
+  for (const auto& d : disks) {
+    result.disk_ios += d->io_count();
+    result.disk_pages += d->pages_read();
+    const double u = d->Utilization(result.makespan_ms);
+    disk_util_sum += u;
+    result.max_disk_utilization = std::max(result.max_disk_utilization, u);
+  }
+  result.avg_disk_utilization =
+      disk_util_sum / static_cast<double>(config_.num_disks);
+  if (result.avg_disk_utilization > 0) {
+    result.disk_imbalance =
+        result.max_disk_utilization / result.avg_disk_utilization;
+  }
+  double cpu_util_sum = 0;
+  for (const auto& c : cpus) {
+    const double u = c->Utilization(result.makespan_ms);
+    cpu_util_sum += u;
+    result.max_cpu_utilization = std::max(result.max_cpu_utilization, u);
+  }
+  result.avg_cpu_utilization =
+      cpu_util_sum / static_cast<double>(config_.num_nodes);
+  if (result.avg_cpu_utilization > 0) {
+    result.cpu_imbalance =
+        result.max_cpu_utilization / result.avg_cpu_utilization;
+  }
+  for (const auto& b : fact_buffers) result.buffer_hits += b->hits();
+  for (const auto& b : bitmap_buffers) result.buffer_hits += b->hits();
+  result.messages = network.messages();
+  result.subqueries = ctx.subqueries_started;
+  result.events = queue.events_processed();
+
+  MDW_CHECK(result.response_ms.size() == queries.size(),
+            "every query must complete");
+  MDW_CHECK(ctx.global_active == 0, "task accounting leaked");
+  return result;
+}
+
+}  // namespace mdw

@@ -1,0 +1,283 @@
+#include "sim/subquery.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace mdw {
+
+double SubqueryWork::SkewWeight(FragId id) const {
+  if (skew_theta <= 0.0 || skew_fragments <= 1) return 1.0;
+  const auto rank = static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(id) * 2654435761ULL) %
+      static_cast<std::uint64_t>(skew_fragments));
+  return skew_norm * std::pow(static_cast<double>(rank + 1), -skew_theta);
+}
+
+SubqueryWork MakeSubqueryWork(const QueryPlan& plan,
+                              const SimConfig& config) {
+  const Fragmentation& frag = plan.fragmentation();
+  const StarSchema& schema = frag.schema();
+  SubqueryWork work;
+
+  work.fact_granule = config.fact_prefetch_pages;
+  work.frag_pages = static_cast<std::int64_t>(
+      std::ceil(frag.TuplesPerFragment() /
+                static_cast<double>(schema.physical().TuplesPerPage())));
+  work.fact_granules_total = CeilDiv(work.frag_pages, work.fact_granule);
+  work.hits_per_fragment = plan.HitsPerFragment();
+  work.needs_bitmaps = plan.NeedsBitmaps();
+
+  if (work.needs_bitmaps) {
+    const double hit_granules = IoCostModel::ExpectedGroupsHit(
+        static_cast<double>(work.fact_granules_total),
+        work.hits_per_fragment);
+    work.fact_granules_expected = hit_granules;
+  } else {
+    work.fact_granules_expected =
+        static_cast<double>(work.fact_granules_total);
+  }
+
+  work.bitmaps = plan.BitmapsPerFragment();
+  work.bitmap_frag_pages_raw = frag.BitmapFragmentPages();
+  work.bitmap_pages = static_cast<std::int64_t>(
+      std::max(1.0, std::ceil(work.bitmap_frag_pages_raw)));
+  work.configured_bitmap_granule = config.bitmap_prefetch_pages;
+  work.bitmap_granule =
+      std::min<std::int64_t>(config.bitmap_prefetch_pages, work.bitmap_pages);
+  work.bitmap_ops_per_bitmap =
+      CeilDiv(work.bitmap_pages, work.bitmap_granule);
+
+  work.skew_theta = config.fragment_skew_theta;
+  work.skew_fragments = frag.FragmentCount();
+  if (work.skew_theta > 0.0 && work.skew_fragments > 1) {
+    // Normalise so the weights average to 1 over all fragments.
+    double sum = 0;
+    for (std::int64_t r = 0; r < work.skew_fragments; ++r) {
+      sum += std::pow(static_cast<double>(r + 1), -work.skew_theta);
+    }
+    work.skew_norm = static_cast<double>(work.skew_fragments) / sum;
+  }
+  return work;
+}
+
+SubqueryExec::SubqueryExec(SimContext* ctx, const SubqueryWork* work,
+                           std::vector<FragId> fragments, int node,
+                           std::function<void()> done)
+    : ctx_(ctx),
+      work_(work),
+      fragments_(std::move(fragments)),
+      node_(node),
+      done_(std::move(done)) {
+  MDW_CHECK(!fragments_.empty(), "subquery needs at least one fragment");
+}
+
+std::int64_t SubqueryExec::ClusterBitmapPages() const {
+  return static_cast<std::int64_t>(
+      std::max(1.0, std::ceil(work_->bitmap_frag_pages_raw *
+                              static_cast<double>(fragments_.size()))));
+}
+
+std::int64_t SubqueryExec::ClusterBitmapGranule() const {
+  return std::min<std::int64_t>(work_->configured_bitmap_granule,
+                                ClusterBitmapPages());
+}
+
+std::int64_t SubqueryExec::ClusterBitmapOps() const {
+  return CeilDiv(ClusterBitmapPages(), ClusterBitmapGranule());
+}
+
+void SubqueryExec::Start() {
+  ++ctx_->subqueries_started;
+  ctx_->cpu(node_).Execute(
+      static_cast<double>(ctx_->config->cpu.initiate_subquery), [this]() {
+        if (work_->bitmaps > 0) {
+          BitmapPhase();
+        } else {
+          FactPhase();
+        }
+      });
+}
+
+void SubqueryExec::BitmapPhase() {
+  // All fragments of the subquery share one merged bitmap extent per
+  // bitmap (identical to the per-fragment extent when cluster factor 1).
+  const FragId frag = fragments_.front();
+  const std::int64_t ops_per_bitmap = ClusterBitmapOps();
+  const std::int64_t granule = ClusterBitmapGranule();
+  const std::int64_t pages_total = ClusterBitmapPages();
+  const int total_ops =
+      work_->bitmaps * static_cast<int>(ops_per_bitmap);
+  bitmap_ops_outstanding_ = total_ops;
+  if (ctx_->config->parallel_bitmap_io) {
+    // Staggered allocation places the bitmap fragments of one fact
+    // fragment on distinct consecutive disks; issue all reads at once.
+    for (int b = 0; b < work_->bitmaps; ++b) {
+      const int disk = ctx_->allocation->DiskOfBitmapFragment(frag, b);
+      const std::int64_t extent_start =
+          ctx_->fact_region_pages +
+          ctx_->allocation->BitmapExtentOrdinal(frag, b) *
+              ctx_->bitmap_extent_pages;
+      for (std::int64_t op = 0; op < ops_per_bitmap; ++op) {
+        const std::int64_t start = extent_start + op * granule;
+        const std::int64_t pages =
+            std::min(granule, pages_total - op * granule);
+        BufferedRead(
+            /*space=*/1, disk, start, pages,
+            (*ctx_->bitmap_buffers)[static_cast<std::size_t>(node_)].get(),
+            [this, pages]() {
+              const auto& costs = ctx_->config->cpu;
+              ctx_->cpu(node_).Execute(
+                  static_cast<double>(pages) *
+                      static_cast<double>(costs.read_page +
+                                          costs.process_bitmap_page),
+                  [this]() {
+                    if (--bitmap_ops_outstanding_ == 0) FactPhase();
+                  });
+            });
+      }
+    }
+  } else {
+    SerialBitmapOp(0);
+  }
+}
+
+void SubqueryExec::SerialBitmapOp(int op_index) {
+  const std::int64_t ops_per_bitmap = ClusterBitmapOps();
+  const std::int64_t granule = ClusterBitmapGranule();
+  const std::int64_t pages_total = ClusterBitmapPages();
+  const int total_ops =
+      work_->bitmaps * static_cast<int>(ops_per_bitmap);
+  if (op_index == total_ops) {
+    FactPhase();
+    return;
+  }
+  const FragId frag = fragments_.front();
+  const int b = op_index / static_cast<int>(ops_per_bitmap);
+  const std::int64_t op = op_index % ops_per_bitmap;
+  const int disk = ctx_->allocation->DiskOfBitmapFragment(frag, b);
+  const std::int64_t extent_start =
+      ctx_->fact_region_pages +
+      ctx_->allocation->BitmapExtentOrdinal(frag, b) *
+          ctx_->bitmap_extent_pages;
+  const std::int64_t start = extent_start + op * granule;
+  const std::int64_t pages = std::min(granule, pages_total - op * granule);
+  BufferedRead(
+      /*space=*/1, disk, start, pages,
+      (*ctx_->bitmap_buffers)[static_cast<std::size_t>(node_)].get(),
+      [this, pages, op_index]() {
+        const auto& costs = ctx_->config->cpu;
+        ctx_->cpu(node_).Execute(
+            static_cast<double>(pages) *
+                static_cast<double>(costs.read_page +
+                                    costs.process_bitmap_page),
+            [this, op_index]() { SerialBitmapOp(op_index + 1); });
+      });
+}
+
+void SubqueryExec::FactPhase() {
+  const double weight = work_->SkewWeight(fragments_[current_]);
+  const double fragment_hits = work_->hits_per_fragment * weight;
+  if (work_->needs_bitmaps) {
+    // Sample the number of granules containing hits: expectation with
+    // randomised rounding so totals match the analytical model. Under
+    // skew the expectation is re-derived per fragment.
+    const double expected =
+        weight == 1.0
+            ? work_->fact_granules_expected
+            : IoCostModel::ExpectedGroupsHit(
+                  static_cast<double>(work_->fact_granules_total),
+                  fragment_hits);
+    const auto base = static_cast<std::int64_t>(std::floor(expected));
+    const double frac = expected - static_cast<double>(base);
+    fact_granules_to_read_ =
+        base + (ctx_->rng->UniformReal() < frac ? 1 : 0);
+    if (fact_granules_to_read_ > work_->fact_granules_total) {
+      fact_granules_to_read_ = work_->fact_granules_total;
+    }
+  } else {
+    fact_granules_to_read_ = work_->fact_granules_total;
+  }
+  hits_per_granule_ =
+      fact_granules_to_read_ == 0
+          ? 0
+          : fragment_hits / static_cast<double>(fact_granules_to_read_);
+  FactGranule(0);
+}
+
+void SubqueryExec::FactGranule(std::int64_t i) {
+  if (i == fact_granules_to_read_) {
+    NextFragmentOrFinish();
+    return;
+  }
+  const FragId frag = fragments_[current_];
+  const int disk = ctx_->allocation->DiskOfFragment(frag);
+  // The i-th granule read is spread evenly over the fragment's granules
+  // (hits are uniform), preserving ascending on-disk order.
+  const std::int64_t granule_index =
+      (fact_granules_to_read_ == work_->fact_granules_total)
+          ? i
+          : i * work_->fact_granules_total / fact_granules_to_read_;
+  const std::int64_t extent_start =
+      ctx_->allocation->FactExtentOrdinal(frag) * ctx_->frag_extent_pages;
+  const std::int64_t start =
+      extent_start + granule_index * work_->fact_granule;
+  const std::int64_t pages =
+      std::min(work_->fact_granule,
+               work_->frag_pages - granule_index * work_->fact_granule);
+  BufferedRead(
+      /*space=*/0, disk, start, pages,
+      (*ctx_->fact_buffers)[static_cast<std::size_t>(node_)].get(),
+      [this, pages, i]() {
+        const auto& costs = ctx_->config->cpu;
+        const double instructions =
+            static_cast<double>(pages) *
+                static_cast<double>(costs.read_page) +
+            hits_per_granule_ *
+                static_cast<double>(costs.extract_row + costs.aggregate_row);
+        ctx_->cpu(node_).Execute(instructions,
+                                 [this, i]() { FactGranule(i + 1); });
+      });
+}
+
+void SubqueryExec::NextFragmentOrFinish() {
+  if (++current_ < fragments_.size()) {
+    // The bitmap extents were already read for the whole cluster; only
+    // the next fragment's fact pages remain.
+    FactPhase();
+    return;
+  }
+  Finish();
+}
+
+void SubqueryExec::Finish() {
+  ctx_->cpu(node_).Execute(
+      static_cast<double>(ctx_->config->cpu.terminate_subquery),
+      [this]() {
+        auto done = std::move(done_);
+        delete this;
+        done();
+      });
+}
+
+void SubqueryExec::BufferedRead(int space, int disk, std::int64_t start_page,
+                                std::int64_t pages, BufferManager* pool,
+                                std::function<void()> done) {
+  const BufferManager::Key key =
+      BufferManager::MakeKey(space, disk, start_page);
+  if (pool->Lookup(key)) {
+    // Buffer hit: no disk access; deliver asynchronously to keep the
+    // control flow uniform.
+    ctx_->queue->ScheduleAfter(0, std::move(done));
+    return;
+  }
+  ctx_->disk(disk).Read(
+      start_page, pages,
+      [pool, key, pages, done = std::move(done)]() {
+        pool->Insert(key, pages);
+        done();
+      });
+}
+
+}  // namespace mdw

@@ -1,0 +1,142 @@
+#ifndef MDW_SIM_SUBQUERY_H_
+#define MDW_SIM_SUBQUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "alloc/disk_allocation.h"
+#include "common/rng.h"
+#include "cost/io_cost_model.h"
+#include "fragment/query_planner.h"
+#include "sim/buffer_manager.h"
+#include "sim/cpu.h"
+#include "sim/disk.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/sim_config.h"
+
+namespace mdw {
+
+/// Shared state of one simulation run, wired up by the Simulator and used
+/// by coordinators and subqueries.
+struct SimContext {
+  EventQueue* queue = nullptr;
+  const SimConfig* config = nullptr;
+  std::vector<std::unique_ptr<Disk>>* disks = nullptr;
+  std::vector<std::unique_ptr<Cpu>>* cpus = nullptr;
+  Network* network = nullptr;
+  /// Per-node buffer pools (fact table resp. bitmaps).
+  std::vector<std::unique_ptr<BufferManager>>* fact_buffers = nullptr;
+  std::vector<std::unique_ptr<BufferManager>>* bitmap_buffers = nullptr;
+  const DiskAllocation* allocation = nullptr;
+  Rng* rng = nullptr;
+
+  /// Concurrent tasks per node (subqueries plus one coordination slot per
+  /// active query).
+  std::vector<int> node_active;
+  /// Concurrent subqueries across all nodes (for SimConfig::global_task_cap).
+  int global_active = 0;
+  std::int64_t subqueries_started = 0;
+  /// Coordinators blocked on a free task slot; notified (via
+  /// NotifySlotFreed in coordinator.h) whenever a slot is released, so
+  /// concurrent queries cannot starve each other.
+  std::vector<class QueryCoordinator*> slot_waiters;
+
+  // ---- on-disk layout (pages, per disk) ----
+  std::int64_t frag_extent_pages = 0;    ///< pages per fact fragment extent
+  std::int64_t bitmap_extent_pages = 0;  ///< pages per bitmap fragment extent
+  std::int64_t fact_region_pages = 0;    ///< start of the bitmap region
+
+  Disk& disk(int i) { return *(*disks)[static_cast<std::size_t>(i)]; }
+  Cpu& cpu(int i) { return *(*cpus)[static_cast<std::size_t>(i)]; }
+};
+
+/// Per-query physical work description of one subquery (derived once per
+/// query from its plan; all subqueries of a query share it). Mirrors the
+/// quantities of the analytical cost model at per-fragment granularity.
+struct SubqueryWork {
+  std::int64_t frag_pages = 0;           ///< fact pages per fragment
+  std::int64_t fact_granule = 8;         ///< pages per fact prefetch I/O
+  std::int64_t fact_granules_total = 0;  ///< granules per fragment
+  /// Expected granules actually read (== total when no bitmaps needed).
+  double fact_granules_expected = 0;
+  double hits_per_fragment = 0;
+  bool needs_bitmaps = false;
+  int bitmaps = 0;                        ///< bitmap fragments per fragment
+  std::int64_t bitmap_pages = 0;          ///< pages per bitmap fragment
+  double bitmap_frag_pages_raw = 0;       ///< unrounded bitmap frag pages
+  std::int64_t bitmap_granule = 5;        ///< pages per bitmap prefetch I/O
+  std::int64_t bitmap_ops_per_bitmap = 0;
+  int configured_bitmap_granule = 5;      ///< SimConfig prefetch setting
+
+  // ---- data skew (SimConfig::fragment_skew_theta) ----
+  double skew_theta = 0;        ///< 0 = uniform hits across fragments
+  double skew_norm = 1;         ///< normaliser keeping total hits constant
+  std::int64_t skew_fragments = 0;  ///< fragment count of the fragmentation
+
+  /// Zipf-like hit weight of a fragment (1.0 under uniformity). Fragment
+  /// ids are hashed so hot fragments scatter across disks.
+  double SkewWeight(FragId id) const;
+};
+
+/// Derives the subquery work template from a plan (same formulas as
+/// IoCostModel, at per-fragment granularity).
+SubqueryWork MakeSubqueryWork(const QueryPlan& plan, const SimConfig& config);
+
+/// Executes one subquery: processes one or more fact fragments (more than
+/// one only with fragment clustering) with their bitmap fragments on a
+/// fixed node, following Sec. 4.3 step 4: read + process bitmap fragments
+/// (in parallel or serially per SimConfig), then fetch the fact granules
+/// containing hits and extract/aggregate rows. Self-deletes after invoking
+/// `done` (which runs on the worker node after the terminate-subquery CPU
+/// charge).
+class SubqueryExec {
+ public:
+  SubqueryExec(SimContext* ctx, const SubqueryWork* work,
+               std::vector<FragId> fragments, int node,
+               std::function<void()> done);
+
+  void Start();
+
+ private:
+  /// Reads the cluster's bitmap extents (once per subquery: with fragment
+  /// clustering the bitmap fragments of all clustered fragments are
+  /// stored contiguously and read together, Sec. 6.3).
+  void BitmapPhase();
+  void SerialBitmapOp(int op_index);
+  void FactPhase();
+  void FactGranule(std::int64_t i);
+  void NextFragmentOrFinish();
+  void Finish();
+
+  /// Pages of one merged bitmap extent for this subquery's cluster.
+  std::int64_t ClusterBitmapPages() const;
+  /// Effective prefetch granule for the merged extent.
+  std::int64_t ClusterBitmapGranule() const;
+  /// Reads per bitmap for the merged extent.
+  std::int64_t ClusterBitmapOps() const;
+
+  /// Reads `pages` at `start_page` of `disk`, checking/updating the node's
+  /// buffer pool `pool` (space tag for the cache key), then `done`.
+  void BufferedRead(int space, int disk, std::int64_t start_page,
+                    std::int64_t pages, BufferManager* pool,
+                    std::function<void()> done);
+
+  SimContext* ctx_;
+  const SubqueryWork* work_;
+  std::vector<FragId> fragments_;
+  std::size_t current_ = 0;
+  int node_;
+  std::function<void()> done_;
+
+  // Per-fragment transient state.
+  std::int64_t fact_granules_to_read_ = 0;
+  double hits_per_granule_ = 0;
+  int bitmap_ops_outstanding_ = 0;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_SIM_SUBQUERY_H_

@@ -1,0 +1,83 @@
+#include "workload/query_generator.h"
+
+#include "common/check.h"
+#include "schema/apb1.h"
+
+namespace mdw {
+
+const char* ToString(QueryType type) {
+  switch (type) {
+    case QueryType::k1Store: return "1STORE";
+    case QueryType::k1Month: return "1MONTH";
+    case QueryType::k1Code: return "1CODE";
+    case QueryType::k1Quarter: return "1QUARTER";
+    case QueryType::k1Month1Group: return "1MONTH1GROUP";
+    case QueryType::k1Code1Month: return "1CODE1MONTH";
+    case QueryType::k1Code1Quarter: return "1CODE1QUARTER";
+    case QueryType::k1Group1Store: return "1GROUP1STORE";
+  }
+  return "?";
+}
+
+QueryGenerator::QueryGenerator(const StarSchema* schema, std::uint64_t seed,
+                               double skew_theta)
+    : schema_(schema), rng_(seed), skew_theta_(skew_theta) {
+  MDW_CHECK(schema_ != nullptr, "generator needs a schema");
+  MDW_CHECK(schema_->num_dimensions() == 4,
+            "query generator expects the APB-1 dimension layout");
+}
+
+std::int64_t QueryGenerator::Pick(DimId dim, Depth depth) {
+  const std::int64_t card =
+      schema_->dimension(dim).hierarchy().Cardinality(depth);
+  if (skew_theta_ > 0.0) return rng_.Zipf(card, skew_theta_);
+  return rng_.Uniform(0, card - 1);
+}
+
+StarQuery QueryGenerator::Generate(QueryType type) {
+  using apb1_queries::OneCode;
+  using apb1_queries::OneCodeOneMonth;
+  using apb1_queries::OneCodeOneQuarter;
+  using apb1_queries::OneGroupOneStore;
+  using apb1_queries::OneMonth;
+  using apb1_queries::OneMonthOneGroup;
+  using apb1_queries::OneQuarter;
+  using apb1_queries::OneStore;
+  // Depths per the APB-1 hierarchy layout (see schema/apb1.cc).
+  const Depth group = 3, code = 5, store = 1, quarter = 1, month = 2;
+  switch (type) {
+    case QueryType::k1Store:
+      return OneStore(Pick(kApb1Customer, store));
+    case QueryType::k1Month:
+      return OneMonth(Pick(kApb1Time, month));
+    case QueryType::k1Code:
+      return OneCode(Pick(kApb1Product, code));
+    case QueryType::k1Quarter:
+      return OneQuarter(Pick(kApb1Time, quarter));
+    case QueryType::k1Month1Group:
+      return OneMonthOneGroup(Pick(kApb1Time, month),
+                              Pick(kApb1Product, group));
+    case QueryType::k1Code1Month:
+      return OneCodeOneMonth(Pick(kApb1Product, code),
+                             Pick(kApb1Time, month));
+    case QueryType::k1Code1Quarter:
+      return OneCodeOneQuarter(Pick(kApb1Product, code),
+                               Pick(kApb1Time, quarter));
+    case QueryType::k1Group1Store:
+      return OneGroupOneStore(Pick(kApb1Product, group),
+                              Pick(kApb1Customer, store));
+  }
+  MDW_CHECK(false, "unknown query type");
+  return OneMonth(0);
+}
+
+std::vector<StarQuery> QueryGenerator::GenerateMany(QueryType type,
+                                                    int count) {
+  MDW_CHECK(count >= 1, "need at least one query");
+  std::vector<StarQuery> queries;
+  queries.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) queries.push_back(Generate(type));
+  return queries;
+}
+
+}  // namespace mdw

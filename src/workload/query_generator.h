@@ -1,0 +1,49 @@
+#ifndef MDW_WORKLOAD_QUERY_GENERATOR_H_
+#define MDW_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "fragment/star_query.h"
+
+namespace mdw {
+
+/// The paper's APB-1 query types (Sec. 3.1 and Sec. 6).
+enum class QueryType {
+  k1Store,         ///< 1STORE: one customer store
+  k1Month,         ///< 1MONTH: one month
+  k1Code,          ///< 1CODE: one product code
+  k1Quarter,       ///< 1QUARTER: one quarter
+  k1Month1Group,   ///< 1MONTH1GROUP
+  k1Code1Month,    ///< 1CODE1MONTH
+  k1Code1Quarter,  ///< 1CODE1QUARTER
+  k1Group1Store,   ///< 1GROUP1STORE
+};
+
+const char* ToString(QueryType type);
+
+/// Generates random instances of the paper's query types: the query
+/// structure is fixed, the selected value(s) are chosen uniformly at
+/// random (paper Sec. 5: "specific parameters are chosen at random"). An
+/// optional Zipf skew theta (> 0) makes some values hotter — the data-skew
+/// extension the paper lists as future work.
+class QueryGenerator {
+ public:
+  QueryGenerator(const StarSchema* schema, std::uint64_t seed,
+                 double skew_theta = 0.0);
+
+  StarQuery Generate(QueryType type);
+  std::vector<StarQuery> GenerateMany(QueryType type, int count);
+
+ private:
+  std::int64_t Pick(DimId dim, Depth depth);
+
+  const StarSchema* schema_;
+  Rng rng_;
+  double skew_theta_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,194 @@
+#include "workload/query_parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+namespace mdw {
+
+namespace {
+
+/// Token stream over the SQL text: identifiers/keywords, integers, and
+/// single-character punctuation ( ) , . = *.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const std::string& token() const { return token_; }
+  bool at_end() const { return token_.empty(); }
+
+  /// Case-insensitive keyword/identifier comparison.
+  bool Is(const std::string& expected) const {
+    if (token_.size() != expected.size()) return false;
+    for (std::size_t i = 0; i < token_.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(token_[i])) !=
+          std::tolower(static_cast<unsigned char>(expected[i]))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Consumes the current token if it matches.
+  bool Accept(const std::string& expected) {
+    if (!Is(expected)) return false;
+    Advance();
+    return true;
+  }
+
+  void Advance() {
+    token_.clear();
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == text_.size()) return;
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        token_.push_back(text_[pos_++]);
+      }
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        token_.push_back(text_[pos_++]);
+      }
+      return;
+    }
+    token_.push_back(text_[pos_++]);
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string token_;
+};
+
+bool IsInteger(const std::string& token) {
+  if (token.empty()) return false;
+  for (const char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::optional<StarQuery> Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<StarQuery> ParseStarQuery(const StarSchema& schema,
+                                        const std::string& sql,
+                                        std::string* error) {
+  Lexer lex(sql);
+
+  // ---- SELECT list ----
+  if (!lex.Accept("SELECT")) return Fail(error, "expected SELECT");
+  bool any_item = false;
+  while (!lex.at_end() && !lex.Is("FROM")) {
+    if (lex.Accept("SUM") || lex.Accept("COUNT") || lex.Accept("AVG") ||
+        lex.Accept("MIN") || lex.Accept("MAX")) {
+      if (!lex.Accept("(")) return Fail(error, "expected ( after aggregate");
+      if (lex.Is(")")) return Fail(error, "empty aggregate argument");
+      lex.Advance();  // measure name or *
+      if (!lex.Accept(")")) {
+        return Fail(error, "expected ) closing the aggregate");
+      }
+    } else if (lex.Accept("*")) {
+      // allow SELECT *
+    } else {
+      return Fail(error, "expected aggregate or * in the SELECT list, got '" +
+                             lex.token() + "'");
+    }
+    any_item = true;
+    if (!lex.Accept(",")) break;
+  }
+  if (!any_item) return Fail(error, "empty SELECT list");
+
+  // ---- FROM ----
+  if (!lex.Accept("FROM")) return Fail(error, "expected FROM");
+  if (!lex.Is(schema.fact_table_name())) {
+    return Fail(error, "unknown fact table '" + lex.token() + "' (expected '" +
+                           schema.fact_table_name() + "')");
+  }
+  lex.Advance();
+
+  // ---- WHERE ----
+  std::vector<Predicate> predicates;
+  if (lex.Accept("WHERE")) {
+    do {
+      // <dimension> . <level>
+      const std::string dim_name = lex.token();
+      const DimId dim = schema.DimensionIdOf(dim_name);
+      if (dim < 0) {
+        return Fail(error, "unknown dimension '" + dim_name + "'");
+      }
+      lex.Advance();
+      if (!lex.Accept(".")) {
+        return Fail(error, "expected . after dimension name");
+      }
+      const std::string level_name = lex.token();
+      const Depth depth =
+          schema.dimension(dim).hierarchy().DepthOf(level_name);
+      if (depth < 0) {
+        return Fail(error, "unknown level '" + level_name +
+                               "' of dimension '" + dim_name + "'");
+      }
+      lex.Advance();
+
+      // = value | IN (v, v, ...)
+      Predicate predicate{dim, depth, {}};
+      const std::int64_t card =
+          schema.dimension(dim).hierarchy().Cardinality(depth);
+      auto read_value = [&]() -> bool {
+        if (!IsInteger(lex.token())) return false;
+        const std::int64_t value = std::stoll(lex.token());
+        if (value < 0 || value >= card) return false;
+        predicate.values.push_back(value);
+        lex.Advance();
+        return true;
+      };
+      if (lex.Accept("=")) {
+        if (!read_value()) {
+          return Fail(error, "expected a value in [0, " +
+                                 std::to_string(card) + ") after =, got '" +
+                                 lex.token() + "'");
+        }
+      } else if (lex.Accept("IN")) {
+        if (!lex.Accept("(")) return Fail(error, "expected ( after IN");
+        do {
+          if (!read_value()) {
+            return Fail(error, "expected a value in [0, " +
+                                   std::to_string(card) + ") in the IN "
+                                   "list, got '" + lex.token() + "'");
+          }
+        } while (lex.Accept(","));
+        if (!lex.Accept(")")) {
+          return Fail(error, "expected ) closing the IN list");
+        }
+      } else {
+        return Fail(error, "expected = or IN after the attribute");
+      }
+      for (const auto& existing : predicates) {
+        if (existing.dim == dim) {
+          return Fail(error,
+                      "duplicate predicate on dimension '" + dim_name + "'");
+        }
+      }
+      predicates.push_back(std::move(predicate));
+    } while (lex.Accept("AND"));
+  }
+
+  if (!lex.at_end()) {
+    return Fail(error, "unexpected trailing input at '" + lex.token() + "'");
+  }
+  return StarQuery("parsed", std::move(predicates));
+}
+
+}  // namespace mdw

@@ -1,0 +1,33 @@
+#ifndef MDW_WORKLOAD_QUERY_PARSER_H_
+#define MDW_WORKLOAD_QUERY_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "fragment/star_query.h"
+
+namespace mdw {
+
+/// Parses a minimal SQL-like star-query dialect into a StarQuery, the
+/// textual form of the paper's Sec. 3.1 example:
+///
+///   SELECT SUM(UnitsSold), SUM(DollarSales)
+///   FROM sales
+///   WHERE time.month = 3 AND product.group = 41
+///
+/// Supported predicate forms (per dimension at most one predicate):
+///   <dimension>.<level> = <integer>
+///   <dimension>.<level> IN (<integer>, <integer>, ...)
+///
+/// The SELECT list and FROM clause are validated but only the WHERE
+/// clause affects the resulting StarQuery (allocation decisions do not
+/// depend on the selected measures). Keywords are case-insensitive;
+/// dimension and level names follow the schema. On error, returns
+/// std::nullopt and fills `*error` with a human-readable message.
+std::optional<StarQuery> ParseStarQuery(const StarSchema& schema,
+                                        const std::string& sql,
+                                        std::string* error);
+
+}  // namespace mdw
+
+#endif  // MDW_WORKLOAD_QUERY_PARSER_H_

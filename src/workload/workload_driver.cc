@@ -1,0 +1,30 @@
+#include "workload/workload_driver.h"
+
+#include "common/check.h"
+
+namespace mdw {
+
+WorkloadDriver::WorkloadDriver(const StarSchema* schema,
+                               const Fragmentation* fragmentation,
+                               SimConfig config, double skew_theta)
+    : schema_(schema),
+      simulator_(schema, fragmentation, config),
+      generator_(schema, config.seed, skew_theta) {}
+
+SimResult WorkloadDriver::RunSingleUser(QueryType type, int repetitions) {
+  return simulator_.RunSingleUser(generator_.GenerateMany(type, repetitions));
+}
+
+SimResult WorkloadDriver::RunMix(const std::vector<WorkloadSpec>& mix,
+                                 int streams) {
+  MDW_CHECK(!mix.empty(), "empty workload mix");
+  std::vector<StarQuery> queries;
+  for (const auto& spec : mix) {
+    for (int i = 0; i < spec.count; ++i) {
+      queries.push_back(generator_.Generate(spec.type));
+    }
+  }
+  return simulator_.RunMultiUser(queries, streams);
+}
+
+}  // namespace mdw

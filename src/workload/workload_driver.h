@@ -1,0 +1,43 @@
+#ifndef MDW_WORKLOAD_WORKLOAD_DRIVER_H_
+#define MDW_WORKLOAD_WORKLOAD_DRIVER_H_
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "workload/query_generator.h"
+
+namespace mdw {
+
+/// One component of a query mix.
+struct WorkloadSpec {
+  QueryType type;
+  int count = 1;
+};
+
+/// Convenience driver matching the paper's experimental procedure: for a
+/// single simulation all queries are of the same type with randomly chosen
+/// parameters, issued in single-user mode (Sec. 5). Multi-user mixes are
+/// the extension of Sec. 7's future-work list.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(const StarSchema* schema, const Fragmentation* fragmentation,
+                 SimConfig config, double skew_theta = 0.0);
+
+  /// `repetitions` random instances of `type`, run back-to-back; returns
+  /// averaged statistics (the paper's "average response time").
+  SimResult RunSingleUser(QueryType type, int repetitions);
+
+  /// Runs a mix with `streams` concurrent query streams.
+  SimResult RunMix(const std::vector<WorkloadSpec>& mix, int streams);
+
+  const SimConfig& config() const { return simulator_.config(); }
+
+ private:
+  const StarSchema* schema_;
+  Simulator simulator_;
+  QueryGenerator generator_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_WORKLOAD_WORKLOAD_DRIVER_H_

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "fragment/bitmap_elimination.h"
+#include "schema/apb1.h"
+
+namespace mdw {
+namespace {
+
+TEST(BitmapEliminationTest, FMonthGroupKeeps32Of76) {
+  // Paper Sec. 4.2: for F_MonthGroup all TIME bitmaps disappear, 10 of the
+  // 15 PRODUCT bitmaps disappear, leaving at most 32 of 76.
+  const auto schema = MakeApb1Schema();
+  const Fragmentation f(&schema, {{kApb1Time, 2}, {kApb1Product, 3}});
+  EXPECT_EQ(RemainingBitmapCount(f), 32);
+
+  const auto reqs = BitmapRequirements(f);
+  ASSERT_EQ(reqs.size(), 4u);
+  EXPECT_EQ(reqs[kApb1Product].total, 15);
+  EXPECT_EQ(reqs[kApb1Product].eliminated, 10);
+  EXPECT_EQ(reqs[kApb1Product].remaining, 5);
+  EXPECT_EQ(reqs[kApb1Customer].total, 12);
+  EXPECT_EQ(reqs[kApb1Customer].eliminated, 0);
+  EXPECT_EQ(reqs[kApb1Channel].total, 15);
+  EXPECT_EQ(reqs[kApb1Channel].eliminated, 0);
+  EXPECT_EQ(reqs[kApb1Time].total, 34);
+  EXPECT_EQ(reqs[kApb1Time].eliminated, 34);
+  EXPECT_EQ(reqs[kApb1Time].remaining, 0);
+}
+
+TEST(BitmapEliminationTest, NoFragmentationKeepsAll76) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation none(&schema, {});
+  EXPECT_EQ(RemainingBitmapCount(none), 76);
+}
+
+TEST(BitmapEliminationTest, LeafFragmentationEliminatesWholeEncodedIndex) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation f(&schema, {{kApb1Product, 5}});  // product::code
+  const auto reqs = BitmapRequirements(f);
+  EXPECT_EQ(reqs[kApb1Product].eliminated, 15);
+  EXPECT_EQ(reqs[kApb1Product].remaining, 0);
+  EXPECT_EQ(RemainingBitmapCount(f), 76 - 15);
+}
+
+TEST(BitmapEliminationTest, SimpleIndexEliminationIsLevelwise) {
+  const auto schema = MakeApb1Schema();
+  // Fragmenting TIME at quarter drops year (2) and quarter (8) bitmaps but
+  // keeps the 24 month bitmaps.
+  const Fragmentation f(&schema, {{kApb1Time, 1}});
+  const auto reqs = BitmapRequirements(f);
+  EXPECT_EQ(reqs[kApb1Time].eliminated, 10);
+  EXPECT_EQ(reqs[kApb1Time].remaining, 24);
+}
+
+TEST(BitmapEliminationTest, EncodedEliminationIsPrefixwise) {
+  const auto schema = MakeApb1Schema();
+  // Fragmenting PRODUCT at family (depth 2) drops the 8-bit prefix.
+  const Fragmentation f(&schema, {{kApb1Product, 2}});
+  const auto reqs = BitmapRequirements(f);
+  EXPECT_EQ(reqs[kApb1Product].eliminated, 3 + 2 + 3);
+  EXPECT_EQ(reqs[kApb1Product].remaining, 15 - 8);
+}
+
+TEST(BitmapEliminationTest, FourDimensionalFragmentation) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation f(&schema, {{kApb1Time, 2},
+                                  {kApb1Product, 5},
+                                  {kApb1Customer, 1},
+                                  {kApb1Channel, 0}});
+  // Everything eliminated: paper Sec. 4.4 "this would eliminate all
+  // bitmaps".
+  EXPECT_EQ(RemainingBitmapCount(f), 0);
+}
+
+TEST(BitmapEliminationTest, MonotoneInDepth) {
+  // Deeper fragmentation levels eliminate at least as many bitmaps.
+  const auto schema = MakeApb1Schema();
+  int previous = -1;
+  for (Depth d = 0; d <= 5; ++d) {
+    const Fragmentation f(&schema, {{kApb1Product, d}});
+    const auto reqs = BitmapRequirements(f);
+    EXPECT_GT(reqs[kApb1Product].eliminated, previous);
+    previous = reqs[kApb1Product].eliminated;
+  }
+}
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/btree.h"
+
+namespace mdw {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.Lookup(42), nullptr);
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, SingleInsertLookup) {
+  BPlusTree tree;
+  tree.Insert(7, 70);
+  ASSERT_NE(tree.Lookup(7), nullptr);
+  EXPECT_EQ(*tree.Lookup(7), 70);
+  EXPECT_EQ(tree.Lookup(8), nullptr);
+  EXPECT_EQ(tree.size(), 1);
+}
+
+TEST(BPlusTreeTest, UpsertOverwrites) {
+  BPlusTree tree;
+  tree.Insert(7, 70);
+  tree.Insert(7, 71);
+  EXPECT_EQ(*tree.Lookup(7), 71);
+  EXPECT_EQ(tree.size(), 1);
+}
+
+TEST(BPlusTreeTest, SequentialInsertsSplitLeaves) {
+  BPlusTree tree;
+  for (std::int64_t i = 0; i < 10'000; ++i) tree.Insert(i, i * 2);
+  EXPECT_EQ(tree.size(), 10'000);
+  EXPECT_GT(tree.height(), 1);
+  tree.CheckInvariants();
+  for (std::int64_t i = 0; i < 10'000; ++i) {
+    ASSERT_NE(tree.Lookup(i), nullptr) << i;
+    EXPECT_EQ(*tree.Lookup(i), i * 2);
+  }
+  EXPECT_EQ(tree.Lookup(10'000), nullptr);
+  EXPECT_EQ(tree.Lookup(-1), nullptr);
+}
+
+TEST(BPlusTreeTest, ReverseInsertOrder) {
+  BPlusTree tree;
+  for (std::int64_t i = 9'999; i >= 0; --i) tree.Insert(i, i);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 10'000);
+  EXPECT_EQ(*tree.Lookup(0), 0);
+  EXPECT_EQ(*tree.Lookup(9'999), 9'999);
+}
+
+TEST(BPlusTreeTest, ScanFullRange) {
+  BPlusTree tree;
+  for (std::int64_t i = 0; i < 1'000; ++i) tree.Insert(i * 3, i);
+  std::vector<std::int64_t> keys;
+  tree.Scan(std::numeric_limits<std::int64_t>::min(),
+            std::numeric_limits<std::int64_t>::max(),
+            [&](std::int64_t k, std::int64_t) { keys.push_back(k); });
+  ASSERT_EQ(keys.size(), 1'000u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.front(), 0);
+  EXPECT_EQ(keys.back(), 2'997);
+}
+
+TEST(BPlusTreeTest, ScanSubRangeInclusive) {
+  BPlusTree tree;
+  for (std::int64_t i = 0; i < 100; ++i) tree.Insert(i, i);
+  std::vector<std::int64_t> keys;
+  tree.Scan(10, 20, [&](std::int64_t k, std::int64_t) { keys.push_back(k); });
+  ASSERT_EQ(keys.size(), 11u);
+  EXPECT_EQ(keys.front(), 10);
+  EXPECT_EQ(keys.back(), 20);
+}
+
+TEST(BPlusTreeTest, ScanEmptyAndDegenerateRanges) {
+  BPlusTree tree;
+  for (std::int64_t i = 0; i < 100; i += 10) tree.Insert(i, i);
+  int count = 0;
+  tree.Scan(11, 19, [&](std::int64_t, std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  tree.Scan(20, 10, [&](std::int64_t, std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  tree.Scan(20, 20, [&](std::int64_t, std::int64_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(BPlusTreeTest, RandomInsertsMatchReferenceMap) {
+  BPlusTree tree;
+  std::map<std::int64_t, std::int64_t> reference;
+  Rng rng(5);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::int64_t key = rng.Uniform(0, 5'000);
+    const std::int64_t value = rng.Uniform(0, 1'000'000);
+    tree.Insert(key, value);
+    reference[key] = value;
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), static_cast<std::int64_t>(reference.size()));
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(tree.Lookup(key), nullptr);
+    EXPECT_EQ(*tree.Lookup(key), value);
+  }
+  // Scan must enumerate exactly the reference, in order.
+  auto it = reference.begin();
+  tree.Scan(0, 5'000, [&](std::int64_t k, std::int64_t v) {
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, reference.end());
+}
+
+TEST(BPlusTreeTest, HeightGrowsLogarithmically) {
+  BPlusTree tree;
+  for (std::int64_t i = 0; i < 100'000; ++i) tree.Insert(i, i);
+  // With fanout ~64, 100k keys need about 3-4 levels.
+  EXPECT_LE(tree.height(), 4);
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, NegativeKeys) {
+  BPlusTree tree;
+  for (std::int64_t i = -500; i <= 500; ++i) tree.Insert(i, i * i);
+  tree.CheckInvariants();
+  EXPECT_EQ(*tree.Lookup(-500), 250'000);
+  std::int64_t count = 0;
+  tree.Scan(-10, 10, [&](std::int64_t, std::int64_t) { ++count; });
+  EXPECT_EQ(count, 21);
+}
+
+class BTreeInsertionOrder : public ::testing::TestWithParam<int> {};
+
+// Property: the tree ends up identical in content regardless of insertion
+// order, and invariants hold throughout growth.
+TEST_P(BTreeInsertionOrder, ContentIndependentOfOrder) {
+  const int n = 3'000;
+  std::vector<std::int64_t> keys;
+  for (int i = 0; i < n; ++i) keys.push_back(i);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::shuffle(keys.begin(), keys.end(), rng.engine());
+
+  BPlusTree tree;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], keys[i] + 1);
+    if (i % 500 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), n);
+  std::int64_t expected = 0;
+  tree.Scan(0, n, [&](std::int64_t k, std::int64_t v) {
+    EXPECT_EQ(k, expected);
+    EXPECT_EQ(v, k + 1);
+    ++expected;
+  });
+  EXPECT_EQ(expected, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shuffles, BTreeInsertionOrder,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "sim/buffer_manager.h"
+
+namespace mdw {
+namespace {
+
+TEST(BufferManagerTest, MissThenHit) {
+  BufferManager pool(100);
+  const auto key = BufferManager::MakeKey(0, 3, 40);
+  EXPECT_FALSE(pool.Lookup(key));
+  pool.Insert(key, 8);
+  EXPECT_TRUE(pool.Lookup(key));
+  EXPECT_EQ(pool.hits(), 1);
+  EXPECT_EQ(pool.misses(), 1);
+  EXPECT_EQ(pool.used_pages(), 8);
+}
+
+TEST(BufferManagerTest, EvictsLruWhenFull) {
+  BufferManager pool(16);
+  const auto a = BufferManager::MakeKey(0, 0, 0);
+  const auto b = BufferManager::MakeKey(0, 0, 8);
+  const auto c = BufferManager::MakeKey(0, 0, 16);
+  pool.Insert(a, 8);
+  pool.Insert(b, 8);
+  // Touch a so b becomes the LRU victim.
+  EXPECT_TRUE(pool.Lookup(a));
+  pool.Insert(c, 8);
+  EXPECT_TRUE(pool.Lookup(a));
+  EXPECT_FALSE(pool.Lookup(b));
+  EXPECT_TRUE(pool.Lookup(c));
+  EXPECT_EQ(pool.evictions(), 1);
+  EXPECT_LE(pool.used_pages(), 16);
+}
+
+TEST(BufferManagerTest, ReinsertingTouchesInsteadOfDuplicating) {
+  BufferManager pool(16);
+  const auto a = BufferManager::MakeKey(0, 0, 0);
+  pool.Insert(a, 8);
+  pool.Insert(a, 8);
+  EXPECT_EQ(pool.used_pages(), 8);
+}
+
+TEST(BufferManagerTest, OversizedGranuleAdmittedAlone) {
+  BufferManager pool(4);
+  const auto big = BufferManager::MakeKey(0, 0, 0);
+  pool.Insert(big, 8);  // larger than the pool
+  EXPECT_TRUE(pool.Lookup(big));
+  // The next insert evicts it.
+  pool.Insert(BufferManager::MakeKey(0, 0, 8), 4);
+  EXPECT_FALSE(pool.Lookup(big));
+}
+
+TEST(BufferManagerTest, KeysDistinguishSpaceDiskAndPage) {
+  const auto a = BufferManager::MakeKey(0, 1, 100);
+  const auto b = BufferManager::MakeKey(1, 1, 100);
+  const auto c = BufferManager::MakeKey(0, 2, 100);
+  const auto d = BufferManager::MakeKey(0, 1, 101);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_NE(b, c);
+}
+
+TEST(BufferManagerTest, ManyInsertionsStayWithinCapacity) {
+  BufferManager pool(1'000);
+  for (int i = 0; i < 10'000; ++i) {
+    pool.Insert(BufferManager::MakeKey(0, i % 7, i * 8), 8);
+    EXPECT_LE(pool.used_pages(), 1'000);
+  }
+  EXPECT_GT(pool.evictions(), 8'000);
+}
+
+TEST(BufferManagerTest, HitRatioOnCyclicAccessSmallerThanPool) {
+  BufferManager pool(80);
+  // Working set of 5 granules x 8 pages = 40 pages fits the pool:
+  // after the first cold pass, everything hits.
+  for (int round = 0; round < 10; ++round) {
+    for (int g = 0; g < 5; ++g) {
+      const auto key = BufferManager::MakeKey(0, 0, g * 8);
+      if (!pool.Lookup(key)) pool.Insert(key, 8);
+    }
+  }
+  EXPECT_EQ(pool.misses(), 5);
+  EXPECT_EQ(pool.hits(), 45);
+}
+
+}  // namespace
+}  // namespace mdw

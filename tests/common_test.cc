@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+
+namespace mdw {
+namespace {
+
+TEST(CeilDivTest, ExactDivision) {
+  EXPECT_EQ(CeilDiv(12, 4), 3);
+  EXPECT_EQ(CeilDiv(0, 7), 0);
+}
+
+TEST(CeilDivTest, RoundsUp) {
+  EXPECT_EQ(CeilDiv(13, 4), 4);
+  EXPECT_EQ(CeilDiv(1, 8), 1);
+  EXPECT_EQ(CeilDiv(7, 8), 1);
+  EXPECT_EQ(CeilDiv(9, 8), 2);
+}
+
+TEST(CeilDivTest, LargeValues) {
+  // The paper's n_max computation: 1,866,240,000 / (8 * 4096 * 4).
+  EXPECT_EQ(1'866'240'000LL / (8 * 4096 * 4), 14'238);
+  EXPECT_EQ(CeilDiv(1'866'240'000LL, 204), 9'148'236);
+}
+
+TEST(BitsForTest, PowersOfTwo) {
+  EXPECT_EQ(BitsFor(1), 0);
+  EXPECT_EQ(BitsFor(2), 1);
+  EXPECT_EQ(BitsFor(4), 2);
+  EXPECT_EQ(BitsFor(8), 3);
+  EXPECT_EQ(BitsFor(16), 4);
+}
+
+TEST(BitsForTest, NonPowers) {
+  EXPECT_EQ(BitsFor(3), 2);
+  EXPECT_EQ(BitsFor(5), 3);
+  EXPECT_EQ(BitsFor(15), 4);   // APB-1: 15 codes per class -> 4 bits
+  EXPECT_EQ(BitsFor(144), 8);  // APB-1: 144 retailers -> 8 bits
+  EXPECT_EQ(BitsFor(10), 4);   // APB-1: 10 stores per retailer -> 4 bits
+}
+
+TEST(BitsForTest, ZeroAndNegativeDegenerate) {
+  EXPECT_EQ(BitsFor(0), 0);
+  EXPECT_EQ(BitsFor(-5), 0);
+}
+
+TEST(IsPrimeTest, SmallNumbers) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(97));
+  EXPECT_FALSE(IsPrime(100));
+  EXPECT_TRUE(IsPrime(101));
+}
+
+TEST(NextPrimeTest, FindsNextPrime) {
+  EXPECT_EQ(NextPrime(100), 101);  // paper Sec 4.6: prefer a prime disk count
+  EXPECT_EQ(NextPrime(101), 101);
+  EXPECT_EQ(NextPrime(0), 2);
+  EXPECT_EQ(NextPrime(20), 23);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1'000'000), b.Uniform(0, 1'000'000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform(0, 1'000'000) != b.Uniform(0, 1'000'000)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformRealInHalfOpenUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.Zipf(100, 0.5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, ZipfZeroThetaIsUniformish) {
+  Rng rng(11);
+  std::int64_t sum = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += rng.Zipf(100, 0.0);
+  const double mean = static_cast<double>(sum) / n;
+  EXPECT_NEAR(mean, 49.5, 2.0);
+}
+
+TEST(TablePrinterTest, FormatsIntegersWithSeparators) {
+  EXPECT_EQ(TablePrinter::Int(0), "0");
+  EXPECT_EQ(TablePrinter::Int(999), "999");
+  EXPECT_EQ(TablePrinter::Int(1000), "1,000");
+  EXPECT_EQ(TablePrinter::Int(5'189'760), "5,189,760");
+  EXPECT_EQ(TablePrinter::Int(-1234), "-1,234");
+}
+
+TEST(TablePrinterTest, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::Num(4.94, 1), "4.9");
+  EXPECT_EQ(TablePrinter::Num(0.16, 2), "0.16");
+  EXPECT_EQ(TablePrinter::Num(3.0, 0), "3");
+}
+
+TEST(TablePrinterTest, PrintsAlignedTable) {
+  TablePrinter t({"a", "bee"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"333", "4"});
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  t.Print(f);
+  std::rewind(f);
+  char buf[256] = {};
+  const auto read = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  const std::string out(buf, read);
+  EXPECT_NE(out.find("a    bee"), std::string::npos);
+  EXPECT_NE(out.find("333  4"), std::string::npos);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(kMiB, 1'048'576);
+  EXPECT_DOUBLE_EQ(BytesToMiB(2 * kMiB), 2.0);
+  EXPECT_DOUBLE_EQ(SecondsToMs(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(MsToSeconds(250.0), 0.25);
+}
+
+}  // namespace
+}  // namespace mdw

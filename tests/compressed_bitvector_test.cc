@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "bitmap/compressed_bitvector.h"
+#include "common/rng.h"
+
+namespace mdw {
+namespace {
+
+BitVector RandomBits(std::int64_t size, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(size);
+  for (std::int64_t i = 0; i < size; ++i) {
+    if (rng.UniformReal() < density) bits.Set(i);
+  }
+  return bits;
+}
+
+TEST(CompressedBitVectorTest, EmptyBitmapCompressesToFills) {
+  BitVector bits(10'000);
+  const CompressedBitVector compressed(bits);
+  EXPECT_EQ(compressed.Count(), 0);
+  EXPECT_EQ(compressed.word_count(), 1);  // a single zero fill
+  EXPECT_TRUE(compressed.Decompress() == bits);
+  EXPECT_GT(compressed.CompressionRatio(), 100.0);
+}
+
+TEST(CompressedBitVectorTest, FullBitmapCompressesToFills) {
+  BitVector bits(10'000);
+  bits.SetAll();
+  const CompressedBitVector compressed(bits);
+  EXPECT_EQ(compressed.Count(), 10'000);
+  EXPECT_LE(compressed.word_count(), 2);  // one-fill + partial literal
+  EXPECT_TRUE(compressed.Decompress() == bits);
+}
+
+TEST(CompressedBitVectorTest, SingleBitRoundTrips) {
+  for (const std::int64_t position : {0LL, 30LL, 31LL, 62LL, 9'999LL}) {
+    BitVector bits(10'000);
+    bits.Set(position);
+    const CompressedBitVector compressed(bits);
+    EXPECT_EQ(compressed.Count(), 1) << position;
+    EXPECT_TRUE(compressed.Decompress() == bits) << position;
+  }
+}
+
+TEST(CompressedBitVectorTest, SparseBitmapCompressesWell) {
+  // One bit per 1,440 rows, the 1STORE bitmap profile.
+  BitVector bits(1'000'000);
+  for (std::int64_t i = 0; i < 1'000'000; i += 1'440) bits.Set(i);
+  const CompressedBitVector compressed(bits);
+  EXPECT_TRUE(compressed.Decompress() == bits);
+  EXPECT_GT(compressed.CompressionRatio(), 15.0);
+}
+
+TEST(CompressedBitVectorTest, RandomDenseBitmapBarelyGrows) {
+  const auto bits = RandomBits(100'000, 0.5, 7);
+  const CompressedBitVector compressed(bits);
+  EXPECT_TRUE(compressed.Decompress() == bits);
+  // Random 50% bitmaps are incompressible: ~32/31 of the raw size.
+  EXPECT_GT(compressed.CompressionRatio(), 0.9);
+  EXPECT_LT(compressed.CompressionRatio(), 1.05);
+}
+
+TEST(CompressedBitVectorTest, ClusteredRunsCompress) {
+  // Hit clustering (the point of MDHF!): the same 10% density in one
+  // contiguous run compresses far better than spread at random.
+  const std::int64_t n = 500'000;
+  BitVector clustered(n);
+  for (std::int64_t i = 0; i < n / 10; ++i) clustered.Set(i);
+  const auto random_bits = RandomBits(n, 0.1, 9);
+  const CompressedBitVector c1(clustered), c2(random_bits);
+  EXPECT_GT(c1.CompressionRatio(), 5 * c2.CompressionRatio());
+}
+
+TEST(CompressedBitVectorTest, AndMatchesPlainAnd) {
+  const auto a = RandomBits(50'000, 0.02, 11);
+  const auto b = RandomBits(50'000, 0.3, 12);
+  const CompressedBitVector ca(a), cb(b);
+  const auto result = ca.And(cb);
+  EXPECT_TRUE(result.Decompress() == (a & b));
+  EXPECT_EQ(result.Count(), (a & b).Count());
+}
+
+TEST(CompressedBitVectorTest, OrMatchesPlainOr) {
+  const auto a = RandomBits(50'000, 0.02, 13);
+  const auto b = RandomBits(50'000, 0.01, 14);
+  const CompressedBitVector ca(a), cb(b);
+  const auto result = ca.Or(cb);
+  EXPECT_TRUE(result.Decompress() == (a | b));
+}
+
+TEST(CompressedBitVectorTest, AndOfSparseStaysSmall) {
+  BitVector a(1'000'000), b(1'000'000);
+  for (std::int64_t i = 0; i < 1'000'000; i += 997) a.Set(i);
+  for (std::int64_t i = 0; i < 1'000'000; i += 1'013) b.Set(i);
+  const auto result = CompressedBitVector(a).And(CompressedBitVector(b));
+  EXPECT_LT(result.SizeBytes(), 2'000);
+  EXPECT_TRUE(result.Decompress() == (a & b));
+}
+
+TEST(CompressedBitVectorTest, SizeAccountors) {
+  BitVector bits(62);  // exactly two 31-bit groups
+  bits.Set(0);
+  const CompressedBitVector compressed(bits);
+  EXPECT_EQ(compressed.size(), 62);
+  EXPECT_EQ(compressed.UncompressedBytes(), 8);
+}
+
+class CompressedRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, double>> {};
+
+// Property: compress -> decompress is the identity, Count matches, and
+// Boolean ops agree with the plain implementation, across sizes (around
+// the 31-bit group boundaries) and densities.
+TEST_P(CompressedRoundTrip, Identity) {
+  const auto [size, density] = GetParam();
+  const auto bits =
+      RandomBits(size, density, static_cast<std::uint64_t>(size) + 17);
+  const CompressedBitVector compressed(bits);
+  EXPECT_TRUE(compressed.Decompress() == bits);
+  EXPECT_EQ(compressed.Count(), bits.Count());
+
+  const auto other =
+      RandomBits(size, 0.5 * density, static_cast<std::uint64_t>(size) + 18);
+  const CompressedBitVector compressed_other(other);
+  EXPECT_TRUE(compressed.And(compressed_other).Decompress() ==
+              (bits & other));
+  EXPECT_TRUE(compressed.Or(compressed_other).Decompress() ==
+              (bits | other));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDensities, CompressedRoundTrip,
+    ::testing::Combine(
+        ::testing::Values<std::int64_t>(1, 30, 31, 32, 61, 62, 63, 1'000,
+                                        31 * 33, 100'003),
+        ::testing::Values(0.0, 0.001, 0.1, 0.9, 1.0)));
+
+}  // namespace
+}  // namespace mdw

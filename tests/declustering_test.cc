@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "alloc/declustering_analysis.h"
+#include "schema/apb1.h"
+
+namespace mdw {
+namespace {
+
+class DeclusteringTest : public ::testing::Test {
+ protected:
+  DeclusteringTest()
+      : schema_(MakeApb1Schema()),
+        frag_(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}}),
+        planner_(&schema_, &frag_) {}
+
+  DiskAllocation Make(int disks) {
+    AllocationConfig config;
+    config.num_disks = disks;
+    return DiskAllocation(&frag_, config, 12);
+  }
+
+  StarSchema schema_;
+  Fragmentation frag_;
+  QueryPlanner planner_;
+};
+
+TEST_F(DeclusteringTest, Paper1CodeExampleD100FiveDisks) {
+  // Paper Sec. 4.6: 1CODE accesses every 480th fragment; with d=100 and
+  // gcd(480,100)=20, the 24 fragments land on only 5 disks — a 4.8x
+  // parallelism loss.
+  const auto alloc = Make(100);
+  const auto plan = planner_.Plan(apb1_queries::OneCode(35));
+  const auto report = AnalyzeDeclustering(plan, alloc);
+  EXPECT_EQ(report.fragments_accessed, 24);
+  EXPECT_EQ(report.disks_used, 5);
+  EXPECT_EQ(report.ideal_disks, 24);
+  EXPECT_NEAR(report.parallelism_loss, 4.8, 1e-9);
+}
+
+TEST_F(DeclusteringTest, PrimeDiskCountAvoidsClustering) {
+  // With d=101 (prime), gcd(480,101)=1: all 24 fragments on 24 disks.
+  const auto alloc = Make(101);
+  const auto plan = planner_.Plan(apb1_queries::OneCode(35));
+  const auto report = AnalyzeDeclustering(plan, alloc);
+  EXPECT_EQ(report.disks_used, 24);
+  EXPECT_NEAR(report.parallelism_loss, 1.0, 1e-9);
+}
+
+TEST_F(DeclusteringTest, MonthQueryUsesAllDisks) {
+  // 1MONTH touches 480 consecutive fragments: they cover all 100 disks.
+  const auto alloc = Make(100);
+  const auto plan = planner_.Plan(apb1_queries::OneMonth(3));
+  const auto report = AnalyzeDeclustering(plan, alloc);
+  EXPECT_EQ(report.fragments_accessed, 480);
+  EXPECT_EQ(report.disks_used, 100);
+  EXPECT_NEAR(report.parallelism_loss, 1.0, 1e-9);
+}
+
+TEST(DisksForStrideTest, ClosedFormMatchesPaperExamples) {
+  // stride 480, d=100: gcd 20 -> cycle 5 disks.
+  EXPECT_EQ(DisksForStride(480, 24, 100), 5);
+  // Prime d=101: full spread, capped by the 24 fragments.
+  EXPECT_EQ(DisksForStride(480, 24, 101), 24);
+  // Consecutive fragments (stride 1) use min(count, d).
+  EXPECT_EQ(DisksForStride(1, 480, 100), 100);
+  EXPECT_EQ(DisksForStride(1, 50, 100), 50);
+}
+
+TEST(DisksForStrideTest, PaperReverseOrderExample) {
+  // Paper Sec. 4.6: with the other allocation order, 1MONTH queries are
+  // restricted to 25 disks (gcd = 4 for stride 24 on 100 disks).
+  EXPECT_EQ(DisksForStride(24, 480, 100), 25);
+}
+
+TEST(DisksForStrideTest, EdgeCases) {
+  EXPECT_EQ(DisksForStride(0, 10, 100), 1);    // same disk over and over
+  EXPECT_EQ(DisksForStride(480, 0, 100), 0);   // nothing accessed
+  EXPECT_EQ(DisksForStride(7, 3, 100), 3);     // fewer fragments than cycle
+}
+
+TEST_F(DeclusteringTest, MatchesClosedFormAcrossDiskCounts) {
+  const auto plan = planner_.Plan(apb1_queries::OneCode(35));
+  for (int d = 90; d <= 110; ++d) {
+    AllocationConfig config;
+    config.num_disks = d;
+    const DiskAllocation alloc(&frag_, config, 12);
+    const auto report = AnalyzeDeclustering(plan, alloc);
+    EXPECT_EQ(report.disks_used, DisksForStride(480, 24, d)) << "d=" << d;
+  }
+}
+
+TEST_F(DeclusteringTest, RankDiskCountsPrefersPrimes) {
+  const auto choices = RankDiskCounts(
+      schema_, frag_, {apb1_queries::OneCode(35), apb1_queries::OneMonth(3)},
+      96, 104);
+  double prime_worst = 100, composite_best = 0;
+  for (const auto& c : choices) {
+    if (c.is_prime) {
+      prime_worst = std::min(prime_worst, c.worst_parallelism_loss);
+      EXPECT_NEAR(c.worst_parallelism_loss, 1.0, 1e-9)
+          << "prime d=" << c.num_disks;
+    } else {
+      composite_best = std::max(composite_best, c.worst_parallelism_loss);
+    }
+  }
+  EXPECT_GT(composite_best, 1.0);
+}
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "schema/apb1.h"
+#include "schema/dimension_table.h"
+
+namespace mdw {
+namespace {
+
+TEST(DimensionTableTest, OneRowPerLeaf) {
+  const auto schema = MakeTinyApb1Schema();
+  const DimensionTable products(schema.dimension(kApb1Product));
+  EXPECT_EQ(products.row_count(), 96);
+  const DimensionTable customers(schema.dimension(kApb1Customer));
+  EXPECT_EQ(customers.row_count(), 40);
+}
+
+TEST(DimensionTableTest, RowCarriesAncestorsAndNames) {
+  const auto schema = MakeTinyApb1Schema();
+  const DimensionTable products(schema.dimension(kApb1Product));
+  // Tiny product: 4 codes per group -> code 30 belongs to group 7.
+  const auto& row = products.RowForKey(30);
+  EXPECT_EQ(row.key, 30);
+  EXPECT_EQ(row.level_values[3], 7);
+  EXPECT_EQ(row.level_names[3], "GROUP_7");
+  EXPECT_EQ(row.level_names[5], "CODE_30");
+}
+
+TEST(DimensionTableTest, KeysBelowUsesBtreeRangeScan) {
+  const auto schema = MakeTinyApb1Schema();
+  const DimensionTable products(schema.dimension(kApb1Product));
+  const auto keys = products.KeysBelow(3, 7);  // group 7 -> codes 28..31
+  ASSERT_EQ(keys.size(), 4u);
+  EXPECT_EQ(keys.front(), 28);
+  EXPECT_EQ(keys.back(), 31);
+  for (const auto key : keys) {
+    EXPECT_EQ(products.RowForKey(key).level_values[3], 7);
+  }
+}
+
+TEST(DimensionTableTest, KeysBelowWholeDimension) {
+  const auto schema = MakeTinyApb1Schema();
+  const DimensionTable time(schema.dimension(kApb1Time));
+  const auto keys = time.KeysBelow(0, 0);  // the single year
+  EXPECT_EQ(keys.size(), 12u);
+}
+
+TEST(DimensionTableTest, ResolveNameRoundTrips) {
+  const auto schema = MakeTinyApb1Schema();
+  const DimensionTable products(schema.dimension(kApb1Product));
+  Depth depth = -1;
+  std::int64_t value = -1;
+  ASSERT_TRUE(products.ResolveName("GROUP_7", &depth, &value));
+  EXPECT_EQ(depth, 3);
+  EXPECT_EQ(value, 7);
+  ASSERT_TRUE(products.ResolveName("CODE_95", &depth, &value));
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(value, 95);
+  EXPECT_FALSE(products.ResolveName("WIDGET_1", &depth, &value));
+  EXPECT_FALSE(products.ResolveName("GROUP_9999", &depth, &value));
+}
+
+TEST(DimensionTableTest, IndexInvariantsHold) {
+  const auto schema = MakeTinyApb1Schema();
+  const DimensionTable products(schema.dimension(kApb1Product));
+  products.index().CheckInvariants();
+  EXPECT_EQ(products.index().size(), products.row_count());
+}
+
+TEST(DimensionTableTest, PaperScaleDimensionTablesAreSmall) {
+  // Paper Sec. 4: "our four dimension tables only occupy 1 MB".
+  const auto schema = MakeApb1Schema();
+  std::int64_t total = 0;
+  for (DimId d = 0; d < schema.num_dimensions(); ++d) {
+    total += DimensionTable(schema.dimension(d)).ApproximateBytes();
+  }
+  EXPECT_LT(total, 4 * 1024 * 1024);
+  EXPECT_GT(total, 256 * 1024);
+}
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/disk_allocation.h"
+#include "schema/apb1.h"
+
+namespace mdw {
+namespace {
+
+class AllocationTest : public ::testing::Test {
+ protected:
+  AllocationTest()
+      : schema_(MakeApb1Schema()),
+        frag_(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}}) {}
+
+  DiskAllocation Make(int disks, BitmapPlacement placement =
+                                      BitmapPlacement::kStaggered,
+                      int gap = 0, int bitmaps = 12) {
+    AllocationConfig config;
+    config.num_disks = disks;
+    config.bitmap_placement = placement;
+    config.round_gap = gap;
+    return DiskAllocation(&frag_, config, bitmaps);
+  }
+
+  StarSchema schema_;
+  Fragmentation frag_;
+};
+
+TEST_F(AllocationTest, RoundRobinFactPlacement) {
+  const auto alloc = Make(100);
+  EXPECT_EQ(alloc.DiskOfFragment(0), 0);
+  EXPECT_EQ(alloc.DiskOfFragment(99), 99);
+  EXPECT_EQ(alloc.DiskOfFragment(100), 0);
+  EXPECT_EQ(alloc.DiskOfFragment(11'519), 11'519 % 100);
+}
+
+TEST_F(AllocationTest, StaggeredBitmapPlacement) {
+  // Paper Fig. 2: bitmap fragments of fragment on disk j go to disks
+  // j+1, j+2, ... (mod d).
+  const auto alloc = Make(100);
+  const FragId id = 205;  // fact disk 5
+  EXPECT_EQ(alloc.DiskOfFragment(id), 5);
+  for (int b = 0; b < 12; ++b) {
+    EXPECT_EQ(alloc.DiskOfBitmapFragment(id, b), 6 + b);
+  }
+}
+
+TEST_F(AllocationTest, StaggeredWrapsAroundDiskCount) {
+  const auto alloc = Make(10);
+  const FragId id = 9;  // fact disk 9
+  EXPECT_EQ(alloc.DiskOfBitmapFragment(id, 0), 0);
+  EXPECT_EQ(alloc.DiskOfBitmapFragment(id, 5), 5);
+}
+
+TEST_F(AllocationTest, StaggeredBitmapsAllDistinctWhenEnoughDisks) {
+  const auto alloc = Make(100);
+  std::set<int> disks;
+  for (int b = 0; b < 12; ++b) {
+    disks.insert(alloc.DiskOfBitmapFragment(42, b));
+  }
+  EXPECT_EQ(disks.size(), 12u);
+  // None of them is the fact disk itself.
+  EXPECT_EQ(disks.count(alloc.DiskOfFragment(42)), 0u);
+}
+
+TEST_F(AllocationTest, SameDiskPlacementColocates) {
+  const auto alloc = Make(100, BitmapPlacement::kSameDisk);
+  for (int b = 0; b < 12; ++b) {
+    EXPECT_EQ(alloc.DiskOfBitmapFragment(77, b), alloc.DiskOfFragment(77));
+  }
+}
+
+TEST_F(AllocationTest, ExtentOrdinalIsRoundNumber) {
+  const auto alloc = Make(100);
+  EXPECT_EQ(alloc.FactExtentOrdinal(0), 0);
+  EXPECT_EQ(alloc.FactExtentOrdinal(99), 0);
+  EXPECT_EQ(alloc.FactExtentOrdinal(100), 1);
+  EXPECT_EQ(alloc.FactExtentOrdinal(11'519), 115);
+}
+
+TEST_F(AllocationTest, FragmentsPerDiskBalanced) {
+  const auto alloc = Make(100);
+  // 11,520 fragments over 100 disks: 115 or 116 each (11,520 = 115.2*100).
+  std::int64_t total = 0;
+  for (int d = 0; d < 100; ++d) {
+    const auto n = alloc.FragmentsOnDisk(d);
+    EXPECT_GE(n, 115);
+    EXPECT_LE(n, 116);
+    total += n;
+  }
+  EXPECT_EQ(total, 11'520);
+}
+
+TEST_F(AllocationTest, GapSchemeStillCoversAllDisksEvenly) {
+  const auto alloc = Make(100, BitmapPlacement::kStaggered, /*gap=*/1);
+  std::vector<std::int64_t> counts(100, 0);
+  for (FragId id = 0; id < frag_.FragmentCount(); ++id) {
+    ++counts[static_cast<std::size_t>(alloc.DiskOfFragment(id))];
+  }
+  for (int d = 0; d < 100; ++d) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(d)]),
+                115.2, 2.0);
+  }
+}
+
+TEST_F(AllocationTest, GapSchemeBreaksStrideClustering) {
+  // Query 1CODE touches every 480th fragment. With d=100 plain round
+  // robin this clusters on 5 disks (paper Sec. 4.6); a gap of 1 spreads
+  // the same fragments over far more disks.
+  const auto plain = Make(100);
+  const auto gapped = Make(100, BitmapPlacement::kStaggered, /*gap=*/1);
+  std::set<int> plain_disks, gapped_disks;
+  for (int m = 0; m < 24; ++m) {
+    const FragId id = static_cast<FragId>(m) * 480 + 41;
+    plain_disks.insert(plain.DiskOfFragment(id));
+    gapped_disks.insert(gapped.DiskOfFragment(id));
+  }
+  EXPECT_EQ(plain_disks.size(), 5u);
+  EXPECT_GT(gapped_disks.size(), 15u);
+}
+
+TEST_F(AllocationTest, BitmapExtentOrdinalsDifferPerBitmap) {
+  const auto alloc = Make(100);
+  EXPECT_NE(alloc.BitmapExtentOrdinal(205, 0),
+            alloc.BitmapExtentOrdinal(205, 1));
+  EXPECT_NE(alloc.BitmapExtentOrdinal(205, 0),
+            alloc.BitmapExtentOrdinal(305, 0));
+}
+
+TEST_F(AllocationTest, SingleDiskDegenerate) {
+  const auto alloc = Make(1);
+  for (FragId id = 0; id < 10; ++id) {
+    EXPECT_EQ(alloc.DiskOfFragment(id), 0);
+    EXPECT_EQ(alloc.DiskOfBitmapFragment(id, 3), 0);
+  }
+  EXPECT_EQ(alloc.FragmentsOnDisk(0), frag_.FragmentCount());
+}
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/disk.h"
+
+namespace mdw {
+namespace {
+
+DiskParams Params() {
+  DiskParams p;  // paper defaults: 10 ms avg seek, 3 ms settle, 1 ms/page
+  return p;
+}
+
+TEST(DiskTest, FirstReadFromTrackZeroHasNoSeek) {
+  EventQueue q;
+  Disk disk(&q, Params(), /*total_pages=*/100'000, "d0");
+  double done_at = -1;
+  disk.Read(0, 8, [&] { done_at = q.now(); });
+  q.RunUntilEmpty();
+  // Head starts at track 0, page 0 is track 0: settle 3 + 8 pages = 11 ms.
+  EXPECT_DOUBLE_EQ(done_at, 11.0);
+}
+
+TEST(DiskTest, SequentialReadsPayNoSeek) {
+  EventQueue q;
+  Disk disk(&q, Params(), 100'000, "d0");
+  std::vector<double> done;
+  disk.Read(0, 8, [&] { done.push_back(q.now()); });
+  disk.Read(8, 8, [&] { done.push_back(q.now()); });
+  q.RunUntilEmpty();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 11.0);
+  // Second read continues at the head position: 11 + 11 (pages 8..15 are
+  // within the first tracks; track distance 0 or 1 gives at most a tiny
+  // seek).
+  EXPECT_NEAR(done[1], 22.0, 2.5);
+}
+
+TEST(DiskTest, LongSeeksCostMore) {
+  EventQueue q;
+  DiskParams p = Params();
+  Disk disk(&q, p, 2'000'000, "d0");
+  std::vector<double> done;
+  disk.Read(0, 1, [&] { done.push_back(q.now()); });            // ~4 ms
+  disk.Read(1'999'999, 1, [&] { done.push_back(q.now()); });    // far seek
+  q.RunUntilEmpty();
+  ASSERT_EQ(done.size(), 2u);
+  const double second_service = done[1] - done[0];
+  // Full-stroke seek approaches min + (max-min) = 2 + 24 = 26 ms, plus
+  // settle 3 + 1 page.
+  EXPECT_GT(second_service, 25.0);
+  EXPECT_LT(second_service, 31.0);
+}
+
+TEST(DiskTest, AverageRandomSeekNearTenMs) {
+  // Calibration check for the paper's 10 ms average seek: read random
+  // positions and verify the mean service time is settle + pages + ~10.
+  EventQueue q;
+  Disk disk(&q, Params(), 10'000'000, "d0");
+  std::uint64_t state = 12345;
+  auto next_random = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  const int reads = 4'000;
+  for (int i = 0; i < reads; ++i) {
+    disk.Read(static_cast<std::int64_t>(next_random() % 10'000'000), 1,
+              [] {});
+  }
+  q.RunUntilEmpty();
+  const double avg_service = disk.busy_ms() / reads;
+  // settle 3 + 1 page + avg seek ~ 10 => ~14 ms (random-to-random head
+  // movement averages 1/3 of the stroke).
+  EXPECT_NEAR(avg_service, 14.0, 1.5);
+}
+
+TEST(DiskTest, RequestsQueueFcfs) {
+  EventQueue q;
+  Disk disk(&q, Params(), 100'000, "d0");
+  std::vector<int> order;
+  disk.Read(0, 4, [&] { order.push_back(0); });
+  disk.Read(4, 4, [&] { order.push_back(1); });
+  disk.Read(8, 4, [&] { order.push_back(2); });
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(disk.io_count(), 3);
+  EXPECT_EQ(disk.pages_read(), 12);
+}
+
+TEST(DiskTest, TrackMappingCoversCapacity) {
+  EventQueue q;
+  DiskParams p = Params();
+  p.tracks = 100;
+  Disk disk(&q, p, 1'000, "d0");
+  EXPECT_EQ(disk.TrackOf(0), 0);
+  EXPECT_EQ(disk.TrackOf(999), 99);
+  EXPECT_EQ(disk.TrackOf(10), 1);
+}
+
+TEST(DiskTest, TinyDiskStillWorks) {
+  EventQueue q;
+  Disk disk(&q, Params(), 1, "d0");
+  double done_at = -1;
+  disk.Read(0, 1, [&] { done_at = q.now(); });
+  q.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(done_at, 4.0);  // settle 3 + 1 page, no seek
+}
+
+TEST(DiskTest, MaxSeekCalibration) {
+  EventQueue q;
+  const Disk disk(&q, Params(), 1'000, "d0");
+  // min 2, avg 10 -> max = 2 + 3 * (10 - 2) = 26 ms.
+  EXPECT_DOUBLE_EQ(disk.MaxSeekMs(), 26.0);
+}
+
+TEST(DiskTest, UtilizationAccounting) {
+  EventQueue q;
+  Disk disk(&q, Params(), 100'000, "d0");
+  disk.Read(0, 8, [] {});
+  q.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(disk.busy_ms(), 11.0);
+  EXPECT_DOUBLE_EQ(disk.Utilization(22.0), 0.5);
+}
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace mdw {
+namespace {
+
+TEST(EventQueueTest, StartsAtTimeZero) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_FALSE(q.RunOne());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntilEmpty();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, ScheduleAfterIsRelative) {
+  EventQueue q;
+  double fired_at = -1;
+  q.ScheduleAt(10.0, [&] {
+    q.ScheduleAfter(5.0, [&] { fired_at = q.now(); });
+  });
+  q.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) q.ScheduleAfter(1.0, chain);
+  };
+  q.ScheduleAt(0.0, chain);
+  q.RunUntilEmpty();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(q.now(), 99.0);
+  EXPECT_EQ(q.events_processed(), 100);
+}
+
+TEST(EventQueueTest, NowAdvancesMonotonically) {
+  EventQueue q;
+  double last = -1;
+  for (int i = 0; i < 50; ++i) {
+    q.ScheduleAt(static_cast<double>(50 - i), [&, i] {
+      EXPECT_GE(q.now(), last);
+      last = q.now();
+    });
+  }
+  q.RunUntilEmpty();
+}
+
+TEST(EventQueueTest, ZeroDelayRunsAtCurrentTime) {
+  EventQueue q;
+  bool ran = false;
+  q.ScheduleAt(7.0, [&] {
+    q.ScheduleAfter(0.0, [&] {
+      EXPECT_DOUBLE_EQ(q.now(), 7.0);
+      ran = true;
+    });
+  });
+  q.RunUntilEmpty();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace mdw

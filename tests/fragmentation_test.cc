@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "fragment/fragmentation.h"
+#include "schema/apb1.h"
+
+namespace mdw {
+namespace {
+
+class FragmentationTest : public ::testing::Test {
+ protected:
+  FragmentationTest() : schema_(MakeApb1Schema()) {}
+  StarSchema schema_;
+};
+
+TEST_F(FragmentationTest, FMonthGroupHas11520Fragments) {
+  // Paper Sec. 4.1: F_MonthGroup yields 24 * 480 = 11,520 fragments.
+  const Fragmentation f(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}});
+  EXPECT_EQ(f.FragmentCount(), 11'520);
+  EXPECT_EQ(f.num_attrs(), 2);
+  EXPECT_EQ(f.CardOf(0), 24);
+  EXPECT_EQ(f.CardOf(1), 480);
+}
+
+TEST_F(FragmentationTest, Table6FragmentCounts) {
+  // Paper Table 6: 11,520 / 23,040 / 345,600 fragments.
+  const Fragmentation group(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}});
+  const Fragmentation klass(&schema_, {{kApb1Time, 2}, {kApb1Product, 4}});
+  const Fragmentation code(&schema_, {{kApb1Time, 2}, {kApb1Product, 5}});
+  EXPECT_EQ(group.FragmentCount(), 11'520);
+  EXPECT_EQ(klass.FragmentCount(), 23'040);
+  EXPECT_EQ(code.FragmentCount(), 345'600);
+}
+
+TEST_F(FragmentationTest, Table6BitmapFragmentSizes) {
+  // Paper Table 6: bitmap fragment sizes 4.9 / 2.5 / 0.16 pages.
+  const Fragmentation group(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}});
+  const Fragmentation klass(&schema_, {{kApb1Time, 2}, {kApb1Product, 4}});
+  const Fragmentation code(&schema_, {{kApb1Time, 2}, {kApb1Product, 5}});
+  EXPECT_NEAR(group.BitmapFragmentPages(), 4.94, 0.01);
+  EXPECT_NEAR(klass.BitmapFragmentPages(), 2.47, 0.01);
+  EXPECT_NEAR(code.BitmapFragmentPages(), 0.165, 0.005);
+}
+
+TEST_F(FragmentationTest, FinestFragmentationCount) {
+  // Paper Sec. 4.4: all dimensions at the lowest level -> 7.5 billion
+  // fragments (more than fact tuples).
+  const Fragmentation finest(&schema_, {{kApb1Time, 2},
+                                        {kApb1Product, 5},
+                                        {kApb1Customer, 1},
+                                        {kApb1Channel, 0}});
+  EXPECT_EQ(finest.FragmentCount(), 7'464'960'000LL);
+  EXPECT_GT(finest.FragmentCount(), schema_.FactCount());
+}
+
+TEST_F(FragmentationTest, FourDimCoarse) {
+  // Paper Sec. 4.4: {quarter, group, retailer, channel} -> ~9 million? The
+  // text says "about 9 million": 8 * 480 * 144 * 15 = 8,294,400.
+  const Fragmentation f(&schema_, {{kApb1Time, 1},
+                                   {kApb1Product, 3},
+                                   {kApb1Customer, 0},
+                                   {kApb1Channel, 0}});
+  EXPECT_EQ(f.FragmentCount(), 8'294'400);
+}
+
+TEST_F(FragmentationTest, FragmentIdRoundTrips) {
+  const Fragmentation f(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}});
+  for (FragId id = 0; id < f.FragmentCount(); id += 997) {
+    EXPECT_EQ(f.FragmentIdOf(f.CoordsOf(id)), id);
+  }
+  EXPECT_EQ(f.FragmentIdOf(f.CoordsOf(11'519)), 11'519);
+}
+
+TEST_F(FragmentationTest, LastAttributeVariesFastest) {
+  // Fig. 2: groups consecutive within a month.
+  const Fragmentation f(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}});
+  EXPECT_EQ(f.FragmentIdOf({0, 0}), 0);
+  EXPECT_EQ(f.FragmentIdOf({0, 1}), 1);
+  EXPECT_EQ(f.FragmentIdOf({1, 0}), 480);
+  EXPECT_EQ(f.FragmentIdOf({23, 479}), 11'519);
+}
+
+TEST_F(FragmentationTest, FragmentOfRowUsesAncestors) {
+  const Fragmentation f(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}});
+  // Row: code 35 (group 1), store 7, channel 3, month 5.
+  const FragId id = f.FragmentOfRow({35, 7, 3, 5});
+  EXPECT_EQ(id, 5 * 480 + 1);
+}
+
+TEST_F(FragmentationTest, TuplesPerFragment) {
+  const Fragmentation f(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}});
+  // 1,866,240,000 / 11,520 = 162,000 tuples.
+  EXPECT_DOUBLE_EQ(f.TuplesPerFragment(), 162'000.0);
+  EXPECT_NEAR(f.FactPagesPerFragment(), 794.1, 0.1);
+}
+
+TEST_F(FragmentationTest, DimLookups) {
+  const Fragmentation f(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}});
+  EXPECT_EQ(f.IndexOfDim(kApb1Time), 0);
+  EXPECT_EQ(f.IndexOfDim(kApb1Product), 1);
+  EXPECT_EQ(f.IndexOfDim(kApb1Customer), -1);
+  EXPECT_EQ(f.FragDepthOf(kApb1Time), 2);
+  EXPECT_EQ(f.FragDepthOf(kApb1Product), 3);
+  EXPECT_EQ(f.FragDepthOf(kApb1Channel), -1);
+}
+
+TEST_F(FragmentationTest, Label) {
+  const Fragmentation f(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}});
+  EXPECT_EQ(f.Label(), "{time::month, product::group}");
+  const Fragmentation none(&schema_, {});
+  EXPECT_EQ(none.Label(), "{unfragmented}");
+}
+
+TEST_F(FragmentationTest, UnfragmentedBaseline) {
+  const Fragmentation none(&schema_, {});
+  EXPECT_EQ(none.FragmentCount(), 1);
+  EXPECT_DOUBLE_EQ(none.TuplesPerFragment(),
+                   static_cast<double>(schema_.FactCount()));
+}
+
+TEST_F(FragmentationTest, OneDimensionalFragmentation) {
+  // F_opt of Table 3: {customer::store}.
+  const Fragmentation f(&schema_, {{kApb1Customer, 1}});
+  EXPECT_EQ(f.FragmentCount(), 1'440);
+  EXPECT_DOUBLE_EQ(f.TuplesPerFragment(), 1'296'000.0);
+}
+
+// Property: rows mapped over the whole leaf space hit every fragment of a
+// two-dimensional fragmentation and partition evenly for aligned schemas.
+TEST_F(FragmentationTest, RowMappingCoversAllFragments) {
+  const auto tiny = MakeTinyApb1Schema();
+  const Fragmentation f(&tiny, {{kApb1Time, 2}, {kApb1Product, 3}});
+  std::set<FragId> seen;
+  const auto& ph = tiny.dimension(kApb1Product).hierarchy();
+  const auto& th = tiny.dimension(kApb1Time).hierarchy();
+  for (std::int64_t code = 0; code < ph.LeafCardinality(); ++code) {
+    for (std::int64_t month = 0; month < th.LeafCardinality(); ++month) {
+      seen.insert(f.FragmentOfRow({code, 0, 0, month}));
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), f.FragmentCount());
+}
+
+class FragmentationParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+// Property: FragmentOfRow is consistent with CoordsOf: the row's ancestors
+// equal the fragment's coordinates.
+TEST_P(FragmentationParamTest, RowAncestorsMatchFragmentCoords) {
+  const auto schema = MakeApb1Schema();
+  const auto [time_depth, product_depth] = GetParam();
+  const Fragmentation f(&schema, {{kApb1Time, time_depth},
+                                  {kApb1Product, product_depth}});
+  Rng rng(static_cast<std::uint64_t>(time_depth * 10 + product_depth));
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::int64_t> row = {
+        rng.Uniform(0, 14'399), rng.Uniform(0, 1'439), rng.Uniform(0, 14),
+        rng.Uniform(0, 23)};
+    const auto coords = f.CoordsOf(f.FragmentOfRow(row));
+    EXPECT_EQ(coords[0],
+              schema.dimension(kApb1Time).hierarchy().AncestorOfLeaf(
+                  row[kApb1Time], time_depth));
+    EXPECT_EQ(coords[1],
+              schema.dimension(kApb1Product).hierarchy().AncestorOfLeaf(
+                  row[kApb1Product], product_depth));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthCombos, FragmentationParamTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0, 1, 2, 3, 4, 5)));
+
+}  // namespace
+}  // namespace mdw

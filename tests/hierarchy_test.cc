@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "schema/hierarchy.h"
+
+namespace mdw {
+namespace {
+
+// The APB-1 PRODUCT hierarchy of paper Table 1.
+Hierarchy Product() {
+  return Hierarchy({{"division", 8},
+                    {"line", 24},
+                    {"family", 120},
+                    {"group", 480},
+                    {"class", 960},
+                    {"code", 14'400}});
+}
+
+Hierarchy Time() {
+  return Hierarchy({{"year", 2}, {"quarter", 8}, {"month", 24}});
+}
+
+TEST(HierarchyTest, LevelAccessors) {
+  const auto h = Product();
+  EXPECT_EQ(h.num_levels(), 6);
+  EXPECT_EQ(h.leaf_depth(), 5);
+  EXPECT_EQ(h.level(0).name, "division");
+  EXPECT_EQ(h.level(5).name, "code");
+  EXPECT_EQ(h.Cardinality(3), 480);
+  EXPECT_EQ(h.LeafCardinality(), 14'400);
+}
+
+TEST(HierarchyTest, FanoutsMatchApb1Ratios) {
+  const auto h = Product();
+  // Paper Table 1 row "#elements within parent": 8, 3, 5, 4, 2, 15.
+  EXPECT_EQ(h.Fanout(-1), 8);
+  EXPECT_EQ(h.Fanout(0), 3);
+  EXPECT_EQ(h.Fanout(1), 5);
+  EXPECT_EQ(h.Fanout(2), 4);
+  EXPECT_EQ(h.Fanout(3), 2);
+  EXPECT_EQ(h.Fanout(4), 15);
+}
+
+TEST(HierarchyTest, AncestorOfLeaf) {
+  const auto h = Time();
+  // 24 months, 8 quarters, 2 years: month 0..2 -> quarter 0; month 23 ->
+  // quarter 7, year 1.
+  EXPECT_EQ(h.AncestorOfLeaf(0, 1), 0);
+  EXPECT_EQ(h.AncestorOfLeaf(2, 1), 0);
+  EXPECT_EQ(h.AncestorOfLeaf(3, 1), 1);
+  EXPECT_EQ(h.AncestorOfLeaf(23, 1), 7);
+  EXPECT_EQ(h.AncestorOfLeaf(11, 0), 0);
+  EXPECT_EQ(h.AncestorOfLeaf(12, 0), 1);
+  EXPECT_EQ(h.AncestorOfLeaf(23, 2), 23);  // identity at leaf depth
+}
+
+TEST(HierarchyTest, AncestorBetweenInnerLevels) {
+  const auto h = Product();
+  // group -> family: 4 groups per family.
+  EXPECT_EQ(h.Ancestor(0, 3, 2), 0);
+  EXPECT_EQ(h.Ancestor(3, 3, 2), 0);
+  EXPECT_EQ(h.Ancestor(4, 3, 2), 1);
+  EXPECT_EQ(h.Ancestor(479, 3, 2), 119);
+}
+
+TEST(HierarchyTest, LeafRangeRoundTrips) {
+  const auto h = Product();
+  // Each group covers 30 codes.
+  EXPECT_EQ(h.LeavesPer(3), 30);
+  const auto [first, last] = h.LeafRange(7, 3);
+  EXPECT_EQ(first, 210);
+  EXPECT_EQ(last, 239);
+  for (std::int64_t code = first; code <= last; ++code) {
+    EXPECT_EQ(h.AncestorOfLeaf(code, 3), 7);
+  }
+  EXPECT_EQ(h.AncestorOfLeaf(first - 1, 3), 6);
+  EXPECT_EQ(h.AncestorOfLeaf(last + 1, 3), 8);
+}
+
+TEST(HierarchyTest, DescendantsPer) {
+  const auto h = Product();
+  EXPECT_EQ(h.DescendantsPer(0, 5), 1'800);  // codes per division
+  EXPECT_EQ(h.DescendantsPer(3, 4), 2);      // classes per group
+  EXPECT_EQ(h.DescendantsPer(2, 2), 1);
+  const auto t = Time();
+  EXPECT_EQ(t.DescendantsPer(1, 2), 3);  // months per quarter
+}
+
+TEST(HierarchyEncodingTest, BitsPerLevelMatchTable1) {
+  const auto h = Product();
+  // Paper Table 1 row "#bits for encoding": 3, 2, 3, 2, 1, 4 = 15.
+  EXPECT_EQ(h.BitsAt(0), 3);
+  EXPECT_EQ(h.BitsAt(1), 2);
+  EXPECT_EQ(h.BitsAt(2), 3);
+  EXPECT_EQ(h.BitsAt(3), 2);
+  EXPECT_EQ(h.BitsAt(4), 1);
+  EXPECT_EQ(h.BitsAt(5), 4);
+  EXPECT_EQ(h.TotalBits(), 15);
+}
+
+TEST(HierarchyEncodingTest, PrefixBitsMatchTable1) {
+  const auto h = Product();
+  // A GROUP is identified by the 10-bit prefix "dddllfffgg" (paper 3.2).
+  EXPECT_EQ(h.PrefixBits(3), 10);
+  EXPECT_EQ(h.PrefixBits(0), 3);
+  EXPECT_EQ(h.PrefixBits(5), 15);
+}
+
+TEST(HierarchyEncodingTest, EncodeDecodeRoundTripsAllCodes) {
+  const auto h = Product();
+  for (std::int64_t code = 0; code < h.LeafCardinality(); code += 7) {
+    EXPECT_EQ(h.DecodeLeaf(h.EncodeLeaf(code)), code) << "code " << code;
+  }
+  EXPECT_EQ(h.DecodeLeaf(h.EncodeLeaf(0)), 0);
+  EXPECT_EQ(h.DecodeLeaf(h.EncodeLeaf(14'399)), 14'399);
+}
+
+TEST(HierarchyEncodingTest, SameGroupSharesPrefix) {
+  const auto h = Product();
+  // Paper Sec. 3.2: codes of the same GROUP share the 10-bit prefix.
+  const auto prefix = [&](std::int64_t code) {
+    return h.EncodeLeaf(code) >> (h.TotalBits() - h.PrefixBits(3));
+  };
+  const auto [first, last] = h.LeafRange(123, 3);
+  const auto p = prefix(first);
+  for (std::int64_t code = first; code <= last; ++code) {
+    EXPECT_EQ(prefix(code), p);
+  }
+  EXPECT_NE(prefix(last + 1), p);
+}
+
+TEST(HierarchyEncodingTest, EncodingIsInjective) {
+  const auto h = Hierarchy({{"a", 3}, {"b", 15}});
+  std::set<std::uint64_t> seen;
+  for (std::int64_t leaf = 0; leaf < 15; ++leaf) {
+    EXPECT_TRUE(seen.insert(h.EncodeLeaf(leaf)).second);
+  }
+}
+
+TEST(HierarchyTest, SingleLevelHierarchy) {
+  const Hierarchy h({{"channel", 15}});
+  EXPECT_EQ(h.num_levels(), 1);
+  EXPECT_EQ(h.TotalBits(), 4);
+  EXPECT_EQ(h.AncestorOfLeaf(7, 0), 7);
+  EXPECT_EQ(h.LeavesPer(0), 1);
+}
+
+TEST(HierarchyTest, DepthOfByName) {
+  const auto h = Product();
+  EXPECT_EQ(h.DepthOf("division"), 0);
+  EXPECT_EQ(h.DepthOf("group"), 3);
+  EXPECT_EQ(h.DepthOf("code"), 5);
+  EXPECT_EQ(h.DepthOf("nope"), -1);
+}
+
+TEST(HierarchyTest, NonPowerOfTwoFanoutsStillRoundTrip) {
+  // Customer: 144 retailers x 10 stores = 1440 stores, 8 + 4 = 12 bits.
+  const Hierarchy h({{"retailer", 144}, {"store", 1'440}});
+  EXPECT_EQ(h.TotalBits(), 12);
+  for (std::int64_t store = 0; store < 1'440; ++store) {
+    EXPECT_EQ(h.DecodeLeaf(h.EncodeLeaf(store)), store);
+  }
+}
+
+using DepthParam = std::tuple<int, std::int64_t>;
+
+class AncestorConsistency : public ::testing::TestWithParam<DepthParam> {};
+
+// Property: Ancestor is transitive -- going leaf -> d directly equals
+// leaf -> mid -> d for any mid between.
+TEST_P(AncestorConsistency, TransitiveThroughIntermediateLevels) {
+  const auto h = Product();
+  const auto [d, leaf] = GetParam();
+  for (Depth mid = d; mid <= h.leaf_depth(); ++mid) {
+    const auto via_mid = h.Ancestor(h.AncestorOfLeaf(leaf, mid), mid, d);
+    EXPECT_EQ(via_mid, h.AncestorOfLeaf(leaf, d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, AncestorConsistency,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values<std::int64_t>(0, 1, 29, 30, 7'199,
+                                                       14'399)));
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+#include "sim/sim_config.h"
+
+namespace mdw {
+namespace {
+
+TEST(MetricsTest, SummarizeEmpty) {
+  SimResult result;
+  SummarizeResponses(&result);
+  EXPECT_DOUBLE_EQ(result.avg_response_ms, 0);
+  EXPECT_DOUBLE_EQ(result.min_response_ms, 0);
+  EXPECT_DOUBLE_EQ(result.max_response_ms, 0);
+}
+
+TEST(MetricsTest, SummarizeComputesStats) {
+  SimResult result;
+  result.response_ms = {10, 20, 60};
+  SummarizeResponses(&result);
+  EXPECT_DOUBLE_EQ(result.avg_response_ms, 30);
+  EXPECT_DOUBLE_EQ(result.min_response_ms, 10);
+  EXPECT_DOUBLE_EQ(result.max_response_ms, 60);
+}
+
+TEST(MetricsTest, ThroughputPerSecond) {
+  SimResult result;
+  result.response_ms = {1, 2, 3, 4};
+  result.makespan_ms = 2'000;
+  EXPECT_DOUBLE_EQ(result.ThroughputPerSecond(), 2.0);
+  result.makespan_ms = 0;
+  EXPECT_DOUBLE_EQ(result.ThroughputPerSecond(), 0.0);
+}
+
+TEST(SimConfigTest, DefaultsMatchTableFour) {
+  const SimConfig config;
+  EXPECT_EQ(config.num_disks, 100);
+  EXPECT_EQ(config.num_nodes, 20);
+  EXPECT_DOUBLE_EQ(config.disk.avg_seek_ms, 10.0);
+  EXPECT_DOUBLE_EQ(config.disk.settle_ms, 3.0);
+  EXPECT_DOUBLE_EQ(config.disk.per_page_ms, 1.0);
+  EXPECT_DOUBLE_EQ(config.network_mbit_per_s, 100.0);
+  EXPECT_EQ(config.small_message_bytes, 128);
+  EXPECT_EQ(config.fact_buffer_pages, 1'000);
+  EXPECT_EQ(config.bitmap_buffer_pages, 5'000);
+  EXPECT_EQ(config.fact_prefetch_pages, 8);
+  EXPECT_EQ(config.bitmap_prefetch_pages, 5);
+  config.Validate();
+}
+
+TEST(SimConfigTest, LabelMentionsHardware) {
+  SimConfig config;
+  config.num_disks = 60;
+  config.num_nodes = 12;
+  config.tasks_per_node = 5;
+  const auto label = config.Label();
+  EXPECT_NE(label.find("d=60"), std::string::npos);
+  EXPECT_NE(label.find("p=12"), std::string::npos);
+  EXPECT_NE(label.find("t=5"), std::string::npos);
+}
+
+TEST(SimConfigTest, OwnerNodeRoundRobin) {
+  SimConfig config;
+  config.num_disks = 100;
+  config.num_nodes = 20;
+  EXPECT_EQ(config.OwnerNode(0), 0);
+  EXPECT_EQ(config.OwnerNode(19), 19);
+  EXPECT_EQ(config.OwnerNode(20), 0);
+  EXPECT_EQ(config.OwnerNode(99), 19);
+}
+
+TEST(SimConfigTest, ArchitectureNames) {
+  EXPECT_STREQ(ToString(Architecture::kSharedDisk), "Shared Disk");
+  EXPECT_STREQ(ToString(Architecture::kSharedNothing), "Shared Nothing");
+}
+
+TEST(SimConfigTest, ValidationCatchesBadBuffers) {
+  SimConfig config;
+  config.fact_buffer_pages = 4;  // smaller than the 8-page prefetch
+  EXPECT_DEATH(config.Validate(), "prefetch granule");
+}
+
+TEST(SimConfigTest, ValidationCatchesBadSkew) {
+  SimConfig config;
+  config.fragment_skew_theta = 1.0;
+  EXPECT_DEATH(config.Validate(), "skew theta");
+}
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "schema/apb1.h"
+#include "workload/query_generator.h"
+
+namespace mdw {
+namespace {
+
+TEST(QueryGeneratorTest, GeneratesNamedQueryTypes) {
+  const auto schema = MakeApb1Schema();
+  QueryGenerator gen(&schema, 1);
+  EXPECT_EQ(gen.Generate(QueryType::k1Store).name(), "1STORE");
+  EXPECT_EQ(gen.Generate(QueryType::k1Month).name(), "1MONTH");
+  EXPECT_EQ(gen.Generate(QueryType::k1Code).name(), "1CODE");
+  EXPECT_EQ(gen.Generate(QueryType::k1Month1Group).name(), "1MONTH1GROUP");
+  EXPECT_EQ(gen.Generate(QueryType::k1Code1Quarter).name(), "1CODE1QUARTER");
+}
+
+TEST(QueryGeneratorTest, ValuesWithinCardinalities) {
+  const auto schema = MakeApb1Schema();
+  QueryGenerator gen(&schema, 2);
+  for (int i = 0; i < 200; ++i) {
+    const auto q = gen.Generate(QueryType::k1Store);
+    ASSERT_EQ(q.predicates().size(), 1u);
+    const auto& p = q.predicates()[0];
+    EXPECT_EQ(p.dim, kApb1Customer);
+    EXPECT_EQ(p.depth, 1);
+    EXPECT_GE(p.values[0], 0);
+    EXPECT_LT(p.values[0], 1'440);
+  }
+}
+
+TEST(QueryGeneratorTest, DeterministicPerSeed) {
+  const auto schema = MakeApb1Schema();
+  QueryGenerator a(&schema, 3), b(&schema, 3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.Generate(QueryType::k1Code).predicates()[0].values[0],
+              b.Generate(QueryType::k1Code).predicates()[0].values[0]);
+  }
+}
+
+TEST(QueryGeneratorTest, ParametersVaryAcrossCalls) {
+  const auto schema = MakeApb1Schema();
+  QueryGenerator gen(&schema, 4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(gen.Generate(QueryType::k1Code).predicates()[0].values[0]);
+  }
+  EXPECT_GT(seen.size(), 30u);
+}
+
+TEST(QueryGeneratorTest, GenerateMany) {
+  const auto schema = MakeApb1Schema();
+  QueryGenerator gen(&schema, 5);
+  const auto queries = gen.GenerateMany(QueryType::k1Month, 7);
+  EXPECT_EQ(queries.size(), 7u);
+  for (const auto& q : queries) EXPECT_EQ(q.name(), "1MONTH");
+}
+
+TEST(QueryGeneratorTest, SkewConcentratesValues) {
+  const auto schema = MakeApb1Schema();
+  QueryGenerator uniform(&schema, 6, 0.0);
+  QueryGenerator skewed(&schema, 6, 0.9);
+  std::set<std::int64_t> u_seen, s_seen;
+  for (int i = 0; i < 300; ++i) {
+    u_seen.insert(uniform.Generate(QueryType::k1Store).predicates()[0]
+                      .values[0]);
+    s_seen.insert(skewed.Generate(QueryType::k1Store).predicates()[0]
+                      .values[0]);
+  }
+  // A strong Zipf skew produces fewer distinct values than uniform.
+  EXPECT_LT(s_seen.size(), u_seen.size());
+}
+
+TEST(QueryGeneratorTest, TwoDimensionalQueriesHaveTwoPredicates) {
+  const auto schema = MakeApb1Schema();
+  QueryGenerator gen(&schema, 7);
+  EXPECT_EQ(gen.Generate(QueryType::k1Month1Group).predicates().size(), 2u);
+  EXPECT_EQ(gen.Generate(QueryType::k1Code1Month).predicates().size(), 2u);
+  EXPECT_EQ(gen.Generate(QueryType::k1Group1Store).predicates().size(), 2u);
+}
+
+TEST(QueryGeneratorTest, WorksOnTinySchema) {
+  const auto tiny = MakeTinyApb1Schema();
+  QueryGenerator gen(&tiny, 8);
+  for (const auto type :
+       {QueryType::k1Store, QueryType::k1Month, QueryType::k1Code,
+        QueryType::k1Quarter, QueryType::k1Month1Group,
+        QueryType::k1Code1Month, QueryType::k1Code1Quarter,
+        QueryType::k1Group1Store}) {
+    const auto q = gen.Generate(type);
+    for (const auto& p : q.predicates()) {
+      EXPECT_LT(p.values[0],
+                tiny.dimension(p.dim).hierarchy().Cardinality(p.depth));
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, ToStringCoversAllTypes) {
+  EXPECT_STREQ(ToString(QueryType::k1Store), "1STORE");
+  EXPECT_STREQ(ToString(QueryType::k1Quarter), "1QUARTER");
+  EXPECT_STREQ(ToString(QueryType::k1Group1Store), "1GROUP1STORE");
+}
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "fragment/query_planner.h"
+#include "schema/apb1.h"
+#include "workload/query_parser.h"
+
+namespace mdw {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : schema_(MakeApb1Schema()) {}
+
+  StarQuery MustParse(const std::string& sql) {
+    std::string error;
+    auto query = ParseStarQuery(schema_, sql, &error);
+    EXPECT_TRUE(query.has_value()) << sql << " -> " << error;
+    return query.value_or(StarQuery("invalid", {}));
+  }
+
+  std::string MustFail(const std::string& sql) {
+    std::string error;
+    auto query = ParseStarQuery(schema_, sql, &error);
+    EXPECT_FALSE(query.has_value()) << sql;
+    return error;
+  }
+
+  StarSchema schema_;
+};
+
+TEST_F(ParserTest, PaperExampleQuery) {
+  // The paper's 1MONTH1GROUP, Sec. 3.1 (values made explicit).
+  const auto q = MustParse(
+      "SELECT SUM(UnitsSold), SUM(DollarSales) FROM sales "
+      "WHERE time.month = 3 AND product.group = 41");
+  ASSERT_EQ(q.predicates().size(), 2u);
+  EXPECT_EQ(q.predicates()[0].dim, kApb1Time);
+  EXPECT_EQ(q.predicates()[0].depth, 2);
+  EXPECT_EQ(q.predicates()[0].values, std::vector<std::int64_t>{3});
+  EXPECT_EQ(q.predicates()[1].dim, kApb1Product);
+  EXPECT_EQ(q.predicates()[1].depth, 3);
+}
+
+TEST_F(ParserTest, ParsedQueryPlansLikeHandBuilt) {
+  const Fragmentation f(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}});
+  const QueryPlanner planner(&schema_, &f);
+  const auto parsed = MustParse(
+      "SELECT SUM(UnitsSold) FROM sales "
+      "WHERE time.month = 3 AND product.group = 41");
+  const auto by_hand = apb1_queries::OneMonthOneGroup(3, 41);
+  const auto plan_parsed = planner.Plan(parsed);
+  const auto plan_hand = planner.Plan(by_hand);
+  EXPECT_EQ(plan_parsed.FragmentCount(), plan_hand.FragmentCount());
+  EXPECT_EQ(plan_parsed.io_class(), plan_hand.io_class());
+  EXPECT_EQ(plan_parsed.MaterializeFragments(),
+            plan_hand.MaterializeFragments());
+}
+
+TEST_F(ParserTest, InList) {
+  const auto q = MustParse(
+      "SELECT SUM(Cost) FROM sales WHERE product.code IN (1, 2, 50)");
+  ASSERT_EQ(q.predicates().size(), 1u);
+  EXPECT_EQ(q.predicates()[0].values,
+            (std::vector<std::int64_t>{1, 2, 50}));
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywords) {
+  const auto q = MustParse(
+      "select sum(UnitsSold) from sales where customer.store = 17");
+  ASSERT_EQ(q.predicates().size(), 1u);
+  EXPECT_EQ(q.predicates()[0].dim, kApb1Customer);
+}
+
+TEST_F(ParserTest, NoWhereClauseMeansFullAggregate) {
+  const auto q = MustParse("SELECT SUM(UnitsSold) FROM sales");
+  EXPECT_TRUE(q.predicates().empty());
+}
+
+TEST_F(ParserTest, SelectStarAndMultipleAggregates) {
+  MustParse("SELECT * FROM sales WHERE channel.channel = 3");
+  MustParse("SELECT COUNT(*), AVG(Cost), MIN(Cost), MAX(Cost) FROM sales");
+}
+
+TEST_F(ParserTest, RejectsUnknownDimension) {
+  const auto error =
+      MustFail("SELECT SUM(x) FROM sales WHERE supplier.name = 1");
+  EXPECT_NE(error.find("unknown dimension"), std::string::npos);
+}
+
+TEST_F(ParserTest, RejectsUnknownLevel) {
+  const auto error =
+      MustFail("SELECT SUM(x) FROM sales WHERE time.week = 1");
+  EXPECT_NE(error.find("unknown level"), std::string::npos);
+}
+
+TEST_F(ParserTest, RejectsOutOfRangeValue) {
+  const auto error =
+      MustFail("SELECT SUM(x) FROM sales WHERE time.month = 24");
+  EXPECT_NE(error.find("expected a value in [0, 24)"), std::string::npos);
+}
+
+TEST_F(ParserTest, RejectsWrongFactTable) {
+  const auto error = MustFail("SELECT SUM(x) FROM orders");
+  EXPECT_NE(error.find("unknown fact table"), std::string::npos);
+}
+
+TEST_F(ParserTest, RejectsDuplicateDimension) {
+  const auto error = MustFail(
+      "SELECT SUM(x) FROM sales WHERE time.month = 1 AND time.year = 0");
+  EXPECT_NE(error.find("duplicate predicate"), std::string::npos);
+}
+
+TEST_F(ParserTest, RejectsTrailingGarbage) {
+  const auto error =
+      MustFail("SELECT SUM(x) FROM sales WHERE time.month = 1 ORDER");
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST_F(ParserTest, RejectsMalformedSyntax) {
+  MustFail("");
+  MustFail("FROM sales");
+  MustFail("SELECT FROM sales");
+  MustFail("SELECT SUM(UnitsSold FROM sales");
+  MustFail("SELECT SUM(x) FROM sales WHERE");
+  MustFail("SELECT SUM(x) FROM sales WHERE time month = 1");
+  MustFail("SELECT SUM(x) FROM sales WHERE time.month 1");
+  MustFail("SELECT SUM(x) FROM sales WHERE time.month IN 1");
+  MustFail("SELECT SUM(x) FROM sales WHERE time.month IN (1, )");
+}
+
+TEST_F(ParserTest, WorksOnTinySchema) {
+  const auto tiny = MakeTinyApb1Schema();
+  std::string error;
+  const auto q = ParseStarQuery(
+      tiny, "SELECT SUM(UnitsSold) FROM tiny_sales WHERE product.code = 30",
+      &error);
+  ASSERT_TRUE(q.has_value()) << error;
+  EXPECT_EQ(q->predicates()[0].values[0], 30);
+}
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/network.h"
+#include "sim/resource.h"
+
+namespace mdw {
+namespace {
+
+TEST(FcfsServerTest, ServesImmediatelyWhenIdle) {
+  EventQueue q;
+  FcfsServer server(&q, "s");
+  double done_at = -1;
+  server.Request([] { return 5.0; }, [&] { done_at = q.now(); });
+  q.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+  EXPECT_DOUBLE_EQ(server.busy_ms(), 5.0);
+  EXPECT_EQ(server.completed(), 1);
+}
+
+TEST(FcfsServerTest, QueuesConcurrentRequests) {
+  EventQueue q;
+  FcfsServer server(&q, "s");
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    server.Request([] { return 10.0; },
+                   [&] { completions.push_back(q.now()); });
+  }
+  q.RunUntilEmpty();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 10.0);
+  EXPECT_DOUBLE_EQ(completions[1], 20.0);
+  EXPECT_DOUBLE_EQ(completions[2], 30.0);
+  EXPECT_DOUBLE_EQ(server.busy_ms(), 30.0);
+}
+
+TEST(FcfsServerTest, DemandEvaluatedAtServiceStart) {
+  EventQueue q;
+  FcfsServer server(&q, "s");
+  double state = 1.0;  // demand depends on mutable state (like a disk head)
+  std::vector<double> completions;
+  server.Request([&] { return state; },
+                 [&] { completions.push_back(q.now()); });
+  server.Request([&] { return state; },
+                 [&] { completions.push_back(q.now()); });
+  // Mutate state after enqueue but before the second service starts.
+  state = 2.0;
+  q.RunUntilEmpty();
+  ASSERT_EQ(completions.size(), 2u);
+  // Both requests see state = 2.0: the first service also starts after
+  // this synchronous block? No: the first Request starts service
+  // immediately (state still 1.0 at call time... demand function runs
+  // inside Request -> StartNext synchronously).
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 3.0);
+}
+
+TEST(FcfsServerTest, CompletionCanRequestAgain) {
+  EventQueue q;
+  FcfsServer server(&q, "s");
+  int count = 0;
+  std::function<void()> resubmit = [&] {
+    if (++count < 5) {
+      server.Request([] { return 2.0; }, resubmit);
+    }
+  };
+  server.Request([] { return 2.0; }, resubmit);
+  q.RunUntilEmpty();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(FcfsServerTest, UtilizationOverHorizon) {
+  EventQueue q;
+  FcfsServer server(&q, "s");
+  server.Request([] { return 25.0; }, [] {});
+  q.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(server.Utilization(100.0), 0.25);
+  EXPECT_DOUBLE_EQ(server.Utilization(0.0), 0.0);
+}
+
+TEST(CpuTest, ExecutesAtMips) {
+  EventQueue q;
+  CpuCosts costs;  // 50 MIPS
+  Cpu cpu(&q, costs, "cpu0");
+  double done_at = -1;
+  cpu.Execute(50'000, [&] { done_at = q.now(); });
+  q.RunUntilEmpty();
+  // 50,000 instructions at 50 MIPS = 1 ms.
+  EXPECT_DOUBLE_EQ(done_at, 1.0);
+}
+
+TEST(CpuTest, MessageCostIncludesBytes) {
+  CpuCosts costs;
+  // 1,000 + 128 instructions at 50 MIPS.
+  EXPECT_DOUBLE_EQ(costs.MessageInstructions(128), 1'128.0);
+  EXPECT_NEAR(costs.MessageMs(128), 1'128.0 / 50'000, 1e-12);
+}
+
+TEST(CpuTest, TableFourDefaults) {
+  const CpuCosts costs;
+  EXPECT_EQ(costs.initiate_query, 50'000);
+  EXPECT_EQ(costs.terminate_query, 10'000);
+  EXPECT_EQ(costs.initiate_subquery, 10'000);
+  EXPECT_EQ(costs.terminate_subquery, 10'000);
+  EXPECT_EQ(costs.read_page, 3'000);
+  EXPECT_EQ(costs.process_bitmap_page, 1'500);
+  EXPECT_EQ(costs.extract_row, 100);
+  EXPECT_EQ(costs.aggregate_row, 100);
+  EXPECT_DOUBLE_EQ(costs.mips, 50.0);
+}
+
+TEST(NetworkTest, WireDelayProportionalToSize) {
+  EventQueue q;
+  Network net(&q, 100.0);  // 100 Mbit/s
+  // 4 KB page: 4096 * 8 / 100e6 s = 0.32768 ms.
+  EXPECT_NEAR(net.WireDelayMs(4'096), 0.32768, 1e-9);
+  // 128 B message: 0.01024 ms.
+  EXPECT_NEAR(net.WireDelayMs(128), 0.01024, 1e-9);
+}
+
+TEST(NetworkTest, TransferSchedulesCompletion) {
+  EventQueue q;
+  Network net(&q, 100.0);
+  double done_at = -1;
+  net.Transfer(4'096, [&] { done_at = q.now(); });
+  q.RunUntilEmpty();
+  EXPECT_NEAR(done_at, 0.32768, 1e-9);
+  EXPECT_EQ(net.messages(), 1);
+  EXPECT_EQ(net.bytes_sent(), 4'096);
+}
+
+TEST(NetworkTest, ContentionFreeParallelTransfers) {
+  EventQueue q;
+  Network net(&q, 100.0);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    net.Transfer(4'096, [&] { done.push_back(q.now()); });
+  }
+  q.RunUntilEmpty();
+  // No queueing: all four complete at the same wire delay.
+  for (const double t : done) EXPECT_NEAR(t, 0.32768, 1e-9);
+}
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "cost/response_model.h"
+#include "fragment/query_planner.h"
+#include "schema/apb1.h"
+#include "sim/simulator.h"
+
+namespace mdw {
+namespace {
+
+class ResponseModelTest : public ::testing::Test {
+ protected:
+  ResponseModelTest()
+      : schema_(MakeApb1Schema()),
+        month_group_(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}}),
+        planner_(&schema_, &month_group_) {}
+
+  SimConfig Config(int d, int p, int t) {
+    SimConfig c;
+    c.num_disks = d;
+    c.num_nodes = p;
+    c.tasks_per_node = t;
+    return c;
+  }
+
+  StarSchema schema_;
+  Fragmentation month_group_;
+  QueryPlanner planner_;
+};
+
+TEST_F(ResponseModelTest, CpuBoundQueryIdentifiedAsCpuBound) {
+  const ResponseModel model(&schema_, Config(100, 20, 4));
+  const auto est = model.Estimate(planner_.Plan(apb1_queries::OneMonth(3)));
+  // 1MONTH with p << d is CPU-bound (paper Fig. 4).
+  EXPECT_GT(est.cpu_bound_ms, est.disk_bound_ms);
+}
+
+TEST_F(ResponseModelTest, IoBoundQueryIdentifiedAsDiskBound) {
+  const ResponseModel model(&schema_, Config(100, 20, 4));
+  const auto est = model.Estimate(planner_.Plan(apb1_queries::OneStore(7)));
+  // 1STORE is heavily disk-bound (paper Fig. 3).
+  EXPECT_GT(est.disk_bound_ms, est.cpu_bound_ms);
+}
+
+TEST_F(ResponseModelTest, TracksSimulatorWithinFactorTwo) {
+  // The bound-based estimate is first-order; it must land within a factor
+  // of two of the detailed simulation for the paper's standard queries
+  // when enough subquery slots keep the devices busy. Passing the real
+  // allocation lets the model account for gcd clustering (1GROUP1STORE's
+  // 24 fragments reach only 5 of the 100 disks).
+  const SimConfig config = Config(100, 20, 5);
+  const ResponseModel model(&schema_, config);
+  AllocationConfig alloc_config;
+  alloc_config.num_disks = config.num_disks;
+  const DiskAllocation allocation(&month_group_, alloc_config, 32);
+  Simulator sim(&schema_, &month_group_, config);
+  for (const auto& q : {apb1_queries::OneMonth(3),
+                        apb1_queries::OneGroupOneStore(41, 7),
+                        apb1_queries::OneStore(7)}) {
+    const double estimated =
+        model.Estimate(planner_.Plan(q), &allocation).response_ms;
+    const double simulated = sim.RunSingleUser({q}).avg_response_ms;
+    EXPECT_LT(estimated, simulated * 2.0) << q.name();
+    EXPECT_GT(estimated, simulated / 2.0) << q.name();
+  }
+}
+
+TEST_F(ResponseModelTest, AllocationAwareEffectiveDisks) {
+  const SimConfig config = Config(100, 20, 5);
+  const ResponseModel model(&schema_, config);
+  AllocationConfig alloc_config;
+  alloc_config.num_disks = 100;
+  const DiskAllocation allocation(&month_group_, alloc_config, 32);
+  // 1GROUP1STORE: 24 fragments with stride 480 on 100 disks -> 5 fact
+  // disks + 12 staggered bitmap disks.
+  const auto est = model.Estimate(
+      planner_.Plan(apb1_queries::OneGroupOneStore(41, 7)), &allocation);
+  EXPECT_EQ(est.effective_disks, 5);
+  // Without the allocation the model assumes min(d, fragments).
+  const auto naive =
+      model.Estimate(planner_.Plan(apb1_queries::OneGroupOneStore(41, 7)));
+  EXPECT_EQ(naive.effective_disks, 24);
+  // The clustered allocation yields a slower (more truthful) estimate.
+  EXPECT_GT(est.response_ms, naive.response_ms);
+}
+
+TEST_F(ResponseModelTest, ScalesWithHardware) {
+  const ResponseModel small(&schema_, Config(20, 4, 5));
+  const ResponseModel big(&schema_, Config(100, 20, 5));
+  const auto plan = planner_.Plan(apb1_queries::OneStore(7));
+  EXPECT_GT(small.Estimate(plan).response_ms,
+            2.5 * big.Estimate(plan).response_ms);
+}
+
+TEST_F(ResponseModelTest, RanksFragmentationsLikeTheSimulator) {
+  // The model must reproduce the Fig. 6 ordering for 1STORE:
+  // F_MonthCode >> F_MonthGroup.
+  const Fragmentation code(&schema_, {{kApb1Time, 2}, {kApb1Product, 5}});
+  const QueryPlanner code_planner(&schema_, &code);
+  const SimConfig config = Config(100, 20, 5);
+  const ResponseModel model(&schema_, config);
+  const auto group_est =
+      model.Estimate(planner_.Plan(apb1_queries::OneStore(7)));
+  const auto code_est =
+      model.Estimate(code_planner.Plan(apb1_queries::OneStore(7)));
+  EXPECT_GT(code_est.response_ms, 2 * group_est.response_ms);
+}
+
+TEST_F(ResponseModelTest, PipelineLatencyDominatesSingleFragmentQueries) {
+  const ResponseModel model(&schema_, Config(100, 20, 4));
+  const auto est =
+      model.Estimate(planner_.Plan(apb1_queries::OneMonthOneGroup(3, 41)));
+  // One fragment: no parallelism; the pipeline term carries the estimate.
+  EXPECT_GT(est.pipeline_ms, est.disk_bound_ms);
+  EXPECT_GT(est.pipeline_ms, est.cpu_bound_ms);
+}
+
+TEST_F(ResponseModelTest, DemandsArePositiveAndConsistent) {
+  const ResponseModel model(&schema_, Config(100, 20, 4));
+  const auto est = model.Estimate(planner_.Plan(apb1_queries::OneQuarter(2)));
+  EXPECT_GT(est.disk_ms_total, 0);
+  EXPECT_GT(est.cpu_ms_total, 0);
+  EXPECT_GE(est.response_ms,
+            std::max(est.disk_bound_ms, est.cpu_bound_ms));
+}
+
+}  // namespace
+}  // namespace mdw

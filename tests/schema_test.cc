@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "schema/apb1.h"
+#include "schema/star_schema.h"
+
+namespace mdw {
+namespace {
+
+TEST(Apb1SchemaTest, PaperConfigurationCardinalities) {
+  const auto schema = MakeApb1Schema();
+  ASSERT_EQ(schema.num_dimensions(), 4);
+  // Paper Fig. 1: 14,400 codes, 1,440 stores, 15 channels, 24 months.
+  EXPECT_EQ(schema.dimension(kApb1Product).hierarchy().LeafCardinality(),
+            14'400);
+  EXPECT_EQ(schema.dimension(kApb1Customer).hierarchy().LeafCardinality(),
+            1'440);
+  EXPECT_EQ(schema.dimension(kApb1Channel).hierarchy().LeafCardinality(), 15);
+  EXPECT_EQ(schema.dimension(kApb1Time).hierarchy().LeafCardinality(), 24);
+}
+
+TEST(Apb1SchemaTest, FactCountMatchesPaper) {
+  const auto schema = MakeApb1Schema();
+  // Paper Fig. 1: 1,866,240,000 facts = 25% of 14,400*1,440*15*24.
+  EXPECT_EQ(schema.MaxFactCount(), 7'464'960'000LL);
+  EXPECT_EQ(schema.FactCount(), 1'866'240'000LL);
+}
+
+TEST(Apb1SchemaTest, TotalBitmapCountIs76) {
+  const auto schema = MakeApb1Schema();
+  // Paper Sec. 3.2: 15 (product) + 12 (customer) + 15 (channel) + 34
+  // (time) = 76 bitmaps.
+  EXPECT_EQ(schema.dimension(kApb1Product).TotalBitmapCount(), 15);
+  EXPECT_EQ(schema.dimension(kApb1Customer).TotalBitmapCount(), 12);
+  EXPECT_EQ(schema.dimension(kApb1Channel).TotalBitmapCount(), 15);
+  EXPECT_EQ(schema.dimension(kApb1Time).TotalBitmapCount(), 34);
+  EXPECT_EQ(schema.TotalBitmapCount(), 76);
+}
+
+TEST(Apb1SchemaTest, BitmapSizeMatchesPaper) {
+  const auto schema = MakeApb1Schema();
+  // Paper Sec. 4.4: each bitmap occupies 223 MB (1 bit per fact row).
+  const double mib = static_cast<double>(schema.BitmapBytes()) /
+                     (1024.0 * 1024.0);
+  EXPECT_NEAR(mib, 222.5, 0.5);
+}
+
+TEST(Apb1SchemaTest, TuplesPerPage) {
+  const auto schema = MakeApb1Schema();
+  // 4 KB pages, 20 B tuples -> 204 tuples ("about 200" in Sec. 6.3).
+  EXPECT_EQ(schema.physical().TuplesPerPage(), 204);
+}
+
+TEST(Apb1SchemaTest, CustomerHierarchyHasTenStoresPerRetailer) {
+  const auto schema = MakeApb1Schema();
+  const auto& h = schema.dimension(kApb1Customer).hierarchy();
+  EXPECT_EQ(h.Cardinality(0), 144);
+  EXPECT_EQ(h.Fanout(0), 10);
+  EXPECT_EQ(h.TotalBits(), 12);  // 8 retailer bits + 4 store bits
+}
+
+TEST(Apb1SchemaTest, TimeUsesSimpleIndexProductEncoded) {
+  const auto schema = MakeApb1Schema();
+  EXPECT_EQ(schema.dimension(kApb1Product).index_kind(), IndexKind::kEncoded);
+  EXPECT_EQ(schema.dimension(kApb1Customer).index_kind(),
+            IndexKind::kEncoded);
+  EXPECT_EQ(schema.dimension(kApb1Channel).index_kind(), IndexKind::kSimple);
+  EXPECT_EQ(schema.dimension(kApb1Time).index_kind(), IndexKind::kSimple);
+}
+
+TEST(Apb1SchemaTest, DimensionIdLookup) {
+  const auto schema = MakeApb1Schema();
+  EXPECT_EQ(schema.DimensionIdOf("product"), kApb1Product);
+  EXPECT_EQ(schema.DimensionIdOf("time"), kApb1Time);
+  EXPECT_EQ(schema.DimensionIdOf("nope"), -1);
+}
+
+TEST(Apb1SchemaTest, AttributeLabels) {
+  const auto schema = MakeApb1Schema();
+  EXPECT_EQ(schema.dimension(kApb1Time).AttributeLabel(2), "time::month");
+  EXPECT_EQ(schema.dimension(kApb1Product).AttributeLabel(3),
+            "product::group");
+}
+
+TEST(Apb1SchemaTest, ScalesWithChannels) {
+  Apb1Params params;
+  params.channels = 10;
+  const auto schema = MakeApb1Schema(params);
+  EXPECT_EQ(schema.dimension(kApb1Product).hierarchy().LeafCardinality(),
+            9'600);
+  EXPECT_EQ(schema.dimension(kApb1Customer).hierarchy().LeafCardinality(),
+            960);
+  EXPECT_EQ(schema.dimension(kApb1Channel).hierarchy().LeafCardinality(), 10);
+}
+
+TEST(Apb1SchemaTest, ScalesWithMonths) {
+  Apb1Params params;
+  params.months = 36;
+  const auto schema = MakeApb1Schema(params);
+  const auto& h = schema.dimension(kApb1Time).hierarchy();
+  EXPECT_EQ(h.Cardinality(0), 3);
+  EXPECT_EQ(h.Cardinality(1), 12);
+  EXPECT_EQ(h.Cardinality(2), 36);
+}
+
+TEST(Apb1SchemaTest, DensityControlsFactCount) {
+  Apb1Params params;
+  params.density = 0.5;
+  const auto schema = MakeApb1Schema(params);
+  EXPECT_EQ(schema.FactCount(), 3'732'480'000LL);
+}
+
+TEST(TinySchemaTest, SameShapeAsApb1) {
+  const auto tiny = MakeTinyApb1Schema();
+  ASSERT_EQ(tiny.num_dimensions(), 4);
+  EXPECT_EQ(tiny.dimension(kApb1Product).hierarchy().num_levels(), 6);
+  EXPECT_EQ(tiny.dimension(kApb1Customer).hierarchy().num_levels(), 2);
+  EXPECT_EQ(tiny.dimension(kApb1Channel).hierarchy().num_levels(), 1);
+  EXPECT_EQ(tiny.dimension(kApb1Time).hierarchy().num_levels(), 3);
+}
+
+TEST(TinySchemaTest, MaterialisableSize) {
+  const auto tiny = MakeTinyApb1Schema();
+  EXPECT_LE(tiny.MaxFactCount(), 1'000'000);
+  EXPECT_GT(tiny.FactCount(), 0);
+}
+
+TEST(StarSchemaTest, FactPagesCeil) {
+  const auto schema = MakeApb1Schema();
+  // ceil(1,866,240,000 / 204) pages.
+  EXPECT_EQ(schema.FactPages(), 9'148'236);
+}
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "schema/apb1.h"
+#include "sim/simulator.h"
+#include "sim/subquery.h"
+
+namespace mdw {
+namespace {
+
+class SharedNothingTest : public ::testing::Test {
+ protected:
+  SharedNothingTest()
+      : schema_(MakeApb1Schema()),
+        month_group_(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}}) {}
+
+  SimConfig SnConfig(int d = 100, int p = 20, int t = 4) {
+    SimConfig config;
+    config.architecture = Architecture::kSharedNothing;
+    config.bitmap_placement = BitmapPlacement::kSameNode;
+    config.num_disks = d;
+    config.num_nodes = p;
+    config.tasks_per_node = t;
+    return config;
+  }
+
+  SimConfig SdConfig(int d = 100, int p = 20, int t = 4) {
+    SimConfig config;
+    config.num_disks = d;
+    config.num_nodes = p;
+    config.tasks_per_node = t;
+    return config;
+  }
+
+  StarSchema schema_;
+  Fragmentation month_group_;
+};
+
+TEST_F(SharedNothingTest, CompletesAndMatchesSubqueryCount) {
+  Simulator sim(&schema_, &month_group_, SnConfig());
+  const auto result = sim.RunSingleUser({apb1_queries::OneMonth(3)});
+  EXPECT_EQ(result.subqueries, 480);
+  EXPECT_EQ(result.response_ms.size(), 1u);
+  EXPECT_GT(result.avg_response_ms, 0);
+}
+
+TEST_F(SharedNothingTest, SameNodePlacementKeepsOwner) {
+  AllocationConfig config;
+  config.num_disks = 100;
+  config.node_count = 20;
+  config.bitmap_placement = BitmapPlacement::kSameNode;
+  const DiskAllocation alloc(&month_group_, config, 12);
+  for (FragId id = 0; id < 500; id += 37) {
+    const int owner = alloc.DiskOfFragment(id) % 20;
+    for (int b = 0; b < 12; ++b) {
+      EXPECT_EQ(alloc.DiskOfBitmapFragment(id, b) % 20, owner)
+          << "fragment " << id << " bitmap " << b;
+    }
+  }
+}
+
+TEST_F(SharedNothingTest, ComparableToSharedDiskUnderUniformLoad) {
+  // With uniform data and a balanced query, SN is close to SD (both keep
+  // all resources busy).
+  const auto q = apb1_queries::OneMonth(3);
+  const auto sd = Simulator(&schema_, &month_group_, SdConfig())
+                      .RunSingleUser({q});
+  const auto sn = Simulator(&schema_, &month_group_, SnConfig())
+                      .RunSingleUser({q});
+  EXPECT_NEAR(sn.avg_response_ms / sd.avg_response_ms, 1.0, 0.35);
+}
+
+TEST_F(SharedNothingTest, SkewRaisesSharedNothingCpuImbalance) {
+  // The imbalance metric quantifies the Shared Disk advantage: under
+  // skew, Shared Nothing pins the hot fragments' work to their owner
+  // nodes while Shared Disk keeps nodes near-equally busy.
+  SimConfig sd = SdConfig(100, 20, 5);
+  SimConfig sn = SnConfig(100, 20, 5);
+  sd.fragment_skew_theta = 0.5;
+  sn.fragment_skew_theta = 0.5;
+  const auto q = apb1_queries::OneMonth(3);
+  const auto r_sd =
+      Simulator(&schema_, &month_group_, sd).RunSingleUser({q});
+  const auto r_sn =
+      Simulator(&schema_, &month_group_, sn).RunSingleUser({q});
+  EXPECT_GT(r_sn.cpu_imbalance, r_sd.cpu_imbalance);
+  // Shared Disk stays reasonably balanced at moderate skew; very strong
+  // skew (theta ~0.9) makes single fragments indivisible hot spots that
+  // no architecture can split.
+  EXPECT_LT(r_sd.cpu_imbalance, 1.5);
+}
+
+TEST_F(SharedNothingTest, UniformLoadIsBalancedUnderSharedDisk) {
+  const auto q = apb1_queries::OneMonth(3);
+  const auto result = Simulator(&schema_, &month_group_, SdConfig())
+                          .RunSingleUser({q});
+  EXPECT_LT(result.cpu_imbalance, 1.3);
+  EXPECT_GE(result.cpu_imbalance, 1.0);
+  EXPECT_GE(result.disk_imbalance, 1.0);
+}
+
+TEST_F(SharedNothingTest, SkewHurtsSharedNothingMore) {
+  // Paper Sec. 2/7: Shared Disk can rebalance around data skew; Shared
+  // Nothing cannot (work is pinned to the owning node).
+  SimConfig sd = SdConfig(100, 20, 5);
+  SimConfig sn = SnConfig(100, 20, 5);
+  sd.fragment_skew_theta = 0.8;
+  sn.fragment_skew_theta = 0.8;
+  const auto q = apb1_queries::OneMonth(3);
+  const auto r_sd =
+      Simulator(&schema_, &month_group_, sd).RunSingleUser({q});
+  const auto r_sn =
+      Simulator(&schema_, &month_group_, sn).RunSingleUser({q});
+  EXPECT_GE(r_sn.avg_response_ms, 0.95 * r_sd.avg_response_ms);
+}
+
+TEST_F(SharedNothingTest, ValidationRejectsStaggeredPlacement) {
+  SimConfig config = SnConfig();
+  config.bitmap_placement = BitmapPlacement::kStaggered;
+  EXPECT_DEATH(config.Validate(), "Shared Nothing");
+}
+
+TEST_F(SharedNothingTest, ValidationRejectsUnevenDisks) {
+  SimConfig config = SnConfig(99, 20, 4);
+  EXPECT_DEATH(config.Validate(), "evenly divided");
+}
+
+TEST(SkewTest, WeightsAverageToOne) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation frag(&schema, {{kApb1Time, 2}, {kApb1Product, 3}});
+  const QueryPlanner planner(&schema, &frag);
+  SimConfig config;
+  config.fragment_skew_theta = 0.7;
+  const auto work =
+      MakeSubqueryWork(planner.Plan(apb1_queries::OneMonth(3)), config);
+  double sum = 0;
+  for (FragId id = 0; id < frag.FragmentCount(); ++id) {
+    sum += work.SkewWeight(id);
+  }
+  EXPECT_NEAR(sum / static_cast<double>(frag.FragmentCount()), 1.0, 1e-9);
+}
+
+TEST(SkewTest, ZeroThetaIsUniform) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation frag(&schema, {{kApb1Time, 2}, {kApb1Product, 3}});
+  const QueryPlanner planner(&schema, &frag);
+  const auto work = MakeSubqueryWork(
+      planner.Plan(apb1_queries::OneMonth(3)), SimConfig{});
+  for (FragId id = 0; id < 100; ++id) {
+    EXPECT_DOUBLE_EQ(work.SkewWeight(id), 1.0);
+  }
+}
+
+TEST(SkewTest, HigherThetaMoreConcentrated) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation frag(&schema, {{kApb1Time, 2}, {kApb1Product, 3}});
+  const QueryPlanner planner(&schema, &frag);
+  SimConfig mild, strong;
+  mild.fragment_skew_theta = 0.3;
+  strong.fragment_skew_theta = 0.9;
+  const auto plan = planner.Plan(apb1_queries::OneMonth(3));
+  const auto work_mild = MakeSubqueryWork(plan, mild);
+  const auto work_strong = MakeSubqueryWork(plan, strong);
+  double max_mild = 0, max_strong = 0;
+  for (FragId id = 0; id < frag.FragmentCount(); ++id) {
+    max_mild = std::max(max_mild, work_mild.SkewWeight(id));
+    max_strong = std::max(max_strong, work_strong.SkewWeight(id));
+  }
+  EXPECT_GT(max_strong, max_mild);
+}
+
+TEST(SkewTest, SimulatedIoStaysNearUniformTotal) {
+  // The skew weights preserve total hits, so total fact I/O of a
+  // bitmap-driven query remains near the uniform volume (it can only
+  // shrink slightly where hot fragments saturate their pages).
+  const auto schema = MakeApb1Schema();
+  const Fragmentation frag(&schema, {{kApb1Time, 2}, {kApb1Product, 3}});
+  SimConfig uniform;
+  uniform.num_disks = 100;
+  uniform.num_nodes = 20;
+  SimConfig skewed = uniform;
+  skewed.fragment_skew_theta = 0.6;
+  const auto q = apb1_queries::OneGroupOneStore(41, 7);
+  const auto r_uniform =
+      Simulator(&schema, &frag, uniform).RunSingleUser({q});
+  const auto r_skewed = Simulator(&schema, &frag, skewed).RunSingleUser({q});
+  EXPECT_LT(static_cast<double>(r_skewed.disk_pages),
+            1.05 * static_cast<double>(r_uniform.disk_pages));
+  EXPECT_GT(static_cast<double>(r_skewed.disk_pages),
+            0.5 * static_cast<double>(r_uniform.disk_pages));
+}
+
+}  // namespace
+}  // namespace mdw

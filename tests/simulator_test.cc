@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "fragment/query_planner.h"
+#include "schema/apb1.h"
+#include "sim/simulator.h"
+
+namespace mdw {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest()
+      : schema_(MakeApb1Schema()),
+        month_group_(&schema_, {{kApb1Time, 2}, {kApb1Product, 3}}) {}
+
+  SimConfig SmallConfig() {
+    SimConfig config;
+    config.num_disks = 20;
+    config.num_nodes = 4;
+    config.tasks_per_node = 4;
+    return config;
+  }
+
+  StarSchema schema_;
+  Fragmentation month_group_;
+};
+
+TEST_F(SimulatorTest, SingleFragmentQueryCompletes) {
+  Simulator sim(&schema_, &month_group_, SmallConfig());
+  const auto result =
+      sim.RunSingleUser({apb1_queries::OneMonthOneGroup(3, 41)});
+  ASSERT_EQ(result.response_ms.size(), 1u);
+  EXPECT_GT(result.avg_response_ms, 0);
+  EXPECT_EQ(result.subqueries, 1);
+  // One fragment of 795 pages at granule 8 -> 100 fact I/Os, no bitmaps.
+  EXPECT_EQ(result.disk_ios, 100);
+  EXPECT_EQ(result.disk_pages, 795);
+}
+
+TEST_F(SimulatorTest, SubqueryCountMatchesPlanFragments) {
+  Simulator sim(&schema_, &month_group_, SmallConfig());
+  const auto result = sim.RunSingleUser({apb1_queries::OneMonth(3)});
+  EXPECT_EQ(result.subqueries, 480);
+}
+
+TEST_F(SimulatorTest, DeterministicForSameSeed) {
+  Simulator a(&schema_, &month_group_, SmallConfig());
+  Simulator b(&schema_, &month_group_, SmallConfig());
+  const auto qa = apb1_queries::OneGroupOneStore(41, 7);
+  const auto ra = a.RunSingleUser({qa});
+  const auto rb = b.RunSingleUser({qa});
+  EXPECT_DOUBLE_EQ(ra.avg_response_ms, rb.avg_response_ms);
+  EXPECT_EQ(ra.disk_ios, rb.disk_ios);
+  EXPECT_EQ(ra.events, rb.events);
+}
+
+TEST_F(SimulatorTest, CpuBoundQuerySpeedsUpWithProcessors) {
+  // 1MONTH is CPU-bound (paper Fig. 4): more nodes -> faster.
+  SimConfig small = SmallConfig();
+  small.num_disks = 100;
+  small.num_nodes = 5;
+  SimConfig big = small;
+  big.num_nodes = 20;
+  Simulator sim_small(&schema_, &month_group_, small);
+  Simulator sim_big(&schema_, &month_group_, big);
+  const auto q = apb1_queries::OneMonth(3);
+  const auto r_small = sim_small.RunSingleUser({q});
+  const auto r_big = sim_big.RunSingleUser({q});
+  EXPECT_LT(r_big.avg_response_ms, r_small.avg_response_ms);
+  // Roughly linear: 4x nodes should give at least 2.5x improvement.
+  EXPECT_GT(r_small.avg_response_ms / r_big.avg_response_ms, 2.5);
+}
+
+TEST_F(SimulatorTest, DiskBoundQuerySpeedsUpWithDisks) {
+  // 1GROUP1STORE reads bitmaps + sparse fact pages: disk-bound.
+  SimConfig few = SmallConfig();
+  few.num_disks = 10;
+  few.num_nodes = 10;
+  few.tasks_per_node = 6;
+  SimConfig many = few;
+  many.num_disks = 60;
+  Simulator sim_few(&schema_, &month_group_, few);
+  Simulator sim_many(&schema_, &month_group_, many);
+  const auto q = apb1_queries::OneGroupOneStore(41, 7);
+  const auto r_few = sim_few.RunSingleUser({q});
+  const auto r_many = sim_many.RunSingleUser({q});
+  EXPECT_LT(r_many.avg_response_ms, r_few.avg_response_ms);
+}
+
+TEST_F(SimulatorTest, ParallelBitmapIoHelpsAtLowConcurrency) {
+  // Paper Sec. 6.2: parallel bitmap I/O improves response times.
+  SimConfig parallel = SmallConfig();
+  parallel.num_disks = 100;
+  parallel.num_nodes = 4;
+  parallel.tasks_per_node = 1;
+  SimConfig serial = parallel;
+  serial.parallel_bitmap_io = false;
+  Simulator sim_par(&schema_, &month_group_, parallel);
+  Simulator sim_ser(&schema_, &month_group_, serial);
+  const auto q = apb1_queries::OneGroupOneStore(41, 7);
+  const auto r_par = sim_par.RunSingleUser({q});
+  const auto r_ser = sim_ser.RunSingleUser({q});
+  EXPECT_LT(r_par.avg_response_ms, r_ser.avg_response_ms);
+}
+
+TEST_F(SimulatorTest, MessagesAccountedPerSubquery) {
+  Simulator sim(&schema_, &month_group_, SmallConfig());
+  const auto result = sim.RunSingleUser({apb1_queries::OneMonth(3)});
+  // One assignment + one result message per subquery.
+  EXPECT_EQ(result.messages, 2 * result.subqueries);
+}
+
+TEST_F(SimulatorTest, GlobalTaskCapLimitsParallelism) {
+  SimConfig capped = SmallConfig();
+  capped.global_task_cap = 1;
+  SimConfig uncapped = SmallConfig();
+  Simulator sim_capped(&schema_, &month_group_, capped);
+  Simulator sim_uncapped(&schema_, &month_group_, uncapped);
+  const auto q = apb1_queries::OneQuarter(2);  // 1,440 fragments
+  const auto r1 = sim_capped.RunSingleUser({q});
+  const auto r2 = sim_uncapped.RunSingleUser({q});
+  EXPECT_GT(r1.avg_response_ms, 2 * r2.avg_response_ms);
+}
+
+TEST_F(SimulatorTest, FragmentClusteringReducesSubqueries) {
+  SimConfig clustered = SmallConfig();
+  clustered.fragment_cluster_factor = 4;
+  Simulator sim(&schema_, &month_group_, clustered);
+  const auto result = sim.RunSingleUser({apb1_queries::OneMonth(3)});
+  EXPECT_EQ(result.subqueries, 120);  // 480 fragments / 4 per subquery
+}
+
+TEST_F(SimulatorTest, MultiUserThroughput) {
+  Simulator sim(&schema_, &month_group_, SmallConfig());
+  std::vector<StarQuery> queries;
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(apb1_queries::OneMonthOneGroup(i, 41 + i));
+  }
+  const auto serial = sim.RunSingleUser(queries);
+  const auto concurrent = sim.RunMultiUser(queries, 3);
+  EXPECT_EQ(concurrent.response_ms.size(), 6u);
+  // Concurrency shortens the makespan.
+  EXPECT_LT(concurrent.makespan_ms, serial.makespan_ms);
+  EXPECT_GT(concurrent.ThroughputPerSecond(),
+            serial.ThroughputPerSecond());
+}
+
+TEST_F(SimulatorTest, UtilizationBounded) {
+  Simulator sim(&schema_, &month_group_, SmallConfig());
+  const auto result = sim.RunSingleUser({apb1_queries::OneMonth(3)});
+  EXPECT_GT(result.avg_disk_utilization, 0);
+  EXPECT_LE(result.max_disk_utilization, 1.0 + 1e-9);
+  EXPECT_GT(result.avg_cpu_utilization, 0);
+  EXPECT_LE(result.max_cpu_utilization, 1.0 + 1e-9);
+}
+
+TEST_F(SimulatorTest, BitmapReadsAppearForIoc2Queries) {
+  Simulator sim(&schema_, &month_group_, SmallConfig());
+  const auto no_bitmaps =
+      sim.RunSingleUser({apb1_queries::OneMonthOneGroup(3, 41)});
+  const auto with_bitmaps =
+      sim.RunSingleUser({apb1_queries::OneCodeOneMonth(35, 5)});
+  // Same single fragment, but the code query additionally reads 5 bitmap
+  // fragments (one I/O each) and only the hit granules.
+  EXPECT_EQ(no_bitmaps.subqueries, 1);
+  EXPECT_EQ(with_bitmaps.subqueries, 1);
+  EXPECT_GT(with_bitmaps.disk_ios, 0);
+  // 1CODE1MONTH touches every granule (hits on every page) + 5 bitmaps.
+  EXPECT_EQ(with_bitmaps.disk_ios, 100 + 5);
+}
+
+TEST_F(SimulatorTest, UnfragmentedBaselineRunsFullScanForStore) {
+  // Without fragmentation (1 fragment), 1MONTH degenerates to a full scan
+  // driven by bitmap filtering.
+  const Fragmentation none(&schema_, {});
+  SimConfig config = SmallConfig();
+  Simulator sim(&schema_, &none, config);
+  const auto q = apb1_queries::OneMonthOneGroup(3, 41);
+  const auto result = sim.RunSingleUser({q});
+  EXPECT_EQ(result.subqueries, 1);
+  // The single "fragment" is the whole fact table: vastly more I/O than
+  // the fragment-confined execution.
+  Simulator frag_sim(&schema_, &month_group_, config);
+  const auto frag_result = frag_sim.RunSingleUser({q});
+  EXPECT_GT(result.disk_pages, 100 * frag_result.disk_pages);
+}
+
+}  // namespace
+}  // namespace mdw

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "fragment/star_query.h"
+#include "schema/apb1.h"
+
+namespace mdw {
+namespace {
+
+class StarQueryTest : public ::testing::Test {
+ protected:
+  StarQueryTest() : schema_(MakeApb1Schema()) {}
+  StarSchema schema_;
+};
+
+TEST_F(StarQueryTest, FactoryQueriesHaveExpectedShape) {
+  const auto store = apb1_queries::OneStore(7);
+  EXPECT_EQ(store.name(), "1STORE");
+  ASSERT_EQ(store.num_predicates(), 1);
+  EXPECT_EQ(store.predicates()[0].dim, kApb1Customer);
+
+  const auto mg = apb1_queries::OneMonthOneGroup(3, 41);
+  EXPECT_EQ(mg.num_predicates(), 2);
+  EXPECT_NE(mg.PredicateOn(kApb1Time), nullptr);
+  EXPECT_NE(mg.PredicateOn(kApb1Product), nullptr);
+  EXPECT_EQ(mg.PredicateOn(kApb1Channel), nullptr);
+}
+
+TEST_F(StarQueryTest, SelectivitySingleDimension) {
+  EXPECT_NEAR(apb1_queries::OneStore(7).Selectivity(schema_), 1.0 / 1'440,
+              1e-15);
+  EXPECT_NEAR(apb1_queries::OneMonth(3).Selectivity(schema_), 1.0 / 24,
+              1e-15);
+  EXPECT_NEAR(apb1_queries::OneCode(35).Selectivity(schema_), 1.0 / 14'400,
+              1e-15);
+}
+
+TEST_F(StarQueryTest, SelectivityMultiplies) {
+  const auto q = apb1_queries::OneMonthOneGroup(3, 41);
+  EXPECT_NEAR(q.Selectivity(schema_), 1.0 / 24 / 480, 1e-15);
+  // Paper Sec. 6.3: 1CODE1QUARTER has 16,200 hit rows.
+  EXPECT_NEAR(apb1_queries::OneCodeOneQuarter(35, 2).ExpectedHits(schema_),
+              16'200.0, 1e-6);
+}
+
+TEST_F(StarQueryTest, InListSelectivityScalesWithValues) {
+  const StarQuery two("2STORES", {{kApb1Customer, 1, {3, 17}}});
+  EXPECT_NEAR(two.Selectivity(schema_), 2.0 / 1'440, 1e-15);
+}
+
+TEST_F(StarQueryTest, EmptyQuerySelectsEverything) {
+  const StarQuery all("ALL", {});
+  EXPECT_DOUBLE_EQ(all.Selectivity(schema_), 1.0);
+  EXPECT_DOUBLE_EQ(all.ExpectedHits(schema_),
+                   static_cast<double>(schema_.FactCount()));
+}
+
+TEST_F(StarQueryTest, HigherLevelsAreLessSelective) {
+  double previous = 0;
+  for (Depth d = 5; d >= 0; --d) {
+    const StarQuery q("probe", {{kApb1Product, d, {0}}});
+    const double s = q.Selectivity(schema_);
+    EXPECT_GT(s, previous);
+    previous = s;
+  }
+}
+
+TEST_F(StarQueryTest, DuplicateDimensionAborts) {
+  EXPECT_DEATH(StarQuery("bad", {{kApb1Time, 2, {1}}, {kApb1Time, 1, {0}}}),
+               "at most one predicate per dimension");
+}
+
+TEST_F(StarQueryTest, EmptyValueListAborts) {
+  EXPECT_DEATH(StarQuery("bad", {{kApb1Time, 2, {}}}),
+               "at least one value");
+}
+
+}  // namespace
+}  // namespace mdw

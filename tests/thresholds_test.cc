@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "fragment/enumeration.h"
+#include "fragment/thresholds.h"
+#include "schema/apb1.h"
+
+namespace mdw {
+namespace {
+
+TEST(MaxFragmentCountTest, PaperValue) {
+  // Paper Sec. 4.4: n_max = N / (8 * PgSize * PrefetchGran) = 14,238 for
+  // N = 1,866,240,000, PgSize = 4K, PrefetchGran = 4.
+  EXPECT_EQ(MaxFragmentCount(1'866'240'000LL, 4'096, 4), 14'238);
+}
+
+TEST(MaxFragmentCountTest, ScalesInverselyWithGranule) {
+  const std::int64_t n = 1'866'240'000LL;
+  EXPECT_EQ(MaxFragmentCount(n, 4'096, 1), 56'953);
+  EXPECT_EQ(MaxFragmentCount(n, 4'096, 8), 7'119);
+}
+
+TEST(MaxFragmentCountTest, MinimalFragmentSizeImplication) {
+  // Paper: with n_max = 14,238 and 20 B tuples, the minimal fragment size
+  // is about 2.5 MB.
+  const double tuples_per_fragment =
+      1'866'240'000.0 / 14'238;
+  const double mib = tuples_per_fragment * 20 / (1024.0 * 1024.0);
+  EXPECT_NEAR(mib, 2.5, 0.1);
+}
+
+TEST(EnumerationTest, Apb1Has167Fragmentations) {
+  // (6+1)(2+1)(1+1)(3+1) - 1 = 167, the total of paper Table 2.
+  const auto schema = MakeApb1Schema();
+  const auto options = EnumerateFragmentations(schema);
+  EXPECT_EQ(options.size(), 167u);
+}
+
+TEST(EnumerationTest, Table2UnconstrainedCountsByDimensionality) {
+  // Paper Table 2, column "any": 12 / 47 / 72 / 36.
+  const auto schema = MakeApb1Schema();
+  const auto options = EnumerateFragmentations(schema);
+  EXPECT_EQ(CountOptions(options, 1, 0), 12);
+  EXPECT_EQ(CountOptions(options, 2, 0), 47);
+  EXPECT_EQ(CountOptions(options, 3, 0), 72);
+  EXPECT_EQ(CountOptions(options, 4, 0), 36);
+}
+
+// NOTE on Table 2 boundary cells: the paper's cells (>=1: 12/37/22/1,
+// >=4: 12/31/13/-, >=8: 11/27/9/-) cannot all be derived from any single
+// page-size/rounding convention that is also consistent with its Table 3
+// (we verified this by exhaustive search over page sizes and retailer
+// cardinalities; see EXPERIMENTS.md). With the 4096-byte pages that
+// reproduce Table 3 exactly, our model yields the values below — equal to
+// the paper in most cells and off by at most 2 near the thresholds. All
+// qualitative claims hold: half to almost three quarters of the options
+// are ruled out, and at most one four-dimensional option survives.
+
+TEST(EnumerationTest, Table2OnePageColumn) {
+  const auto schema = MakeApb1Schema();
+  const auto options = EnumerateFragmentations(schema);
+  EXPECT_EQ(CountOptions(options, 1, 1.0), 12);  // paper: 12
+  EXPECT_EQ(CountOptions(options, 2, 1.0), 37);  // paper: 37
+  EXPECT_EQ(CountOptions(options, 3, 1.0), 24);  // paper: 22
+  EXPECT_EQ(CountOptions(options, 4, 1.0), 1);   // paper: 1
+}
+
+TEST(EnumerationTest, Table2FourPageColumn) {
+  const auto schema = MakeApb1Schema();
+  const auto options = EnumerateFragmentations(schema);
+  EXPECT_EQ(CountOptions(options, 1, 4.0), 11);  // paper: 12
+  EXPECT_EQ(CountOptions(options, 2, 4.0), 30);  // paper: 31
+  EXPECT_EQ(CountOptions(options, 3, 4.0), 11);  // paper: 13
+  EXPECT_EQ(CountOptions(options, 4, 4.0), 0);   // paper: -
+}
+
+TEST(EnumerationTest, Table2EightPageColumn) {
+  const auto schema = MakeApb1Schema();
+  const auto options = EnumerateFragmentations(schema);
+  EXPECT_EQ(CountOptions(options, 1, 8.0), 11);  // paper: 11
+  EXPECT_EQ(CountOptions(options, 2, 8.0), 25);  // paper: 27
+  EXPECT_EQ(CountOptions(options, 3, 8.0), 9);   // paper: 9
+  EXPECT_EQ(CountOptions(options, 4, 8.0), 0);   // paper: -
+}
+
+TEST(EnumerationTest, ThresholdsPruneHalfToThreeQuarters) {
+  // Paper Sec. 4.4: "1/2 to almost 3/4 of these options can be ruled out".
+  const auto schema = MakeApb1Schema();
+  const auto options = EnumerateFragmentations(schema);
+  int at_least_one = 0, at_least_eight = 0;
+  for (int d = 1; d <= 4; ++d) {
+    at_least_one += CountOptions(options, d, 1.0);
+    at_least_eight += CountOptions(options, d, 8.0);
+  }
+  const double total = 167.0;
+  EXPECT_LE(at_least_one / total, 0.5);    // >= half ruled out at 1 page
+  EXPECT_LE(at_least_eight / total, 0.3);  // almost 3/4 ruled out at 8
+}
+
+TEST(EnumerationTest, TheSingleAdmissibleFourDimensionalOption) {
+  // Paper: "of the 36 possible four-dimensional fragmentations only 1
+  // results in a bitmap fragment size of at least one page" — the all-
+  // coarsest {division, retailer, channel, year}.
+  const auto schema = MakeApb1Schema();
+  const auto options = EnumerateFragmentations(schema);
+  for (const auto& f : options) {
+    if (f.num_attrs() == 4 && f.BitmapFragmentPages() >= 1.0) {
+      EXPECT_EQ(f.FragmentCount(), 8LL * 144 * 15 * 2);
+      for (int i = 0; i < f.num_attrs(); ++i) {
+        EXPECT_EQ(f.attr(i).depth, 0);
+      }
+    }
+  }
+}
+
+TEST(CheckThresholdsTest, AdmissibleFragmentationPasses) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation f(&schema, {{kApb1Time, 2}, {kApb1Product, 3}});
+  ThresholdPolicy policy;
+  policy.min_bitmap_fragment_pages = 4.0;
+  policy.max_fragments = 50'000;
+  policy.max_bitmaps = 40;
+  policy.min_fragments = 100;
+  EXPECT_TRUE(CheckThresholds(f, policy, 32).empty());
+}
+
+TEST(CheckThresholdsTest, DetectsSmallBitmapFragments) {
+  const auto schema = MakeApb1Schema();
+  // F_MonthCode: bitmap fragments of 0.16 pages (paper Table 6).
+  const Fragmentation f(&schema, {{kApb1Time, 2}, {kApb1Product, 5}});
+  ThresholdPolicy policy;
+  policy.min_bitmap_fragment_pages = 4.0;
+  const auto violations = CheckThresholds(f, policy, 27);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind,
+            ThresholdViolation::Kind::kBitmapFragmentTooSmall);
+}
+
+TEST(CheckThresholdsTest, DetectsTooManyFragments) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation f(&schema, {{kApb1Time, 1},
+                                  {kApb1Product, 3},
+                                  {kApb1Customer, 0},
+                                  {kApb1Channel, 0}});
+  ThresholdPolicy policy;
+  policy.min_bitmap_fragment_pages = 0;
+  policy.max_fragments = 1'000'000;  // 8.3M fragments exceed this
+  const auto violations = CheckThresholds(f, policy, 0);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ThresholdViolation::Kind::kTooManyFragments);
+}
+
+TEST(CheckThresholdsTest, DetectsTooManyBitmaps) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation f(&schema, {{kApb1Time, 2}, {kApb1Product, 3}});
+  ThresholdPolicy policy;
+  policy.min_bitmap_fragment_pages = 0;
+  policy.max_bitmaps = 20;
+  const auto violations = CheckThresholds(f, policy, 32);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ThresholdViolation::Kind::kTooManyBitmaps);
+}
+
+TEST(CheckThresholdsTest, DetectsTooFewFragments) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation f(&schema, {{kApb1Channel, 0}});  // 15 fragments
+  ThresholdPolicy policy;
+  policy.min_bitmap_fragment_pages = 0;
+  policy.min_fragments = 100;  // at least one fragment per disk
+  const auto violations = CheckThresholds(f, policy, 0);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ThresholdViolation::Kind::kTooFewFragments);
+}
+
+TEST(CheckThresholdsTest, MultipleViolationsReported) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation f(&schema, {{kApb1Time, 2}, {kApb1Product, 5}});
+  ThresholdPolicy policy;
+  policy.min_bitmap_fragment_pages = 4.0;
+  policy.max_fragments = 100'000;
+  const auto violations = CheckThresholds(f, policy, 27);
+  EXPECT_EQ(violations.size(), 2u);
+}
+
+TEST(CheckThresholdsTest, ZeroDisablesEachThreshold) {
+  const auto schema = MakeApb1Schema();
+  const Fragmentation f(&schema, {{kApb1Time, 2}, {kApb1Product, 5}});
+  const ThresholdPolicy policy{0.0, 0, 0, 0};
+  EXPECT_TRUE(CheckThresholds(f, policy, 1'000'000).empty());
+}
+
+}  // namespace
+}  // namespace mdw
