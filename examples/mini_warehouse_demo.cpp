@@ -1,8 +1,9 @@
-// Functional end-to-end demo: materialise a small star warehouse, build
-// the bitmap join indices, and execute star queries three ways — full
-// scan, bitmap path, and MDHF fragment-confined path — verifying they all
-// return identical aggregates while touching very different amounts of
-// data.
+// Functional end-to-end demo: stand up a small star warehouse on the
+// materialized backend of the mdw::Warehouse façade and execute star
+// queries three ways — the façade's MDHF fragment-confined path plus the
+// ground-truth full scan and bitmap paths of the underlying mini
+// warehouse — verifying they all return identical aggregates while
+// touching very different amounts of data.
 
 #include <cstdio>
 
@@ -10,56 +11,55 @@
 
 namespace {
 
-void Show(const mdw::MiniWarehouse& warehouse, const mdw::StarQuery& query,
-          const mdw::Fragmentation& frag) {
-  const auto full = warehouse.ExecuteFullScan(query);
-  const auto bitmap = warehouse.ExecuteWithBitmaps(query);
-  const auto mdhf = warehouse.ExecuteWithFragmentation(query, frag);
+void Show(const mdw::Warehouse& warehouse, const mdw::StarQuery& query) {
+  const auto& mini = *warehouse.materialized();
+  const auto full = mini.ExecuteFullScan(query);
+  const auto bitmap = mini.ExecuteWithBitmaps(query);
+  const auto mdhf = warehouse.Execute(query);
 
   std::printf("%-14s rows=%-6lld units=%-8lld  class=%s/%s\n",
               query.name().c_str(), static_cast<long long>(full.rows),
               static_cast<long long>(full.units_sold),
-              mdw::ToString(mdhf.query_class),
-              mdw::ToString(mdhf.io_class));
+              mdw::ToString(mdhf.query_class), mdw::ToString(mdhf.io_class));
   std::printf("  full scan      : %lld rows scanned\n",
-              static_cast<long long>(warehouse.row_count()));
+              static_cast<long long>(mini.row_count()));
   std::printf("  MDHF           : %lld fragments, %lld rows scanned, "
               "%d bitmap reads/fragment\n",
               static_cast<long long>(mdhf.fragments_processed),
-              static_cast<long long>(mdhf.rows_scanned), mdhf.bitmaps_read);
-  const bool consistent = full == bitmap && full == mdhf.result;
+              static_cast<long long>(mdhf.rows_scanned),
+              mdhf.bitmaps_per_fragment);
+  const bool consistent = full == bitmap && full == *mdhf.aggregate;
   std::printf("  results agree  : %s\n\n", consistent ? "YES" : "NO !!!");
 }
 
 }  // namespace
 
 int main() {
-  mdw::MiniWarehouse warehouse(mdw::MakeTinyApb1Schema(), /*seed=*/42);
+  const mdw::Warehouse warehouse(
+      {.schema = mdw::MakeTinyApb1Schema(),
+       .fragmentation = {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}},
+       .backend = mdw::BackendKind::kMaterialized,
+       .seed = 42});
   std::printf("Mini warehouse: %lld fact rows materialised, %d bitmaps\n\n",
-              static_cast<long long>(warehouse.row_count()),
-              warehouse.indexes().TotalBitmapCount());
+              static_cast<long long>(warehouse.materialized()->row_count()),
+              warehouse.materialized()->indexes().TotalBitmapCount());
 
-  const mdw::Fragmentation frag(
-      &warehouse.schema(), {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}});
+  const auto& frag = warehouse.fragmentation();
   std::printf("Fragmentation %s: %lld fragments\n\n", frag.Label().c_str(),
               static_cast<long long>(frag.FragmentCount()));
 
   // The paper's query spectrum: Q1 (exact match), Q2 (below), Q3 (above),
   // Q4 (mixed) and an unsupported query.
-  Show(warehouse, mdw::StarQuery("1MONTH1GROUP", {{mdw::kApb1Time, 2, {3}},
-                                                  {mdw::kApb1Product, 3, {7}}}),
-       frag);
+  Show(warehouse,
+       mdw::StarQuery("1MONTH1GROUP", {{mdw::kApb1Time, 2, {3}},
+                                       {mdw::kApb1Product, 3, {7}}}));
   Show(warehouse,
        mdw::StarQuery("1CODE1MONTH",
-                      {{mdw::kApb1Product, 5, {30}}, {mdw::kApb1Time, 2, {3}}}),
-       frag);
-  Show(warehouse, mdw::StarQuery("1QUARTER", {{mdw::kApb1Time, 1, {2}}}),
-       frag);
+                      {{mdw::kApb1Product, 5, {30}}, {mdw::kApb1Time, 2, {3}}}));
+  Show(warehouse, mdw::StarQuery("1QUARTER", {{mdw::kApb1Time, 1, {2}}}));
   Show(warehouse,
        mdw::StarQuery("1CODE1QUARTER",
-                      {{mdw::kApb1Product, 5, {30}}, {mdw::kApb1Time, 1, {2}}}),
-       frag);
-  Show(warehouse, mdw::StarQuery("1STORE", {{mdw::kApb1Customer, 1, {17}}}),
-       frag);
+                      {{mdw::kApb1Product, 5, {30}}, {mdw::kApb1Time, 1, {2}}}));
+  Show(warehouse, mdw::StarQuery("1STORE", {{mdw::kApb1Customer, 1, {17}}}));
   return 0;
 }

@@ -1,35 +1,44 @@
-// Quickstart: build the APB-1 star schema, define an MDHF fragmentation,
-// plan a star query, estimate its I/O, and simulate it on a Shared Disk
-// parallel database system — the whole pipeline in ~60 lines.
+// Quickstart: stand up the APB-1 warehouse behind the mdw::Warehouse
+// façade, plan a star query, estimate its I/O, and execute it on the
+// simulated Shared Disk parallel database system — the whole pipeline
+// through one value-semantic entry point.
 
 #include <cstdio>
 
 #include "core/mdw.h"
 
 int main() {
-  // 1. The APB-1 star schema of the paper: 4 hierarchical dimensions and
-  //    a fact table of 1.87 billion rows (never materialised).
-  const auto schema = mdw::MakeApb1Schema();
+  // 1. One façade over the paper's whole machinery: the APB-1 star schema
+  //    (1.87 billion fact rows, never materialised), the flagship
+  //    fragmentation F_MonthGroup, and the SIMPAD simulator on 100 disks /
+  //    20 nodes (paper Table 4 setup).
+  mdw::SimConfig sim;
+  sim.num_disks = 100;
+  sim.num_nodes = 20;
+  sim.tasks_per_node = 4;
+  const mdw::Warehouse warehouse(
+      {.schema = mdw::MakeApb1Schema(),
+       .fragmentation = {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}},
+       .backend = mdw::BackendKind::kSimulated,
+       .sim = sim});
+
+  const auto& schema = warehouse.schema();
   std::printf("Schema '%s': %lld fact rows, %d bitmaps without "
               "fragmentation\n",
               schema.fact_table_name().c_str(),
               static_cast<long long>(schema.FactCount()),
               schema.TotalBitmapCount());
 
-  // 2. The paper's flagship fragmentation F_MonthGroup: one fragment per
-  //    (month, product group) combination.
-  const mdw::Fragmentation frag(
-      &schema, {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}});
+  const auto& frag = warehouse.fragmentation();
   std::printf("Fragmentation %s: %lld fragments, %.1f bitmap-fragment "
               "pages, %d bitmaps remain materialised\n",
               frag.Label().c_str(),
               static_cast<long long>(frag.FragmentCount()),
               frag.BitmapFragmentPages(), mdw::RemainingBitmapCount(frag));
 
-  // 3. Plan a two-dimensional star query: one month, one product group.
-  const mdw::QueryPlanner planner(&schema, &frag);
+  // 2. Plan a two-dimensional star query: one month, one product group.
   const auto query = mdw::apb1_queries::OneMonthOneGroup(3, 41);
-  const auto plan = planner.Plan(query);
+  const auto plan = warehouse.Plan(query);
   std::printf("\nQuery %s: class %s / %s, %lld fragment(s), %d bitmap "
               "reads per fragment\n",
               query.name().c_str(), mdw::ToString(plan.query_class()),
@@ -37,7 +46,7 @@ int main() {
               static_cast<long long>(plan.FragmentCount()),
               plan.BitmapsPerFragment());
 
-  // 4. Analytical I/O estimate (the tool of paper Sec. 4.7).
+  // 3. Analytical I/O estimate (the tool of paper Sec. 4.7).
   const mdw::IoCostModel model(&schema);
   const auto est = model.Estimate(plan);
   std::printf("Estimated I/O: %lld fact ops, %lld fact pages, %lld bitmap "
@@ -47,27 +56,23 @@ int main() {
               static_cast<long long>(est.bitmap_pages_read),
               est.total_io_mib);
 
-  // 5. Simulate the query on 100 disks / 20 nodes (paper Table 4 setup).
-  mdw::SimConfig config;
-  config.num_disks = 100;
-  config.num_nodes = 20;
-  config.tasks_per_node = 4;
-  mdw::Simulator sim(&schema, &frag, config);
-  const auto result = sim.RunSingleUser({query});
+  // 4. Execute: the façade plans the query and runs it on its backend.
+  const auto outcome = warehouse.Execute(query);
   std::printf("\nSimulated on d=%d, p=%d: response time %.2f s "
               "(%lld subqueries, %lld disk I/Os)\n",
-              config.num_disks, config.num_nodes,
-              result.avg_response_ms / 1000,
-              static_cast<long long>(result.subqueries),
-              static_cast<long long>(result.disk_ios));
+              sim.num_disks, sim.num_nodes, outcome.response_ms / 1000,
+              static_cast<long long>(outcome.sim->subqueries),
+              static_cast<long long>(outcome.sim->disk_ios));
 
-  // Compare against the same query without any fragmentation.
-  const mdw::Fragmentation none(&schema, {});
-  mdw::Simulator baseline_sim(&schema, &none, config);
-  const auto baseline = baseline_sim.RunSingleUser({query});
+  // 5. Compare against the same query without any fragmentation: same
+  //    schema, same hardware, empty fragmentation list.
+  const mdw::Warehouse baseline({.schema = mdw::MakeApb1Schema(),
+                                 .fragmentation = {},
+                                 .backend = mdw::BackendKind::kSimulated,
+                                 .sim = sim});
+  const auto base = baseline.Execute(query);
   std::printf("Same query without fragmentation: %.2f s -> MDHF speedup "
               "%.0fx\n",
-              baseline.avg_response_ms / 1000,
-              baseline.avg_response_ms / result.avg_response_ms);
+              base.response_ms / 1000, base.response_ms / outcome.response_ms);
   return 0;
 }

@@ -1,16 +1,16 @@
 // A small speed-up study on the simulated Shared Disk PDBS: how do a
 // disk-bound and a CPU-bound star query scale when disks and processors
 // grow together? Reproduces the methodology of paper Sec. 6.1 on a
-// reduced grid.
+// reduced grid, driving each hardware point through the mdw::Warehouse
+// façade.
 
 #include <cstdio>
 
 #include "core/mdw.h"
 
 int main() {
-  const auto schema = mdw::MakeApb1Schema();
-  const mdw::Fragmentation frag(
-      &schema, {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}});
+  const std::vector<mdw::FragAttr> month_group = {{mdw::kApb1Time, 2},
+                                                  {mdw::kApb1Product, 3}};
 
   struct Hardware {
     int disks;
@@ -18,8 +18,9 @@ int main() {
   };
   const Hardware grid[] = {{20, 4}, {40, 8}, {80, 16}};
 
+  const auto schema = mdw::MakeApb1Schema();
   std::printf("Speed-up study under %s (t chosen as d/p)\n\n",
-              frag.Label().c_str());
+              mdw::Fragmentation(&schema, month_group).Label().c_str());
   mdw::TablePrinter table({"d", "p", "1GROUP1STORE [s]", "speedup",
                            "1MONTH [s]", "speedup"});
 
@@ -29,7 +30,9 @@ int main() {
     config.num_disks = hw.disks;
     config.num_nodes = hw.nodes;
     config.tasks_per_node = hw.disks / hw.nodes;
-    mdw::WorkloadDriver driver(&schema, &frag, config);
+    mdw::WorkloadDriver driver(mdw::Warehouse({.schema = mdw::MakeApb1Schema(),
+                                               .fragmentation = month_group,
+                                               .sim = config}));
 
     // Disk-bound: sparse hits plus bitmap reads on 24 fragments.
     const auto io_bound =

@@ -1,0 +1,19 @@
+#ifndef MDW_COMMON_BORROWED_H_
+#define MDW_COMMON_BORROWED_H_
+
+#include <memory>
+
+namespace mdw {
+
+/// Wraps a caller-owned pointer in a non-owning shared_ptr (empty control
+/// block, no deleter). Lets APIs that keep their collaborators alive via
+/// shared_ptr also accept objects whose lifetime the caller manages, which
+/// is how the pre-façade raw-pointer constructors stay source compatible.
+template <typename T>
+std::shared_ptr<const T> Borrowed(const T* ptr) {
+  return std::shared_ptr<const T>(std::shared_ptr<const T>(), ptr);
+}
+
+}  // namespace mdw
+
+#endif  // MDW_COMMON_BORROWED_H_

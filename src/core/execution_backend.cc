@@ -1,0 +1,121 @@
+#include "core/execution_backend.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace mdw {
+
+namespace {
+
+/// The plan facts shared by every backend's outcome.
+QueryOutcome OutcomeFromPlan(BackendKind backend, const QueryPlan& plan) {
+  QueryOutcome outcome;
+  outcome.backend = backend;
+  outcome.query_class = plan.query_class();
+  outcome.io_class = plan.io_class();
+  outcome.fragments_processed = plan.FragmentCount();
+  outcome.bitmaps_per_fragment = plan.BitmapsPerFragment();
+  outcome.selectivity = plan.selectivity();
+  return outcome;
+}
+
+}  // namespace
+
+const char* ToString(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kMaterialized: return "materialized";
+    case BackendKind::kSimulated: return "simulated";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// MaterializedBackend
+
+MaterializedBackend::MaterializedBackend(
+    std::shared_ptr<const MiniWarehouse> warehouse,
+    std::shared_ptr<const Fragmentation> fragmentation)
+    : warehouse_(std::move(warehouse)),
+      fragmentation_(std::move(fragmentation)) {
+  MDW_CHECK(warehouse_ != nullptr && fragmentation_ != nullptr,
+            "materialized backend needs a warehouse and a fragmentation");
+  MDW_CHECK(&fragmentation_->schema() == &warehouse_->schema(),
+            "fragmentation must belong to the warehouse schema");
+}
+
+QueryOutcome MaterializedBackend::Execute(const StarQuery& query,
+                                          const QueryPlan& plan) const {
+  QueryOutcome outcome = OutcomeFromPlan(BackendKind::kMaterialized, plan);
+  const auto mdhf =
+      warehouse_->ExecuteWithFragmentation(query, *fragmentation_);
+  // Prefer the execution's own record over the façade's plan where both
+  // exist, so reported facts can never drift from what actually ran.
+  outcome.query_class = mdhf.query_class;
+  outcome.io_class = mdhf.io_class;
+  outcome.fragments_processed = mdhf.fragments_processed;
+  outcome.bitmaps_per_fragment = mdhf.bitmaps_read;
+  outcome.aggregate = mdhf.result;
+  outcome.rows_scanned = mdhf.rows_scanned;
+  return outcome;
+}
+
+BatchOutcome MaterializedBackend::ExecuteBatch(
+    std::span<const StarQuery> queries, std::span<const QueryPlan> plans,
+    int streams) const {
+  MDW_CHECK(queries.size() == plans.size(), "one plan per query");
+  (void)streams;  // no timing model to spread streams over
+  BatchOutcome batch;
+  batch.backend = BackendKind::kMaterialized;
+  MiniWarehouse::AggregateResult total;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    batch.queries.push_back(Execute(queries[i], plans[i]));
+    const auto& agg = *batch.queries.back().aggregate;
+    total.rows += agg.rows;
+    total.units_sold += agg.units_sold;
+    total.dollar_sales_cents += agg.dollar_sales_cents;
+  }
+  batch.total_aggregate = total;
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// SimulatedBackend
+
+SimulatedBackend::SimulatedBackend(
+    std::shared_ptr<const StarSchema> schema,
+    std::shared_ptr<const Fragmentation> fragmentation, SimConfig config)
+    : simulator_(std::move(schema), std::move(fragmentation),
+                 std::move(config)) {}
+
+QueryOutcome SimulatedBackend::Execute(const StarQuery& query,
+                                       const QueryPlan& plan) const {
+  QueryOutcome outcome = OutcomeFromPlan(BackendKind::kSimulated, plan);
+  outcome.sim = simulator_.RunSingleUser({query});
+  outcome.response_ms = outcome.sim->avg_response_ms;
+  return outcome;
+}
+
+BatchOutcome SimulatedBackend::ExecuteBatch(std::span<const StarQuery> queries,
+                                            std::span<const QueryPlan> plans,
+                                            int streams) const {
+  MDW_CHECK(queries.size() == plans.size(), "one plan per query");
+  BatchOutcome batch;
+  batch.backend = BackendKind::kSimulated;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    batch.queries.push_back(OutcomeFromPlan(BackendKind::kSimulated, plans[i]));
+  }
+  const std::vector<StarQuery> list(queries.begin(), queries.end());
+  batch.sim = simulator_.RunMultiUser(list, streams);
+  batch.makespan_ms = batch.sim->makespan_ms;
+  if (streams == 1) {
+    // Single stream: completion order equals submission order, so the
+    // per-query response times can be attributed.
+    for (std::size_t i = 0; i < batch.queries.size(); ++i) {
+      batch.queries[i].response_ms = batch.sim->response_ms[i];
+    }
+  }
+  return batch;
+}
+
+}  // namespace mdw

@@ -1,0 +1,136 @@
+#ifndef MDW_CORE_EXECUTION_BACKEND_H_
+#define MDW_CORE_EXECUTION_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/mini_warehouse.h"
+#include "fragment/query_planner.h"
+#include "sim/metrics.h"
+#include "sim/sim_config.h"
+#include "sim/simulator.h"
+
+namespace mdw {
+
+/// How a Warehouse executes queries.
+enum class BackendKind {
+  /// Fully materialised in-memory facts (core/mini_warehouse): functional
+  /// aggregates, exact rows touched; only feasible at small scale.
+  kMaterialized,
+  /// SIMPAD discrete-event simulation (sim/simulator): timing and device
+  /// metrics at arbitrary scale; the fact data is never materialised.
+  kSimulated,
+};
+
+const char* ToString(BackendKind kind);
+
+/// Unified result of executing one star query through any backend: the
+/// plan facts are always present; the functional aggregate is filled by
+/// materialised execution, the timing/IO metrics by simulated execution.
+struct QueryOutcome {
+  BackendKind backend = BackendKind::kSimulated;
+
+  // ---- plan facts (always present) ----
+  QueryClass query_class = QueryClass::kUnsupported;
+  IoClass io_class = IoClass::kIoc2NoSupp;
+  std::int64_t fragments_processed = 0;
+  int bitmaps_per_fragment = 0;
+  double selectivity = 0;
+
+  // ---- functional result (kMaterialized) ----
+  std::optional<MiniWarehouse::AggregateResult> aggregate;
+  std::int64_t rows_scanned = 0;  ///< rows in the processed fragments
+
+  // ---- timing and device metrics (kSimulated) ----
+  std::optional<SimResult> sim;
+  double response_ms = 0;  ///< convenience mirror of sim->avg_response_ms
+};
+
+/// Result of executing a batch of queries: per-query outcomes in input
+/// order plus run-level statistics. For simulated batches `sim` holds the
+/// whole-run metrics (multi-user streams included); per-query response
+/// times are only attributed when the batch ran as a single stream
+/// (completion order equals submission order there).
+struct BatchOutcome {
+  BackendKind backend = BackendKind::kSimulated;
+  std::vector<QueryOutcome> queries;
+
+  std::optional<MiniWarehouse::AggregateResult> total_aggregate;
+  std::optional<SimResult> sim;
+  double makespan_ms = 0;
+
+  double ThroughputPerSecond() const {
+    return sim.has_value() ? sim->ThroughputPerSecond() : 0;
+  }
+};
+
+/// Strategy interface mdw::Warehouse executes through; one implementation
+/// per BackendKind. Implementations are immutable after construction and
+/// safe to share between Warehouse copies.
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+
+  /// Executes one query whose plan the façade already derived.
+  virtual QueryOutcome Execute(const StarQuery& query,
+                               const QueryPlan& plan) const = 0;
+
+  /// Executes `queries` (with matching `plans`) as one run; `streams` is
+  /// the number of concurrent query streams where the backend models
+  /// concurrency, and ignored otherwise.
+  virtual BatchOutcome ExecuteBatch(std::span<const StarQuery> queries,
+                                    std::span<const QueryPlan> plans,
+                                    int streams) const = 0;
+};
+
+/// Functional execution against a materialised MiniWarehouse. Streams are
+/// ignored: materialised execution has no timing model, so a batch is just
+/// the per-query aggregates plus their sum.
+class MaterializedBackend : public ExecutionBackend {
+ public:
+  MaterializedBackend(std::shared_ptr<const MiniWarehouse> warehouse,
+                      std::shared_ptr<const Fragmentation> fragmentation);
+
+  BackendKind kind() const override { return BackendKind::kMaterialized; }
+  QueryOutcome Execute(const StarQuery& query,
+                       const QueryPlan& plan) const override;
+  BatchOutcome ExecuteBatch(std::span<const StarQuery> queries,
+                            std::span<const QueryPlan> plans,
+                            int streams) const override;
+
+  const MiniWarehouse& warehouse() const { return *warehouse_; }
+
+ private:
+  std::shared_ptr<const MiniWarehouse> warehouse_;
+  std::shared_ptr<const Fragmentation> fragmentation_;
+};
+
+/// Timing/IO execution on the SIMPAD Shared Disk/Shared Nothing simulator.
+/// Batches honour `streams` via the simulator's multi-user mode.
+class SimulatedBackend : public ExecutionBackend {
+ public:
+  SimulatedBackend(std::shared_ptr<const StarSchema> schema,
+                   std::shared_ptr<const Fragmentation> fragmentation,
+                   SimConfig config);
+
+  BackendKind kind() const override { return BackendKind::kSimulated; }
+  QueryOutcome Execute(const StarQuery& query,
+                       const QueryPlan& plan) const override;
+  BatchOutcome ExecuteBatch(std::span<const StarQuery> queries,
+                            std::span<const QueryPlan> plans,
+                            int streams) const override;
+
+  const SimConfig& config() const { return simulator_.config(); }
+
+ private:
+  Simulator simulator_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_CORE_EXECUTION_BACKEND_H_

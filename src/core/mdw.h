@@ -5,21 +5,34 @@
 /// fragmentation and allocation for parallel data warehouses, after
 /// Stöhr/Märtens/Rahm, VLDB 2000.
 ///
-/// Typical usage:
+/// Typical usage goes through the mdw::Warehouse façade, which owns the
+/// schema, fragmentation, and execution backend behind one value-semantic
+/// entry point:
 ///   #include "core/mdw.h"
-///   auto schema = mdw::MakeApb1Schema();
-///   mdw::Fragmentation f(&schema, {{mdw::kApb1Time, 2},
-///                                  {mdw::kApb1Product, 3}});
-///   mdw::QueryPlanner planner(&schema, &f);
-///   auto plan = planner.Plan(mdw::apb1_queries::OneMonthOneGroup(3, 41));
+///   mdw::Warehouse wh({.schema = mdw::MakeApb1Schema(),
+///                      .fragmentation = {{mdw::kApb1Time, 2},
+///                                        {mdw::kApb1Product, 3}},
+///                      .backend = mdw::BackendKind::kSimulated});
+///   auto plan = wh.Plan(mdw::apb1_queries::OneMonthOneGroup(3, 41));
+///   auto outcome = wh.Execute(mdw::apb1_queries::OneMonthOneGroup(3, 41));
+///   // outcome.query_class / .response_ms / .sim->disk_ios ...
+/// Swap `.backend` for BackendKind::kMaterialized (with a small schema,
+/// e.g. MakeTinyApb1Schema()) to execute against materialised facts and
+/// read functional aggregates from outcome.aggregate.
+///
+/// The individual layers (Fragmentation, QueryPlanner, Simulator,
+/// MiniWarehouse, ...) stay public for fine-grained control and for the
+/// paper-reproduction benches.
 
 #include "alloc/declustering_analysis.h"
 #include "alloc/disk_allocation.h"
 #include "bitmap/compressed_bitvector.h"
 #include "bitmap/index_set.h"
 #include "core/advisor.h"
+#include "core/execution_backend.h"
 #include "core/mini_warehouse.h"
 #include "core/paged_layout.h"
+#include "core/warehouse.h"
 #include "cost/cost_report.h"
 #include "cost/io_cost_model.h"
 #include "cost/response_model.h"

@@ -1,0 +1,63 @@
+#include "core/warehouse.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace mdw {
+
+Warehouse::Warehouse(WarehouseConfig config)
+    : seed_(config.seed.value_or(config.sim.seed)) {
+  if (config.backend == BackendKind::kMaterialized) {
+    // The mini-warehouse owns its schema copy; alias the façade's schema
+    // handle to it so fragmentation and planner see the same object the
+    // warehouse validates against.
+    mini_ = std::make_shared<const MiniWarehouse>(std::move(config.schema),
+                                                  seed_);
+    schema_ = std::shared_ptr<const StarSchema>(mini_, &mini_->schema());
+  } else {
+    schema_ = std::make_shared<const StarSchema>(std::move(config.schema));
+  }
+
+  // The fragmentation's deleter captures the schema handle: any QueryPlan
+  // or backend holding the fragmentation transitively keeps the schema
+  // (and for kMaterialized the fact data) alive.
+  auto schema = schema_;
+  fragmentation_ = std::shared_ptr<const Fragmentation>(
+      new Fragmentation(schema.get(), std::move(config.fragmentation)),
+      [schema](const Fragmentation* f) { delete f; });
+
+  if (config.backend == BackendKind::kMaterialized) {
+    backend_ = std::make_shared<MaterializedBackend>(mini_, fragmentation_);
+  } else {
+    backend_ = std::make_shared<SimulatedBackend>(schema_, fragmentation_,
+                                                  std::move(config.sim));
+  }
+}
+
+QueryPlan Warehouse::Plan(const StarQuery& query) const {
+  return QueryPlanner(schema_, fragmentation_).Plan(query);
+}
+
+QueryOutcome Warehouse::Execute(const StarQuery& query) const {
+  return backend_->Execute(query, Plan(query));
+}
+
+BatchOutcome Warehouse::ExecuteBatch(std::span<const StarQuery> queries,
+                                     int streams) const {
+  MDW_CHECK(!queries.empty(), "empty batch");
+  std::vector<QueryPlan> plans;
+  plans.reserve(queries.size());
+  for (const auto& q : queries) plans.push_back(Plan(q));
+  return backend_->ExecuteBatch(queries, plans, streams);
+}
+
+const MiniWarehouse* Warehouse::materialized() const { return mini_.get(); }
+
+const SimConfig& Warehouse::sim_config() const {
+  const auto* sim = dynamic_cast<const SimulatedBackend*>(backend_.get());
+  MDW_CHECK(sim != nullptr, "sim_config() needs BackendKind::kSimulated");
+  return sim->config();
+}
+
+}  // namespace mdw

@@ -1,0 +1,92 @@
+#ifndef MDW_CORE_WAREHOUSE_H_
+#define MDW_CORE_WAREHOUSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/execution_backend.h"
+#include "fragment/fragmentation.h"
+#include "fragment/query_planner.h"
+#include "fragment/star_query.h"
+#include "schema/star_schema.h"
+#include "sim/sim_config.h"
+
+namespace mdw {
+
+/// Everything needed to stand up a warehouse: the star schema, the MDHF
+/// fragmentation attributes, and which execution backend answers queries.
+struct WarehouseConfig {
+  StarSchema schema;
+
+  /// MDHF fragmentation attributes (empty = the unfragmented baseline).
+  std::vector<FragAttr> fragmentation;
+
+  BackendKind backend = BackendKind::kSimulated;
+
+  /// Hardware and policy settings; used by BackendKind::kSimulated.
+  SimConfig sim = {};
+
+  /// Fact-population seed (BackendKind::kMaterialized) and the default
+  /// seed for workload drivers running against this warehouse. Defaults
+  /// to sim.seed so one seed controls the whole setup.
+  std::optional<std::uint64_t> seed;
+};
+
+/// The single entry point over the paper's machinery: owns the schema,
+/// fragmentation, indexes/materialised facts (or the simulator), and the
+/// query planner, and executes star queries through a uniform surface.
+///
+///   mdw::Warehouse wh({.schema = mdw::MakeApb1Schema(),
+///                      .fragmentation = {{mdw::kApb1Time, 2},
+///                                        {mdw::kApb1Product, 3}}});
+///   auto outcome = wh.Execute(mdw::apb1_queries::OneMonthOneGroup(3, 41));
+///
+/// Value semantics: a Warehouse is copyable and movable; copies share the
+/// immutable schema/fragmentation/backend state, so handing a Warehouse
+/// around (or destroying the original) never dangles — the hazard of
+/// wiring StarSchema* / Fragmentation* into planners and simulators by
+/// hand. Plans returned by Plan() likewise keep the fragmentation (and
+/// transitively the schema) alive on their own.
+class Warehouse {
+ public:
+  explicit Warehouse(WarehouseConfig config);
+
+  BackendKind backend() const { return backend_->kind(); }
+  const StarSchema& schema() const { return *schema_; }
+  const Fragmentation& fragmentation() const { return *fragmentation_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Classifies the query against the fragmentation (Sec. 4.2/4.5) and
+  /// derives its fragment set; valid independently of the backend.
+  QueryPlan Plan(const StarQuery& query) const;
+
+  /// Plans and executes one query on the configured backend.
+  QueryOutcome Execute(const StarQuery& query) const;
+
+  /// Executes a batch as one run. On the simulated backend `streams` > 1
+  /// runs the batch in concurrent query streams (multi-user mode); the
+  /// materialized backend ignores it.
+  BatchOutcome ExecuteBatch(std::span<const StarQuery> queries,
+                            int streams = 1) const;
+
+  /// The materialised mini-warehouse backing kMaterialized, or nullptr —
+  /// ground-truth checks (full scans, bitmap paths) go through this.
+  const MiniWarehouse* materialized() const;
+
+  /// The simulator settings backing kSimulated; aborts on kMaterialized.
+  const SimConfig& sim_config() const;
+
+ private:
+  std::shared_ptr<const StarSchema> schema_;
+  std::shared_ptr<const Fragmentation> fragmentation_;
+  std::shared_ptr<const MiniWarehouse> mini_;  ///< kMaterialized only
+  std::shared_ptr<const ExecutionBackend> backend_;
+  std::uint64_t seed_ = 42;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_CORE_WAREHOUSE_H_

@@ -1,7 +1,9 @@
 #include "fragment/query_planner.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/borrowed.h"
 #include "common/check.h"
 
 namespace mdw {
@@ -27,20 +29,29 @@ const char* ToString(IoClass c) {
   return "?";
 }
 
-QueryPlan::QueryPlan(const Fragmentation* fragmentation,
+QueryPlan::QueryPlan(std::shared_ptr<const Fragmentation> fragmentation,
                      std::vector<std::vector<std::int64_t>> slices,
                      QueryClass query_class, IoClass io_class,
                      std::vector<PredicateAccess> accesses,
                      double selectivity)
-    : fragmentation_(fragmentation),
+    : fragmentation_(std::move(fragmentation)),
       slices_(std::move(slices)),
       query_class_(query_class),
       io_class_(io_class),
       accesses_(std::move(accesses)),
       selectivity_(selectivity) {
+  MDW_CHECK(fragmentation_ != nullptr, "plan needs a fragmentation");
   MDW_CHECK(static_cast<int>(slices_.size()) == fragmentation_->num_attrs(),
             "one slice per fragmentation attribute");
 }
+
+QueryPlan::QueryPlan(const Fragmentation* fragmentation,
+                     std::vector<std::vector<std::int64_t>> slices,
+                     QueryClass query_class, IoClass io_class,
+                     std::vector<PredicateAccess> accesses,
+                     double selectivity)
+    : QueryPlan(Borrowed(fragmentation), std::move(slices), query_class,
+                io_class, std::move(accesses), selectivity) {}
 
 const std::vector<std::int64_t>& QueryPlan::slice(int i) const {
   MDW_CHECK(i >= 0 && i < static_cast<int>(slices_.size()),
@@ -119,14 +130,18 @@ std::vector<FragId> QueryPlan::MaterializeFragments(std::int64_t cap) const {
   return ids;
 }
 
-QueryPlanner::QueryPlanner(const StarSchema* schema,
-                           const Fragmentation* fragmentation)
-    : schema_(schema), fragmentation_(fragmentation) {
+QueryPlanner::QueryPlanner(std::shared_ptr<const StarSchema> schema,
+                           std::shared_ptr<const Fragmentation> fragmentation)
+    : schema_(std::move(schema)), fragmentation_(std::move(fragmentation)) {
   MDW_CHECK(schema_ != nullptr && fragmentation_ != nullptr,
             "planner needs schema and fragmentation");
-  MDW_CHECK(&fragmentation_->schema() == schema_,
+  MDW_CHECK(&fragmentation_->schema() == schema_.get(),
             "fragmentation must belong to the schema");
 }
+
+QueryPlanner::QueryPlanner(const StarSchema* schema,
+                           const Fragmentation* fragmentation)
+    : QueryPlanner(Borrowed(schema), Borrowed(fragmentation)) {}
 
 QueryPlan QueryPlanner::Plan(const StarQuery& query) const {
   const Fragmentation& frag = *fragmentation_;

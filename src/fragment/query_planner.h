@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,15 @@ struct PredicateAccess {
 /// cross product can be large.
 class QueryPlan {
  public:
+  /// The plan shares ownership of the fragmentation, so it stays valid
+  /// even if the planner (or the façade that produced it) is destroyed.
+  QueryPlan(std::shared_ptr<const Fragmentation> fragmentation,
+            std::vector<std::vector<std::int64_t>> slices,
+            QueryClass query_class, IoClass io_class,
+            std::vector<PredicateAccess> accesses, double selectivity);
+
+  /// Compatibility: borrows a caller-owned fragmentation (no ownership);
+  /// the caller must keep it alive for the plan's lifetime.
   QueryPlan(const Fragmentation* fragmentation,
             std::vector<std::vector<std::int64_t>> slices,
             QueryClass query_class, IoClass io_class,
@@ -93,7 +103,7 @@ class QueryPlan {
       std::int64_t cap = 1'000'000) const;
 
  private:
-  const Fragmentation* fragmentation_;
+  std::shared_ptr<const Fragmentation> fragmentation_;
   std::vector<std::vector<std::int64_t>> slices_;
   QueryClass query_class_;
   IoClass io_class_;
@@ -106,13 +116,19 @@ class QueryPlan {
 /// and bitmap requirements) and Sec. 4.5 (I/O classes).
 class QueryPlanner {
  public:
+  /// The planner shares ownership of schema and fragmentation; plans it
+  /// produces keep the fragmentation alive on their own.
+  QueryPlanner(std::shared_ptr<const StarSchema> schema,
+               std::shared_ptr<const Fragmentation> fragmentation);
+
+  /// Compatibility: borrows caller-owned schema/fragmentation.
   QueryPlanner(const StarSchema* schema, const Fragmentation* fragmentation);
 
   QueryPlan Plan(const StarQuery& query) const;
 
  private:
-  const StarSchema* schema_;
-  const Fragmentation* fragmentation_;
+  std::shared_ptr<const StarSchema> schema_;
+  std::shared_ptr<const Fragmentation> fragmentation_;
 };
 
 }  // namespace mdw

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "common/borrowed.h"
 #include "common/check.h"
 #include "common/math_util.h"
 #include "fragment/bitmap_elimination.h"
@@ -15,28 +16,37 @@
 
 namespace mdw {
 
-Simulator::Simulator(const StarSchema* schema,
-                     const Fragmentation* fragmentation, SimConfig config)
-    : schema_(schema), fragmentation_(fragmentation), config_(config) {
+Simulator::Simulator(std::shared_ptr<const StarSchema> schema,
+                     std::shared_ptr<const Fragmentation> fragmentation,
+                     SimConfig config)
+    : schema_(std::move(schema)),
+      fragmentation_(std::move(fragmentation)),
+      config_(config) {
   MDW_CHECK(schema_ != nullptr && fragmentation_ != nullptr,
             "simulator needs schema and fragmentation");
-  MDW_CHECK(&fragmentation_->schema() == schema_,
+  MDW_CHECK(&fragmentation_->schema() == schema_.get(),
             "fragmentation must belong to the schema");
   config_.Validate();
 }
 
-SimResult Simulator::RunSingleUser(const std::vector<StarQuery>& queries) {
+Simulator::Simulator(const StarSchema* schema,
+                     const Fragmentation* fragmentation, SimConfig config)
+    : Simulator(Borrowed(schema), Borrowed(fragmentation),
+                std::move(config)) {}
+
+SimResult Simulator::RunSingleUser(
+    const std::vector<StarQuery>& queries) const {
   return Run(queries, /*streams=*/1);
 }
 
 SimResult Simulator::RunMultiUser(const std::vector<StarQuery>& queries,
-                                  int streams) {
+                                  int streams) const {
   MDW_CHECK(streams >= 1, "need at least one stream");
   return Run(queries, streams);
 }
 
 SimResult Simulator::Run(const std::vector<StarQuery>& queries,
-                         int streams) {
+                         int streams) const {
   MDW_CHECK(!queries.empty(), "no queries to run");
 
   // ---- plans and per-query subquery work ----
@@ -63,7 +73,7 @@ SimResult Simulator::Run(const std::vector<StarQuery>& queries,
   alloc_config.round_gap = config_.round_gap;
   alloc_config.cluster_factor = config_.fragment_cluster_factor;
   alloc_config.node_count = config_.num_nodes;
-  const DiskAllocation allocation(fragmentation_, alloc_config,
+  const DiskAllocation allocation(fragmentation_.get(), alloc_config,
                                   materialized_bitmaps);
 
   // ---- on-disk layout and devices ----

@@ -1,6 +1,7 @@
 #ifndef MDW_SIM_SIMULATOR_H_
 #define MDW_SIM_SIMULATOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "fragment/fragmentation.h"
@@ -24,26 +25,34 @@ namespace mdw {
 /// separately against materialised data (core/mini_warehouse).
 class Simulator {
  public:
+  /// The simulator shares ownership of schema and fragmentation, so it
+  /// can outlive the code that configured it (e.g. inside mdw::Warehouse).
+  Simulator(std::shared_ptr<const StarSchema> schema,
+            std::shared_ptr<const Fragmentation> fragmentation,
+            SimConfig config);
+
+  /// Compatibility: borrows caller-owned schema/fragmentation.
   Simulator(const StarSchema* schema, const Fragmentation* fragmentation,
             SimConfig config);
 
   /// Single-user mode (the paper's setting): queries are issued
   /// sequentially, each starting when the previous one terminated.
-  SimResult RunSingleUser(const std::vector<StarQuery>& queries);
+  SimResult RunSingleUser(const std::vector<StarQuery>& queries) const;
 
   /// Multi-user extension (paper future work): `streams` concurrent query
   /// streams; the query list is distributed round-robin over the streams,
   /// each stream running its sublist sequentially.
-  SimResult RunMultiUser(const std::vector<StarQuery>& queries, int streams);
+  SimResult RunMultiUser(const std::vector<StarQuery>& queries,
+                         int streams) const;
 
   const SimConfig& config() const { return config_; }
   const Fragmentation& fragmentation() const { return *fragmentation_; }
 
  private:
-  SimResult Run(const std::vector<StarQuery>& queries, int streams);
+  SimResult Run(const std::vector<StarQuery>& queries, int streams) const;
 
-  const StarSchema* schema_;
-  const Fragmentation* fragmentation_;
+  std::shared_ptr<const StarSchema> schema_;
+  std::shared_ptr<const Fragmentation> fragmentation_;
   SimConfig config_;
 };
 

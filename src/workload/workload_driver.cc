@@ -1,22 +1,61 @@
 #include "workload/workload_driver.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace mdw {
 
+namespace {
+
+WarehouseConfig SimulatedConfigOf(const StarSchema* schema,
+                                  const Fragmentation* fragmentation,
+                                  SimConfig config) {
+  MDW_CHECK(schema != nullptr && fragmentation != nullptr,
+            "driver needs schema and fragmentation");
+  MDW_CHECK(&fragmentation->schema() == schema,
+            "fragmentation must belong to the schema");
+  return WarehouseConfig{.schema = *schema,
+                         .fragmentation = fragmentation->attrs(),
+                         .backend = BackendKind::kSimulated,
+                         .sim = config,
+                         .seed = config.seed};
+}
+
+}  // namespace
+
+WorkloadDriver::WorkloadDriver(Warehouse warehouse, double skew_theta)
+    : warehouse_(std::move(warehouse)),
+      generator_(&warehouse_.schema(), warehouse_.seed(), skew_theta) {}
+
 WorkloadDriver::WorkloadDriver(const StarSchema* schema,
                                const Fragmentation* fragmentation,
                                SimConfig config, double skew_theta)
-    : schema_(schema),
-      simulator_(schema, fragmentation, config),
-      generator_(schema, config.seed, skew_theta) {}
+    : WorkloadDriver(
+          Warehouse(SimulatedConfigOf(schema, fragmentation, config)),
+          skew_theta) {}
 
 SimResult WorkloadDriver::RunSingleUser(QueryType type, int repetitions) {
-  return simulator_.RunSingleUser(generator_.GenerateMany(type, repetitions));
+  const auto batch = RunBatch(type, repetitions, /*streams=*/1);
+  MDW_CHECK(batch.sim.has_value(), "RunSingleUser needs a simulated backend");
+  return *batch.sim;
 }
 
 SimResult WorkloadDriver::RunMix(const std::vector<WorkloadSpec>& mix,
                                  int streams) {
+  const auto batch = RunMixBatch(mix, streams);
+  MDW_CHECK(batch.sim.has_value(), "RunMix needs a simulated backend");
+  return *batch.sim;
+}
+
+BatchOutcome WorkloadDriver::RunBatch(QueryType type, int repetitions,
+                                      int streams) {
+  return warehouse_.ExecuteBatch(generator_.GenerateMany(type, repetitions),
+                                 streams);
+}
+
+BatchOutcome WorkloadDriver::RunMixBatch(const std::vector<WorkloadSpec>& mix,
+                                         int streams) {
   MDW_CHECK(!mix.empty(), "empty workload mix");
   std::vector<StarQuery> queries;
   for (const auto& spec : mix) {
@@ -24,7 +63,7 @@ SimResult WorkloadDriver::RunMix(const std::vector<WorkloadSpec>& mix,
       queries.push_back(generator_.Generate(spec.type));
     }
   }
-  return simulator_.RunMultiUser(queries, streams);
+  return warehouse_.ExecuteBatch(queries, streams);
 }
 
 }  // namespace mdw

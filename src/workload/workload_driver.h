@@ -3,7 +3,8 @@
 
 #include <vector>
 
-#include "sim/simulator.h"
+#include "core/warehouse.h"
+#include "sim/metrics.h"
 #include "workload/query_generator.h"
 
 namespace mdw {
@@ -17,24 +18,42 @@ struct WorkloadSpec {
 /// Convenience driver matching the paper's experimental procedure: for a
 /// single simulation all queries are of the same type with randomly chosen
 /// parameters, issued in single-user mode (Sec. 5). Multi-user mixes are
-/// the extension of Sec. 7's future-work list.
+/// the extension of Sec. 7's future-work list. The driver targets the
+/// mdw::Warehouse façade, so the same workload can run against any
+/// execution backend.
 class WorkloadDriver {
  public:
+  /// Drives workloads against `warehouse`; the query generator is seeded
+  /// from the warehouse seed.
+  explicit WorkloadDriver(Warehouse warehouse, double skew_theta = 0.0);
+
+  /// Compatibility: stands up a kSimulated Warehouse over copies of the
+  /// given schema/fragmentation.
   WorkloadDriver(const StarSchema* schema, const Fragmentation* fragmentation,
                  SimConfig config, double skew_theta = 0.0);
 
   /// `repetitions` random instances of `type`, run back-to-back; returns
-  /// averaged statistics (the paper's "average response time").
+  /// averaged statistics (the paper's "average response time"). Requires a
+  /// simulated backend.
   SimResult RunSingleUser(QueryType type, int repetitions);
 
-  /// Runs a mix with `streams` concurrent query streams.
+  /// Runs a mix with `streams` concurrent query streams. Requires a
+  /// simulated backend.
   SimResult RunMix(const std::vector<WorkloadSpec>& mix, int streams);
 
-  const SimConfig& config() const { return simulator_.config(); }
+  /// Façade-native variants returning the unified BatchOutcome; these work
+  /// on every backend (the materialized one ignores `streams`).
+  BatchOutcome RunBatch(QueryType type, int repetitions, int streams = 1);
+  BatchOutcome RunMixBatch(const std::vector<WorkloadSpec>& mix, int streams);
+
+  const Warehouse& warehouse() const { return warehouse_; }
+
+  /// Simulator settings of the underlying warehouse; like
+  /// Warehouse::sim_config(), aborts on a materialized backend.
+  const SimConfig& config() const { return warehouse_.sim_config(); }
 
  private:
-  const StarSchema* schema_;
-  Simulator simulator_;
+  Warehouse warehouse_;
   QueryGenerator generator_;
 };
 
