@@ -1,12 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the core data structures:
-// bitvector Boolean ops, encoded-index selections, fragment mapping and
-// query planning.
+// bitvector Boolean ops, encoded-index selections, fragment mapping,
+// query planning and the plan-first/plan-cache façade paths.
 
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "bitmap/compressed_bitvector.h"
 #include "bitmap/encoded_bitmap_index.h"
 #include "common/rng.h"
+#include "core/warehouse.h"
+#include "fragment/plan_cache.h"
 #include "fragment/query_planner.h"
 #include "index/btree.h"
 #include "schema/apb1.h"
@@ -164,6 +168,72 @@ void BM_PlanUnsupportedQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlanUnsupportedQuery);
+
+// ---------------------------------------------------------------------------
+// Plan-first façade: planning throughput with and without the plan cache,
+// and the end-to-end N-derivations-per-batch guarantee.
+
+mdw::Warehouse SimulatedWarehouse(std::size_t plan_cache_capacity) {
+  mdw::SimConfig sim;
+  sim.num_disks = 20;
+  sim.num_nodes = 4;
+  return mdw::Warehouse({.schema = mdw::MakeApb1Schema(),
+                         .fragmentation = {{mdw::kApb1Time, 2},
+                                           {mdw::kApb1Product, 3}},
+                         .backend = mdw::BackendKind::kSimulated,
+                         .sim = sim,
+                         .plan_cache_capacity = plan_cache_capacity});
+}
+
+// Uncached façade planning: one full QueryPlanner derivation per call.
+void BM_WarehousePlanUncached(benchmark::State& state) {
+  const auto wh = SimulatedWarehouse(/*plan_cache_capacity=*/0);
+  const auto query = mdw::apb1_queries::OneCodeOneQuarter(35, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wh.PlanShared(query));
+  }
+}
+BENCHMARK(BM_WarehousePlanUncached);
+
+// Repeated workload through the plan cache: every iteration is a hit, so
+// the per-call cost drops to a signature + LRU lookup. Compare against
+// BM_WarehousePlanUncached for the cache's repeated-workload speedup.
+void BM_WarehousePlanCacheHit(benchmark::State& state) {
+  const auto wh = SimulatedWarehouse(/*plan_cache_capacity=*/256);
+  const auto query = mdw::apb1_queries::OneCodeOneQuarter(35, 2);
+  wh.PlanShared(query);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wh.PlanShared(query));
+  }
+  state.counters["hit_rate"] = wh.plan_cache_stats().HitRate();
+}
+BENCHMARK(BM_WarehousePlanCacheHit);
+
+// End-to-end batch planning through Warehouse::ExecuteBatch on the
+// materialized backend. The plans_per_query counter proves the plan-first
+// pipeline's N (not 2N) derivations per batch of N distinct queries.
+void BM_MaterializedBatchPlanFirst(benchmark::State& state) {
+  const mdw::Warehouse wh({.schema = mdw::MakeTinyApb1Schema(),
+                           .fragmentation = {{mdw::kApb1Time, 2},
+                                             {mdw::kApb1Product, 3}},
+                           .backend = mdw::BackendKind::kMaterialized,
+                           .seed = 42,
+                           .plan_cache_capacity = 0});
+  std::vector<mdw::StarQuery> queries;
+  for (std::int64_t month = 0; month < 12; ++month) {
+    queries.push_back(mdw::apb1_queries::OneMonthOneGroup(month, month));
+  }
+  const auto before = mdw::QueryPlanner::LifetimePlanCount();
+  std::uint64_t batches = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wh.ExecuteBatch(queries));
+    ++batches;
+  }
+  state.counters["plans_per_query"] =
+      static_cast<double>(mdw::QueryPlanner::LifetimePlanCount() - before) /
+      static_cast<double>(batches * queries.size());
+}
+BENCHMARK(BM_MaterializedBatchPlanFirst);
 
 }  // namespace
 

@@ -47,8 +47,7 @@ MaterializedBackend::MaterializedBackend(
 QueryOutcome MaterializedBackend::Execute(const StarQuery& query,
                                           const QueryPlan& plan) const {
   QueryOutcome outcome = OutcomeFromPlan(BackendKind::kMaterialized, plan);
-  const auto mdhf =
-      warehouse_->ExecuteWithFragmentation(query, *fragmentation_);
+  const auto mdhf = warehouse_->ExecuteWithPlan(query, plan);
   // Prefer the execution's own record over the façade's plan where both
   // exist, so reported facts can never drift from what actually ran.
   outcome.query_class = mdhf.query_class;
@@ -91,7 +90,8 @@ SimulatedBackend::SimulatedBackend(
 QueryOutcome SimulatedBackend::Execute(const StarQuery& query,
                                        const QueryPlan& plan) const {
   QueryOutcome outcome = OutcomeFromPlan(BackendKind::kSimulated, plan);
-  outcome.sim = simulator_.RunSingleUser({query});
+  outcome.sim = simulator_.RunSingleUser(std::span(&query, 1),
+                                         std::span(&plan, 1));
   outcome.response_ms = outcome.sim->avg_response_ms;
   return outcome;
 }
@@ -105,8 +105,7 @@ BatchOutcome SimulatedBackend::ExecuteBatch(std::span<const StarQuery> queries,
   for (std::size_t i = 0; i < queries.size(); ++i) {
     batch.queries.push_back(OutcomeFromPlan(BackendKind::kSimulated, plans[i]));
   }
-  const std::vector<StarQuery> list(queries.begin(), queries.end());
-  batch.sim = simulator_.RunMultiUser(list, streams);
+  batch.sim = simulator_.RunMultiUser(queries, plans, streams);
   batch.makespan_ms = batch.sim->makespan_ms;
   if (streams == 1) {
     // Single stream: completion order equals submission order, so the

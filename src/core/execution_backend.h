@@ -27,9 +27,22 @@ enum class BackendKind {
 
 const char* ToString(BackendKind kind);
 
-/// Unified result of executing one star query through any backend: the
-/// plan facts are always present; the functional aggregate is filled by
-/// materialised execution, the timing/IO metrics by simulated execution.
+/// Unified result of executing one star query through any backend.
+///
+/// Population rules:
+/// - The plan facts are ALWAYS present, on every backend — they come
+///   from the QueryPlan the façade derived (plan-first pipeline; see
+///   docs/ARCHITECTURE.md). On kMaterialized they are overwritten with
+///   the execution's own record, so they can never drift from what ran.
+/// - `aggregate` and `rows_scanned` are populated IFF
+///   backend == kMaterialized (`aggregate` engaged, exact SUMs over the
+///   matching rows). On kSimulated `aggregate` is nullopt — the fact
+///   data is never materialised, so there is nothing to sum.
+/// - `sim` and `response_ms` are populated IFF backend == kSimulated:
+///   `sim` holds the full device/timing metrics of a single-query run
+///   and `response_ms` mirrors sim->avg_response_ms. On kMaterialized
+///   `sim` is nullopt and `response_ms` stays 0 — materialised
+///   execution has no timing model.
 struct QueryOutcome {
   BackendKind backend = BackendKind::kSimulated;
 
@@ -50,10 +63,26 @@ struct QueryOutcome {
 };
 
 /// Result of executing a batch of queries: per-query outcomes in input
-/// order plus run-level statistics. For simulated batches `sim` holds the
-/// whole-run metrics (multi-user streams included); per-query response
-/// times are only attributed when the batch ran as a single stream
-/// (completion order equals submission order there).
+/// order plus run-level statistics.
+///
+/// Population rules:
+/// - `queries[i]` corresponds to the i-th submitted query. Plan facts
+///   are always filled; the per-query optionals follow the QueryOutcome
+///   rules for the batch's backend.
+/// - kMaterialized: `total_aggregate` is engaged (the sum over all
+///   per-query aggregates); `sim` is nullopt and `makespan_ms` is 0.
+/// - kSimulated: `sim` is engaged with the WHOLE-RUN metrics — device
+///   utilizations, I/O counts and response-time statistics cover the
+///   complete (possibly multi-stream) run, not any single query — and
+///   `makespan_ms` mirrors sim->makespan_ms.
+///
+/// Single-stream-only attribution caveat: `queries[i].response_ms` is
+/// filled IFF the simulated batch ran with streams == 1, where
+/// completion order provably equals submission order. With streams > 1
+/// the simulator reports sim->response_ms in COMPLETION order, which
+/// cannot be attributed back to individual submitted queries, so every
+/// queries[i].response_ms stays 0 there — read the distribution from
+/// sim->avg/min/max_response_ms instead.
 struct BatchOutcome {
   BackendKind backend = BackendKind::kSimulated;
   std::vector<QueryOutcome> queries;

@@ -6,19 +6,24 @@
 /// Stöhr/Märtens/Rahm, VLDB 2000.
 ///
 /// Typical usage goes through the mdw::Warehouse façade, which owns the
-/// schema, fragmentation, and execution backend behind one value-semantic
-/// entry point:
+/// schema, fragmentation, plan cache, and execution backend behind one
+/// value-semantic entry point. Execution is plan-first: each query is
+/// planned once (or served from the cache) and the backend never
+/// re-plans — see docs/ARCHITECTURE.md for the full flow.
 ///   #include "core/mdw.h"
 ///   mdw::Warehouse wh({.schema = mdw::MakeApb1Schema(),
 ///                      .fragmentation = {{mdw::kApb1Time, 2},
 ///                                        {mdw::kApb1Product, 3}},
 ///                      .backend = mdw::BackendKind::kSimulated});
-///   auto plan = wh.Plan(mdw::apb1_queries::OneMonthOneGroup(3, 41));
-///   auto outcome = wh.Execute(mdw::apb1_queries::OneMonthOneGroup(3, 41));
+///   auto query = mdw::apb1_queries::OneMonthOneGroup(3, 41);
+///   auto plan = wh.Plan(query);     // derives + caches the plan
+///   auto outcome = wh.Execute(query);  // cache hit: no re-planning
 ///   // outcome.query_class / .response_ms / .sim->disk_ios ...
+///   auto stats = wh.plan_cache_stats();  // hits=1 misses=1
 /// Swap `.backend` for BackendKind::kMaterialized (with a small schema,
 /// e.g. MakeTinyApb1Schema()) to execute against materialised facts and
-/// read functional aggregates from outcome.aggregate.
+/// read functional aggregates from outcome.aggregate. Set
+/// WarehouseConfig::plan_cache_capacity = 0 to plan afresh every call.
 ///
 /// The individual layers (Fragmentation, QueryPlanner, Simulator,
 /// MiniWarehouse, ...) stay public for fine-grained control and for the
@@ -40,6 +45,7 @@
 #include "fragment/bitmap_elimination.h"
 #include "fragment/enumeration.h"
 #include "fragment/fragmentation.h"
+#include "fragment/plan_cache.h"
 #include "fragment/query_planner.h"
 #include "fragment/range_fragmentation.h"
 #include "fragment/star_query.h"

@@ -100,7 +100,14 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithFragmentation(
   MDW_CHECK(&fragmentation.schema() == &schema_,
             "fragmentation must belong to this warehouse's schema");
   const QueryPlanner planner(&schema_, &fragmentation);
-  const QueryPlan plan = planner.Plan(query);
+  return ExecuteWithPlan(query, planner.Plan(query));
+}
+
+MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
+    const StarQuery& query, const QueryPlan& plan) const {
+  const Fragmentation& fragmentation = plan.fragmentation();
+  MDW_CHECK(&fragmentation.schema() == &schema_,
+            "plan's fragmentation must belong to this warehouse's schema");
 
   MdhfExecution exec;
   exec.query_class = plan.query_class();

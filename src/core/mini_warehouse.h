@@ -58,8 +58,19 @@ class MiniWarehouse {
     QueryClass query_class = QueryClass::kUnsupported;
     IoClass io_class = IoClass::kIoc2NoSupp;
   };
+  /// Compatibility entry point: derives the plan internally, then
+  /// delegates to the plan-accepting overload below (one extra
+  /// QueryPlanner::Plan call per query — the plan-first pipeline through
+  /// mdw::Warehouse avoids it).
   MdhfExecution ExecuteWithFragmentation(
       const StarQuery& query, const Fragmentation& fragmentation) const;
+
+  /// Plan-first entry point: executes `query` under `plan` (derived by the
+  /// caller, typically once per batch through Warehouse's plan cache)
+  /// without re-planning. The plan's fragmentation must belong to this
+  /// warehouse's schema.
+  MdhfExecution ExecuteWithPlan(const StarQuery& query,
+                                const QueryPlan& plan) const;
 
  private:
   bool RowMatches(std::int64_t row, const StarQuery& query) const;

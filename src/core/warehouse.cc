@@ -33,31 +33,51 @@ Warehouse::Warehouse(WarehouseConfig config)
     backend_ = std::make_shared<SimulatedBackend>(schema_, fragmentation_,
                                                   std::move(config.sim));
   }
+
+  planner_ = std::make_shared<const QueryPlanner>(schema_, fragmentation_);
+  if (config.plan_cache_capacity > 0) {
+    plan_cache_ = std::make_shared<PlanCache>(config.plan_cache_capacity);
+  }
 }
 
 QueryPlan Warehouse::Plan(const StarQuery& query) const {
-  return QueryPlanner(schema_, fragmentation_).Plan(query);
+  return *PlanShared(query);
+}
+
+std::shared_ptr<const QueryPlan> Warehouse::PlanShared(
+    const StarQuery& query) const {
+  if (plan_cache_ == nullptr) {
+    return std::make_shared<const QueryPlan>(planner_->Plan(query));
+  }
+  return plan_cache_->GetOrPlan(query, *planner_);
 }
 
 QueryOutcome Warehouse::Execute(const StarQuery& query) const {
-  return backend_->Execute(query, Plan(query));
+  return backend_->Execute(query, *PlanShared(query));
 }
 
 BatchOutcome Warehouse::ExecuteBatch(std::span<const StarQuery> queries,
                                      int streams) const {
   MDW_CHECK(!queries.empty(), "empty batch");
+  // The backends consume contiguous plans; cache hits are copied out of
+  // the cache (a copy is two vector clones — far cheaper than deriving).
   std::vector<QueryPlan> plans;
   plans.reserve(queries.size());
-  for (const auto& q : queries) plans.push_back(Plan(q));
+  for (const auto& q : queries) plans.push_back(*PlanShared(q));
   return backend_->ExecuteBatch(queries, plans, streams);
 }
 
 const MiniWarehouse* Warehouse::materialized() const { return mini_.get(); }
 
 const SimConfig& Warehouse::sim_config() const {
-  const auto* sim = dynamic_cast<const SimulatedBackend*>(backend_.get());
-  MDW_CHECK(sim != nullptr, "sim_config() needs BackendKind::kSimulated");
-  return sim->config();
+  MDW_CHECK(backend_->kind() == BackendKind::kSimulated,
+            "sim_config() needs BackendKind::kSimulated, but this "
+            "warehouse runs the materialized backend");
+  return static_cast<const SimulatedBackend*>(backend_.get())->config();
+}
+
+PlanCache::Stats Warehouse::plan_cache_stats() const {
+  return plan_cache_ == nullptr ? PlanCache::Stats{} : plan_cache_->stats();
 }
 
 }  // namespace mdw

@@ -9,6 +9,7 @@
 
 #include "core/execution_backend.h"
 #include "fragment/fragmentation.h"
+#include "fragment/plan_cache.h"
 #include "fragment/query_planner.h"
 #include "fragment/star_query.h"
 #include "schema/star_schema.h"
@@ -33,6 +34,12 @@ struct WarehouseConfig {
   /// seed for workload drivers running against this warehouse. Defaults
   /// to sim.seed so one seed controls the whole setup.
   std::optional<std::uint64_t> seed;
+
+  /// Capacity (entries) of the shared plan cache memoizing Plan() results
+  /// by canonical query signature; 0 disables caching and every
+  /// Plan/Execute derives afresh. Copies of a Warehouse share one cache,
+  /// so repeated workloads hit across copies.
+  std::size_t plan_cache_capacity = 256;
 };
 
 /// The single entry point over the paper's machinery: owns the schema,
@@ -61,9 +68,17 @@ class Warehouse {
 
   /// Classifies the query against the fragmentation (Sec. 4.2/4.5) and
   /// derives its fragment set; valid independently of the backend.
+  /// Served from the plan cache when enabled (returns a copy of the
+  /// cached plan; use PlanShared() to share the cached object itself).
   QueryPlan Plan(const StarQuery& query) const;
 
-  /// Plans and executes one query on the configured backend.
+  /// Like Plan(), but returns the cache-resident plan without copying
+  /// (or a freshly derived one when the cache is disabled). This is the
+  /// plan Execute()/ExecuteBatch() run on.
+  std::shared_ptr<const QueryPlan> PlanShared(const StarQuery& query) const;
+
+  /// Plans (cache-first) and executes one query on the configured
+  /// backend; the backend never re-plans.
   QueryOutcome Execute(const StarQuery& query) const;
 
   /// Executes a batch as one run. On the simulated backend `streams` > 1
@@ -79,11 +94,18 @@ class Warehouse {
   /// The simulator settings backing kSimulated; aborts on kMaterialized.
   const SimConfig& sim_config() const;
 
+  /// Hit/miss/eviction counters of the shared plan cache; all-zero (with
+  /// capacity 0) when caching is disabled. Copies of this Warehouse
+  /// report the same counters — they share the cache.
+  PlanCache::Stats plan_cache_stats() const;
+
  private:
   std::shared_ptr<const StarSchema> schema_;
   std::shared_ptr<const Fragmentation> fragmentation_;
   std::shared_ptr<const MiniWarehouse> mini_;  ///< kMaterialized only
   std::shared_ptr<const ExecutionBackend> backend_;
+  std::shared_ptr<const QueryPlanner> planner_;
+  std::shared_ptr<PlanCache> plan_cache_;  ///< nullptr when disabled
   std::uint64_t seed_ = 42;
 };
 

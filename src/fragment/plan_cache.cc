@@ -1,0 +1,111 @@
+#include "fragment/plan_cache.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mdw {
+
+std::string CanonicalQuerySignature(const StarQuery& query) {
+  // Order predicates by dimension and values ascending: predicate order
+  // and IN-list order never change the derived plan. StarQuery enforces
+  // at most one predicate per dimension, so dim is a unique sort key and
+  // the canonical order is deterministic.
+  std::vector<const Predicate*> preds;
+  preds.reserve(query.predicates().size());
+  for (const auto& p : query.predicates()) preds.push_back(&p);
+  std::sort(preds.begin(), preds.end(),
+            [](const Predicate* a, const Predicate* b) {
+              return a->dim < b->dim;
+            });
+
+  std::string signature;
+  for (const Predicate* p : preds) {
+    std::vector<std::int64_t> values = p->values;
+    std::sort(values.begin(), values.end());
+    signature += 'd';
+    signature += std::to_string(p->dim);
+    signature += '@';
+    signature += std::to_string(p->depth);
+    signature += ':';
+    for (const auto v : values) {
+      signature += std::to_string(v);
+      signature += ',';
+    }
+    signature += ';';
+  }
+  return signature;
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  MDW_CHECK(capacity_ >= 1, "plan cache capacity must be >= 1");
+}
+
+std::shared_ptr<const QueryPlan> PlanCache::GetOrPlan(
+    const StarQuery& query, const QueryPlanner& planner) {
+  const std::string key = CanonicalQuerySignature(query);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    ++misses_;
+  }
+
+  // Derive outside the lock: planning is the expensive part, and a plan
+  // derived twice under a rare race is correct either way.
+  auto plan = std::make_shared<const QueryPlan>(planner.Plan(query));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    // Lost the race to another thread; keep the resident entry.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  by_key_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    by_key_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return lru_.front().second;
+}
+
+std::shared_ptr<const QueryPlan> PlanCache::Lookup(
+    const StarQuery& query) const {
+  const std::string key = CanonicalQuerySignature(query);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  by_key_.clear();
+}
+
+}  // namespace mdw

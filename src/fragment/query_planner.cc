@@ -1,12 +1,21 @@
 #include "fragment/query_planner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/borrowed.h"
 #include "common/check.h"
 
 namespace mdw {
+
+namespace {
+std::atomic<std::uint64_t> g_plan_count{0};
+}  // namespace
+
+std::uint64_t QueryPlanner::LifetimePlanCount() {
+  return g_plan_count.load(std::memory_order_relaxed);
+}
 
 const char* ToString(QueryClass c) {
   switch (c) {
@@ -144,6 +153,7 @@ QueryPlanner::QueryPlanner(const StarSchema* schema,
     : QueryPlanner(Borrowed(schema), Borrowed(fragmentation)) {}
 
 QueryPlan QueryPlanner::Plan(const StarQuery& query) const {
+  g_plan_count.fetch_add(1, std::memory_order_relaxed);
   const Fragmentation& frag = *fragmentation_;
 
   // Step 1 (Sec. 4.3): the fragment slice per fragmentation attribute.

@@ -126,6 +126,12 @@ class QueryPlanner {
 
   QueryPlan Plan(const StarQuery& query) const;
 
+  /// Process-wide number of Plan() invocations across all planners. This
+  /// is the observability hook behind the plan-first pipeline's guarantee
+  /// that a batch of N queries costs exactly N derivations end to end
+  /// (see docs/ARCHITECTURE.md); tests assert on deltas of this counter.
+  static std::uint64_t LifetimePlanCount();
+
  private:
   std::shared_ptr<const StarSchema> schema_;
   std::shared_ptr<const Fragmentation> fragmentation_;

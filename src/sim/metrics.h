@@ -8,7 +8,11 @@ namespace mdw {
 
 /// Aggregated outcome of one simulation run.
 struct SimResult {
-  std::vector<double> response_ms;  ///< per query, in submission order
+  /// Per-query response times, in COMPLETION order. Only a single-stream
+  /// run completes queries in submission order; with concurrent streams
+  /// the entries cannot be attributed to individual submitted queries
+  /// (see BatchOutcome in core/execution_backend.h).
+  std::vector<double> response_ms;
 
   double avg_response_ms = 0;
   double min_response_ms = 0;

@@ -34,31 +34,53 @@ Simulator::Simulator(const StarSchema* schema,
     : Simulator(Borrowed(schema), Borrowed(fragmentation),
                 std::move(config)) {}
 
+std::vector<QueryPlan> Simulator::PlanAll(
+    std::span<const StarQuery> queries) const {
+  const QueryPlanner planner(schema_, fragmentation_);
+  std::vector<QueryPlan> plans;
+  plans.reserve(queries.size());
+  for (const auto& q : queries) plans.push_back(planner.Plan(q));
+  return plans;
+}
+
 SimResult Simulator::RunSingleUser(
     const std::vector<StarQuery>& queries) const {
-  return Run(queries, /*streams=*/1);
+  return Run(queries, PlanAll(queries), /*streams=*/1);
+}
+
+SimResult Simulator::RunSingleUser(std::span<const StarQuery> queries,
+                                   std::span<const QueryPlan> plans) const {
+  return Run(queries, plans, /*streams=*/1);
 }
 
 SimResult Simulator::RunMultiUser(const std::vector<StarQuery>& queries,
                                   int streams) const {
   MDW_CHECK(streams >= 1, "need at least one stream");
-  return Run(queries, streams);
+  return Run(queries, PlanAll(queries), streams);
 }
 
-SimResult Simulator::Run(const std::vector<StarQuery>& queries,
+SimResult Simulator::RunMultiUser(std::span<const StarQuery> queries,
+                                  std::span<const QueryPlan> plans,
+                                  int streams) const {
+  MDW_CHECK(streams >= 1, "need at least one stream");
+  return Run(queries, plans, streams);
+}
+
+SimResult Simulator::Run(std::span<const StarQuery> queries,
+                         std::span<const QueryPlan> plans,
                          int streams) const {
   MDW_CHECK(!queries.empty(), "no queries to run");
+  MDW_CHECK(queries.size() == plans.size(), "one plan per query");
 
-  // ---- plans and per-query subquery work ----
-  const QueryPlanner planner(schema_, fragmentation_);
-  std::vector<QueryPlan> plans;
+  // ---- per-query subquery work from the caller-provided plans ----
   std::vector<SubqueryWork> works;
-  plans.reserve(queries.size());
   works.reserve(queries.size());
   int max_bitmaps_per_fragment = 0;
-  for (const auto& q : queries) {
-    plans.push_back(planner.Plan(q));
-    works.push_back(MakeSubqueryWork(plans.back(), config_));
+  for (const auto& plan : plans) {
+    MDW_CHECK(&plan.fragmentation().schema() == schema_.get() &&
+                  plan.fragmentation().attrs() == fragmentation_->attrs(),
+              "plan was derived for a different schema or fragmentation");
+    works.push_back(MakeSubqueryWork(plan, config_));
     max_bitmaps_per_fragment =
         std::max(max_bitmaps_per_fragment, works.back().bitmaps);
   }

@@ -2,9 +2,11 @@
 #define MDW_SIM_SIMULATOR_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "fragment/fragmentation.h"
+#include "fragment/query_planner.h"
 #include "fragment/star_query.h"
 #include "sim/metrics.h"
 #include "sim/sim_config.h"
@@ -37,19 +39,36 @@ class Simulator {
 
   /// Single-user mode (the paper's setting): queries are issued
   /// sequentially, each starting when the previous one terminated.
+  /// Compatibility entry point — derives one plan per query internally.
   SimResult RunSingleUser(const std::vector<StarQuery>& queries) const;
+
+  /// Plan-first single-user mode: consumes caller-derived plans (one per
+  /// query, same order) instead of re-running the QueryPlanner. Every
+  /// plan must stem from a fragmentation structurally equal to this
+  /// simulator's over the same schema.
+  SimResult RunSingleUser(std::span<const StarQuery> queries,
+                          std::span<const QueryPlan> plans) const;
 
   /// Multi-user extension (paper future work): `streams` concurrent query
   /// streams; the query list is distributed round-robin over the streams,
   /// each stream running its sublist sequentially.
+  /// Compatibility entry point — derives one plan per query internally.
   SimResult RunMultiUser(const std::vector<StarQuery>& queries,
                          int streams) const;
+
+  /// Plan-first multi-user mode; see the plan-first RunSingleUser.
+  SimResult RunMultiUser(std::span<const StarQuery> queries,
+                         std::span<const QueryPlan> plans, int streams) const;
 
   const SimConfig& config() const { return config_; }
   const Fragmentation& fragmentation() const { return *fragmentation_; }
 
  private:
-  SimResult Run(const std::vector<StarQuery>& queries, int streams) const;
+  /// Derives one plan per query for the compatibility entry points.
+  std::vector<QueryPlan> PlanAll(std::span<const StarQuery> queries) const;
+
+  SimResult Run(std::span<const StarQuery> queries,
+                std::span<const QueryPlan> plans, int streams) const;
 
   std::shared_ptr<const StarSchema> schema_;
   std::shared_ptr<const Fragmentation> fragmentation_;

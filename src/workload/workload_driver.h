@@ -21,6 +21,12 @@ struct WorkloadSpec {
 /// the extension of Sec. 7's future-work list. The driver targets the
 /// mdw::Warehouse façade, so the same workload can run against any
 /// execution backend.
+///
+/// All batch paths are plan-first: Warehouse::ExecuteBatch derives (or
+/// cache-hits) exactly one QueryPlan per generated query and the backends
+/// never re-plan, so a driver run of N queries costs N plan derivations at
+/// most — fewer when the generator repeats parameters and the warehouse's
+/// plan cache is enabled (see Warehouse::plan_cache_stats()).
 class WorkloadDriver {
  public:
   /// Drives workloads against `warehouse`; the query generator is seeded

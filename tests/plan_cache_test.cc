@@ -1,0 +1,197 @@
+#include "fragment/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/warehouse.h"
+#include "fragment/star_query.h"
+#include "schema/apb1.h"
+
+namespace mdw {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+std::vector<FragAttr> MonthGroup() {
+  return {{kApb1Time, 2}, {kApb1Product, 3}};
+}
+
+Warehouse TinyMaterialized(std::size_t plan_cache_capacity = 256) {
+  return Warehouse({.schema = MakeTinyApb1Schema(),
+                    .fragmentation = MonthGroup(),
+                    .backend = BackendKind::kMaterialized,
+                    .seed = kSeed,
+                    .plan_cache_capacity = plan_cache_capacity});
+}
+
+// ---------------------------------------------------------------------------
+// Canonical signature
+
+TEST(CanonicalQuerySignatureTest, IgnoresQueryName) {
+  const StarQuery a("1MONTH", {{kApb1Time, 2, {3}}});
+  const StarQuery b("some other label", {{kApb1Time, 2, {3}}});
+  EXPECT_EQ(CanonicalQuerySignature(a), CanonicalQuerySignature(b));
+}
+
+TEST(CanonicalQuerySignatureTest, IgnoresPredicateAndValueOrder) {
+  const StarQuery a("q", {{kApb1Time, 2, {3, 1}}, {kApb1Product, 3, {7}}});
+  const StarQuery b("q", {{kApb1Product, 3, {7}}, {kApb1Time, 2, {1, 3}}});
+  EXPECT_EQ(CanonicalQuerySignature(a), CanonicalQuerySignature(b));
+}
+
+TEST(CanonicalQuerySignatureTest, DistinguishesDimDepthAndValues) {
+  const StarQuery base("q", {{kApb1Time, 2, {3}}});
+  const StarQuery other_value("q", {{kApb1Time, 2, {4}}});
+  const StarQuery other_depth("q", {{kApb1Time, 1, {3}}});
+  const StarQuery other_dim("q", {{kApb1Product, 2, {3}}});
+  const StarQuery more_values("q", {{kApb1Time, 2, {3, 4}}});
+  EXPECT_NE(CanonicalQuerySignature(base),
+            CanonicalQuerySignature(other_value));
+  EXPECT_NE(CanonicalQuerySignature(base),
+            CanonicalQuerySignature(other_depth));
+  EXPECT_NE(CanonicalQuerySignature(base),
+            CanonicalQuerySignature(other_dim));
+  EXPECT_NE(CanonicalQuerySignature(base),
+            CanonicalQuerySignature(more_values));
+}
+
+TEST(CanonicalQuerySignatureTest, MultiDigitValuesDoNotCollide) {
+  // d0@2:12; must differ from d0@2:1,2; — the separators guarantee it.
+  const StarQuery a("q", {{kApb1Time, 2, {12}}});
+  const StarQuery b("q", {{kApb1Time, 2, {1, 2}}});
+  EXPECT_NE(CanonicalQuerySignature(a), CanonicalQuerySignature(b));
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache behaviour
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  PlanCacheTest()
+      : schema_(std::make_shared<const StarSchema>(MakeTinyApb1Schema())),
+        fragmentation_(std::make_shared<const Fragmentation>(schema_.get(),
+                                                             MonthGroup())),
+        planner_(schema_, fragmentation_) {}
+
+  std::shared_ptr<const StarSchema> schema_;
+  std::shared_ptr<const Fragmentation> fragmentation_;
+  QueryPlanner planner_;
+};
+
+TEST_F(PlanCacheTest, HitsAndMissesAreCounted) {
+  PlanCache cache(8);
+  const auto q = apb1_queries::OneMonth(3);
+  EXPECT_EQ(cache.Lookup(q), nullptr);
+
+  const auto first = cache.GetOrPlan(q, planner_);
+  const auto second = cache.GetOrPlan(q, planner_);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());  // same cached object
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);  // the Lookup and the first GetOrPlan
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.capacity, 8u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 1.0 / 3.0);
+}
+
+TEST_F(PlanCacheTest, HitDoesNotInvokeThePlanner) {
+  PlanCache cache(8);
+  const auto q = apb1_queries::OneQuarter(2);
+  cache.GetOrPlan(q, planner_);
+  const auto before = QueryPlanner::LifetimePlanCount();
+  cache.GetOrPlan(q, planner_);
+  EXPECT_EQ(QueryPlanner::LifetimePlanCount(), before);
+}
+
+TEST_F(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  const auto a = apb1_queries::OneMonth(1);
+  const auto b = apb1_queries::OneMonth(2);
+  const auto c = apb1_queries::OneMonth(3);
+
+  cache.GetOrPlan(a, planner_);
+  cache.GetOrPlan(b, planner_);
+  cache.GetOrPlan(a, planner_);  // touch a, making b the LRU entry
+  cache.GetOrPlan(c, planner_);  // evicts b
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  EXPECT_EQ(cache.Lookup(b), nullptr);
+  EXPECT_NE(cache.Lookup(c), nullptr);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST_F(PlanCacheTest, EvictedPlanStaysValid) {
+  std::shared_ptr<const QueryPlan> plan;
+  {
+    PlanCache cache(1);
+    plan = cache.GetOrPlan(apb1_queries::OneMonth(1), planner_);
+    cache.GetOrPlan(apb1_queries::OneMonth(2), planner_);  // evicts it
+    EXPECT_EQ(cache.stats().evictions, 1u);
+  }
+  // The plan outlives both its eviction and the cache itself.
+  EXPECT_EQ(plan->query_class(), QueryClass::kQ1);
+  EXPECT_GT(plan->FragmentCount(), 0);
+}
+
+TEST_F(PlanCacheTest, ClearDropsEntriesButKeepsCounters) {
+  PlanCache cache(8);
+  cache.GetOrPlan(apb1_queries::OneMonth(1), planner_);
+  cache.GetOrPlan(apb1_queries::OneMonth(1), planner_);
+  cache.Clear();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Warehouse wiring: shared across copies, observable via stats
+
+TEST(WarehousePlanCacheTest, RepeatedExecutionHitsTheCache) {
+  const Warehouse wh = TinyMaterialized();
+  const auto q = apb1_queries::OneMonthOneGroup(3, 7);
+  wh.Execute(q);
+  wh.Execute(q);
+  wh.Execute(q);
+  const auto stats = wh.plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.capacity, 256u);
+}
+
+TEST(WarehousePlanCacheTest, CopiesShareOneCache) {
+  const Warehouse original = TinyMaterialized();
+  const Warehouse copy = original;
+  const auto q = apb1_queries::OneQuarter(1);
+
+  original.Execute(q);        // miss, inserts
+  copy.Execute(q);            // hit through the shared cache
+  EXPECT_EQ(copy.plan_cache_stats().hits, 1u);
+  EXPECT_EQ(original.plan_cache_stats().hits, 1u);
+  EXPECT_EQ(original.plan_cache_stats().misses, 1u);
+
+  // PlanShared returns the very same cached object through either copy.
+  EXPECT_EQ(original.PlanShared(q).get(), copy.PlanShared(q).get());
+}
+
+TEST(WarehousePlanCacheTest, ZeroCapacityDisablesCaching) {
+  const Warehouse wh = TinyMaterialized(/*plan_cache_capacity=*/0);
+  const auto q = apb1_queries::OneMonth(3);
+  const auto before = QueryPlanner::LifetimePlanCount();
+  wh.Execute(q);
+  wh.Execute(q);
+  EXPECT_EQ(QueryPlanner::LifetimePlanCount(), before + 2);
+  const auto stats = wh.plan_cache_stats();
+  EXPECT_EQ(stats.capacity, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace mdw

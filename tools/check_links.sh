@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Checks intra-repo markdown links: every inline [text](target) whose
+# target is not an external URL or a pure #anchor must resolve to a file
+# or directory, relative to the linking file or to the repo root.
+# CI's docs job runs this; run it locally before touching docs.
+set -u
+cd "$(dirname "$0")/.." || exit 1
+
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  # --others --exclude-standard: also check not-yet-committed docs.
+  mapfile -t files < <(git ls-files --cached --others --exclude-standard '*.md')
+else
+  mapfile -t files < <(find . -name '*.md' -not -path './build/*' | sed 's|^\./||')
+fi
+
+status=0
+checked=0
+for file in "${files[@]}"; do
+  dir=$(dirname "$file")
+  # Inline-link targets, stripped of optional titles and #anchors.
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK: $file -> $target" >&2
+      status=1
+    fi
+  done < <(grep -oE '\[[^][]*\]\([^()]+\)' "$file" \
+             | sed -E 's/^\[[^][]*\]\(//; s/\)$//; s/ +"[^"]*"$//; s/#.*$//' \
+             | sort -u)
+done
+
+echo "check_links: $checked intra-repo link(s) checked across ${#files[@]} markdown file(s)"
+exit $status
