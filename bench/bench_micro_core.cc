@@ -4,16 +4,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "bitmap/compressed_bitvector.h"
 #include "bitmap/encoded_bitmap_index.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/mini_warehouse.h"
 #include "core/warehouse.h"
 #include "fragment/plan_cache.h"
 #include "fragment/query_planner.h"
 #include "index/btree.h"
 #include "schema/apb1.h"
+#include "schema/star_schema.h"
 #include "workload/query_parser.h"
 
 namespace {
@@ -234,6 +240,106 @@ void BM_MaterializedBatchPlanFirst(benchmark::State& state) {
       static_cast<double>(batches * queries.size());
 }
 BENCHMARK(BM_MaterializedBatchPlanFirst);
+
+// ---------------------------------------------------------------------------
+// Fragment-clustered storage + partition-parallel execution.
+
+// A mid-size APB-1-shaped schema (~2M fact rows at density 0.25): big
+// enough that fragment confinement and parallel scans are measurable,
+// small enough to materialise at bench startup.
+mdw::StarSchema MakeMediumApb1Schema() {
+  mdw::Dimension product("product",
+                         mdw::Hierarchy({{"division", 2},
+                                         {"line", 8},
+                                         {"family", 24},
+                                         {"group", 96},
+                                         {"class", 480},
+                                         {"code", 960}}),
+                         mdw::IndexKind::kEncoded);
+  mdw::Dimension customer("customer",
+                          mdw::Hierarchy({{"retailer", 12}, {"store", 120}}),
+                          mdw::IndexKind::kEncoded);
+  mdw::Dimension channel("channel", mdw::Hierarchy({{"channel", 3}}),
+                         mdw::IndexKind::kSimple);
+  mdw::Dimension time("time",
+                      mdw::Hierarchy(
+                          {{"year", 2}, {"quarter", 8}, {"month", 24}}),
+                      mdw::IndexKind::kSimple);
+  return mdw::StarSchema("medium_sales",
+                         {std::move(product), std::move(customer),
+                          std::move(channel), std::move(time)},
+                         /*density=*/0.25, mdw::PhysicalParams{});
+}
+
+// Shared across the MDHF benchmarks (fragment-clustered under
+// {time::month, product::group}; serial backend — BM_MdhfParallelScan
+// brings its own pool).
+const mdw::Warehouse& MediumWarehouse() {
+  static const auto* wh = new mdw::Warehouse(
+      {.schema = MakeMediumApb1Schema(),
+       .fragmentation = {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}},
+       .backend = mdw::BackendKind::kMaterialized,
+       .seed = 42,
+       .num_workers = 1});
+  return *wh;
+}
+
+// Fragment confinement: rows_scanned per query tracks the plan's fragment
+// set, so wall time drops superlinearly with selectivity (arg 0 = no
+// support / all fragments, 1 = 1MONTH / 1 of 24 months, 2 = 1MONTH1GROUP
+// / 1 of 2304 fragments).
+void BM_MdhfFragmentConfined(benchmark::State& state) {
+  const auto& wh = MediumWarehouse();
+  const mdw::StarQuery query = [&] {
+    switch (state.range(0)) {
+      case 0: return mdw::apb1_queries::OneStore(17);
+      case 1: return mdw::apb1_queries::OneMonth(3);
+      default: return mdw::apb1_queries::OneMonthOneGroup(3, 41);
+    }
+  }();
+  std::int64_t rows_scanned = 0;
+  for (auto _ : state) {
+    const auto outcome = wh.Execute(query);
+    rows_scanned = outcome.rows_scanned;
+    benchmark::DoNotOptimize(outcome.aggregate->rows);
+  }
+  state.SetLabel(query.name());
+  state.counters["rows_scanned_per_query"] =
+      static_cast<double>(rows_scanned);
+  state.counters["rows_total"] =
+      static_cast<double>(wh.materialized()->row_count());
+}
+BENCHMARK(BM_MdhfFragmentConfined)->Arg(0)->Arg(1)->Arg(2);
+
+// Partition parallelism: one heavy query (no fragmentation support, so
+// every fragment's row range is processed, with an encoded-index bitmap
+// filter) split over a worker pool. rows_scanned is identical at every
+// degree; real time should shrink with workers on multi-core hardware.
+void BM_MdhfParallelScan(benchmark::State& state) {
+  const auto& wh = MediumWarehouse();
+  const mdw::MiniWarehouse& mini = *wh.materialized();
+  const auto query = mdw::apb1_queries::OneStore(17);
+  const auto plan = wh.Plan(query);
+  const int workers = static_cast<int>(state.range(0));
+  const auto pool = workers > 1
+                        ? std::make_unique<mdw::ThreadPool>(workers - 1)
+                        : nullptr;
+  std::int64_t rows_scanned = 0;
+  for (auto _ : state) {
+    const auto exec = mini.ExecuteWithPlan(query, plan, pool.get());
+    rows_scanned = exec.rows_scanned;
+    benchmark::DoNotOptimize(exec.result.rows);
+  }
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["rows_scanned_per_query"] =
+      static_cast<double>(rows_scanned);
+}
+BENCHMARK(BM_MdhfParallelScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -87,6 +87,47 @@ std::int64_t BitVector::NextSetBit(std::int64_t from) const {
   }
 }
 
+std::uint64_t BitVector::WordAt(std::int64_t bit) const {
+  const auto w = static_cast<std::size_t>(bit / 64);
+  const int shift = static_cast<int>(bit % 64);
+  if (w >= words_.size()) return 0;
+  std::uint64_t word = words_[w] >> shift;
+  if (shift != 0 && w + 1 < words_.size()) {
+    word |= words_[w + 1] << (64 - shift);
+  }
+  return word;
+}
+
+BitVector BitVector::Slice(std::int64_t begin, std::int64_t end) const {
+  MDW_CHECK(begin >= 0 && begin <= end && end <= size_bits_,
+            "slice bounds out of range");
+  BitVector result(end - begin);
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    result.words_[i] = WordAt(begin + static_cast<std::int64_t>(i) * 64);
+  }
+  result.MaskTail();
+  return result;
+}
+
+BitVector& BitVector::AndSlice(const BitVector& other, std::int64_t offset) {
+  MDW_CHECK(offset >= 0 && offset + size_bits_ <= other.size_bits_,
+            "slice window out of range");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.WordAt(offset + static_cast<std::int64_t>(i) * 64);
+  }
+  return *this;
+}
+
+BitVector& BitVector::AndNotSlice(const BitVector& other, std::int64_t offset) {
+  MDW_CHECK(offset >= 0 && offset + size_bits_ <= other.size_bits_,
+            "slice window out of range");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.WordAt(offset + static_cast<std::int64_t>(i) * 64);
+  }
+  MaskTail();
+  return *this;
+}
+
 void BitVector::MaskTail() {
   const int tail = static_cast<int>(size_bits_ % 64);
   if (tail != 0 && !words_.empty()) {

@@ -52,6 +52,15 @@ class EncodedBitmapIndex {
   /// Number of bitmaps SelectWithinPrefix touches.
   int BitmapsRead(Depth depth, int skip_bits) const;
 
+  /// Range-restricted SelectWithinPrefix: evaluates the same bit-slice
+  /// bitmaps but only over rows [begin, end), returning a vector of size
+  /// end-begin whose bit i corresponds to row begin+i. Fragment-confined
+  /// execution uses this to pay O(fragment) instead of O(table) per
+  /// predicate.
+  BitVector SelectWithinPrefixSlice(Depth depth, std::int64_t value,
+                                    int skip_bits, std::int64_t begin,
+                                    std::int64_t end) const;
+
  private:
   const Hierarchy& hierarchy_;
   std::int64_t row_count_;

@@ -43,6 +43,32 @@ BitVector IndexSet::SelectWithinFragment(DimId dim, Depth depth,
   return simple_[static_cast<std::size_t>(dim)]->Select(depth, value);
 }
 
+BitVector IndexSet::SelectSlice(DimId dim, Depth depth, std::int64_t value,
+                                std::int64_t begin, std::int64_t end) const {
+  const auto& d = schema_.dimension(dim);
+  if (d.index_kind() == IndexKind::kEncoded) {
+    return encoded_[static_cast<std::size_t>(dim)]->SelectWithinPrefixSlice(
+        depth, value, /*skip_bits=*/0, begin, end);
+  }
+  return simple_[static_cast<std::size_t>(dim)]->SelectSlice(depth, value,
+                                                             begin, end);
+}
+
+BitVector IndexSet::SelectWithinFragmentSlice(DimId dim, Depth depth,
+                                              std::int64_t value,
+                                              Depth fragment_depth,
+                                              std::int64_t begin,
+                                              std::int64_t end) const {
+  const auto& d = schema_.dimension(dim);
+  if (d.index_kind() == IndexKind::kEncoded) {
+    const int skip = d.hierarchy().PrefixBits(fragment_depth);
+    return encoded_[static_cast<std::size_t>(dim)]->SelectWithinPrefixSlice(
+        depth, value, skip, begin, end);
+  }
+  return simple_[static_cast<std::size_t>(dim)]->SelectSlice(depth, value,
+                                                             begin, end);
+}
+
 int IndexSet::TotalBitmapCount() const {
   int total = 0;
   for (DimId dim = 0; dim < schema_.num_dimensions(); ++dim) {

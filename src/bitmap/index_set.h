@@ -43,6 +43,19 @@ class IndexSet {
   BitVector SelectWithinFragment(DimId dim, Depth depth, std::int64_t value,
                                  Depth fragment_depth) const;
 
+  /// Range-restricted Select: the selection's bits over rows [begin, end)
+  /// only, as a vector of size end-begin (bit i = row begin+i). This is
+  /// how fragment-confined execution evaluates predicates per fragment
+  /// row range instead of over full-width bitmaps.
+  BitVector SelectSlice(DimId dim, Depth depth, std::int64_t value,
+                        std::int64_t begin, std::int64_t end) const;
+
+  /// Range-restricted SelectWithinFragment (same row-range semantics).
+  BitVector SelectWithinFragmentSlice(DimId dim, Depth depth,
+                                      std::int64_t value, Depth fragment_depth,
+                                      std::int64_t begin,
+                                      std::int64_t end) const;
+
   /// Total bitmaps across all indices (76 for paper APB-1).
   int TotalBitmapCount() const;
 

@@ -42,4 +42,10 @@ BitVector SimpleBitmapIndex::Select(Depth depth, std::int64_t value) const {
   return Bitmap(depth, value);
 }
 
+BitVector SimpleBitmapIndex::SelectSlice(Depth depth, std::int64_t value,
+                                         std::int64_t begin,
+                                         std::int64_t end) const {
+  return Bitmap(depth, value).Slice(begin, end);
+}
+
 }  // namespace mdw

@@ -28,6 +28,11 @@ class SimpleBitmapIndex {
   /// index this is just a copy of the stored bitmap (one bitmap read).
   BitVector Select(Depth depth, std::int64_t value) const;
 
+  /// Range-restricted Select: the stored bitmap's bits [begin, end) as a
+  /// vector of size end-begin (bit i = row begin+i).
+  BitVector SelectSlice(Depth depth, std::int64_t value, std::int64_t begin,
+                        std::int64_t end) const;
+
   /// Total number of bitmaps materialised (sum of level cardinalities).
   int bitmap_count() const { return bitmap_count_; }
 

@@ -1,0 +1,117 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/check.h"
+
+namespace mdw {
+
+namespace {
+
+// Set for the lifetime of every pool worker thread: a ParallelFor issued
+// from inside a task must not block on the (possibly busy) queue, so it
+// runs inline instead.
+thread_local bool tls_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  MDW_CHECK(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::ResolveWorkers(int num_workers) {
+  MDW_CHECK(num_workers >= 0,
+            "num_workers must be 0 (hardware) or a positive degree");
+  if (num_workers > 0) return num_workers;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_pool_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t n, const std::function<void(std::int64_t)>& fn) const {
+  if (n <= 0) return;
+  if (n == 1 || tls_pool_worker) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared claim/completion state; kept alive by the helper closures in
+  // case stragglers dequeue after the caller has already returned.
+  struct ForState {
+    std::atomic<std::int64_t> next{0};
+    std::atomic<std::int64_t> done{0};
+    std::int64_t n;
+    const std::function<void(std::int64_t)>* fn;
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+
+  const auto drain = [](ForState& s) {
+    while (true) {
+      const std::int64_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s.n) break;
+      (*s.fn)(i);
+      if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.n) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.all_done.notify_all();
+      }
+    }
+  };
+
+  const std::int64_t helpers =
+      std::min<std::int64_t>(static_cast<std::int64_t>(workers_.size()), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::int64_t h = 0; h < helpers; ++h) {
+      tasks_.emplace_back([state, drain] { drain(*state); });
+    }
+  }
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else if (helpers > 1) {
+    cv_.notify_all();
+  }
+
+  // The caller claims indices too, then waits for stragglers to finish the
+  // indices they already claimed.
+  drain(*state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+}  // namespace mdw

@@ -1,0 +1,63 @@
+#ifndef MDW_COMMON_THREAD_POOL_H_
+#define MDW_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdw {
+
+/// A small fixed-size worker pool for partition-parallel execution (the
+/// paper's processing model: one warehouse query fans out into independent
+/// fragment subqueries processed concurrently by the PEs). The pool is the
+/// process-side analogue: `ParallelFor` distributes independent task
+/// indices dynamically over the workers and the calling thread.
+///
+/// Determinism contract: ParallelFor guarantees every index in [0, n) is
+/// executed exactly once; callers that accumulate into per-index slots and
+/// merge in index order get results independent of the worker count and of
+/// scheduling.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (must be >= 1). Note that ParallelFor
+  /// also runs tasks on the calling thread, so a pool of size 1 already
+  /// gives two lanes of execution.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Maps a WarehouseConfig-style degree to an actual worker count:
+  /// 0 means "use the hardware" (std::thread::hardware_concurrency,
+  /// at least 1); any positive value is taken as-is.
+  static int ResolveWorkers(int num_workers);
+
+  /// Runs fn(i) for every i in [0, n) exactly once, distributing indices
+  /// dynamically over the pool's workers plus the calling thread, and
+  /// returns when all n invocations have finished. fn must be safe to
+  /// invoke concurrently for distinct indices. Reentrant calls from inside
+  /// a pool task degrade to a serial loop on the calling thread, so nested
+  /// use cannot deadlock the pool.
+  void ParallelFor(std::int64_t n,
+                   const std::function<void(std::int64_t)>& fn) const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_COMMON_THREAD_POOL_H_

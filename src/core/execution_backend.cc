@@ -1,8 +1,10 @@
 #include "core/execution_backend.h"
 
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace mdw {
 
@@ -35,19 +37,31 @@ const char* ToString(BackendKind kind) {
 
 MaterializedBackend::MaterializedBackend(
     std::shared_ptr<const MiniWarehouse> warehouse,
-    std::shared_ptr<const Fragmentation> fragmentation)
+    std::shared_ptr<const Fragmentation> fragmentation, int num_workers)
     : warehouse_(std::move(warehouse)),
-      fragmentation_(std::move(fragmentation)) {
+      fragmentation_(std::move(fragmentation)),
+      num_workers_(ThreadPool::ResolveWorkers(num_workers)) {
   MDW_CHECK(warehouse_ != nullptr && fragmentation_ != nullptr,
             "materialized backend needs a warehouse and a fragmentation");
   MDW_CHECK(&fragmentation_->schema() == &warehouse_->schema(),
             "fragmentation must belong to the warehouse schema");
 }
 
-QueryOutcome MaterializedBackend::Execute(const StarQuery& query,
-                                          const QueryPlan& plan) const {
+const ThreadPool* MaterializedBackend::pool() const {
+  if (num_workers_ <= 1) return nullptr;
+  std::call_once(pool_once_, [this] {
+    // ParallelFor also runs on the calling thread, so num_workers lanes
+    // need num_workers - 1 pool threads.
+    pool_ = std::make_shared<const ThreadPool>(num_workers_ - 1);
+  });
+  return pool_.get();
+}
+
+QueryOutcome MaterializedBackend::ExecuteWith(const StarQuery& query,
+                                              const QueryPlan& plan,
+                                              const ThreadPool* pool) const {
   QueryOutcome outcome = OutcomeFromPlan(BackendKind::kMaterialized, plan);
-  const auto mdhf = warehouse_->ExecuteWithPlan(query, plan);
+  const auto mdhf = warehouse_->ExecuteWithPlan(query, plan, pool);
   // Prefer the execution's own record over the façade's plan where both
   // exist, so reported facts can never drift from what actually ran.
   outcome.query_class = mdhf.query_class;
@@ -59,6 +73,11 @@ QueryOutcome MaterializedBackend::Execute(const StarQuery& query,
   return outcome;
 }
 
+QueryOutcome MaterializedBackend::Execute(const StarQuery& query,
+                                          const QueryPlan& plan) const {
+  return ExecuteWith(query, plan, pool());
+}
+
 BatchOutcome MaterializedBackend::ExecuteBatch(
     std::span<const StarQuery> queries, std::span<const QueryPlan> plans,
     int streams) const {
@@ -66,10 +85,27 @@ BatchOutcome MaterializedBackend::ExecuteBatch(
   (void)streams;  // no timing model to spread streams over
   BatchOutcome batch;
   batch.backend = BackendKind::kMaterialized;
+  if (const ThreadPool* batch_pool = pool();
+      batch_pool != nullptr && queries.size() > 1) {
+    // Inter-query parallelism: one task per query, each executed serially
+    // inside its task (the pool is never nested). Outcomes land in input
+    // order; the total is summed in input order — deterministic.
+    std::vector<QueryOutcome> outcomes(queries.size());
+    batch_pool->ParallelFor(static_cast<std::int64_t>(queries.size()),
+                            [&](std::int64_t i) {
+                              const auto u = static_cast<std::size_t>(i);
+                              outcomes[u] = ExecuteWith(queries[u], plans[u],
+                                                        nullptr);
+                            });
+    batch.queries = std::move(outcomes);
+  } else {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      batch.queries.push_back(Execute(queries[i], plans[i]));
+    }
+  }
   MiniWarehouse::AggregateResult total;
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    batch.queries.push_back(Execute(queries[i], plans[i]));
-    const auto& agg = *batch.queries.back().aggregate;
+  for (const auto& outcome : batch.queries) {
+    const auto& agg = *outcome.aggregate;
     total.rows += agg.rows;
     total.units_sold += agg.units_sold;
     total.dollar_sales_cents += agg.dollar_sales_cents;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -120,10 +121,19 @@ class ExecutionBackend {
 /// Functional execution against a materialised MiniWarehouse. Streams are
 /// ignored: materialised execution has no timing model, so a batch is just
 /// the per-query aggregates plus their sum.
+///
+/// Partition parallelism (the paper's processing model): with
+/// `num_workers` resolved to more than one, the backend owns a ThreadPool
+/// and runs a single Execute as parallel tasks over the plan's fragment
+/// row ranges, and ExecuteBatch as parallel tasks over the batch's queries
+/// (each query then serial, so the pool is never nested). Results are
+/// identical for any worker count.
 class MaterializedBackend : public ExecutionBackend {
  public:
+  /// `num_workers`: 0 = hardware_concurrency, 1 = serial, n = n workers.
   MaterializedBackend(std::shared_ptr<const MiniWarehouse> warehouse,
-                      std::shared_ptr<const Fragmentation> fragmentation);
+                      std::shared_ptr<const Fragmentation> fragmentation,
+                      int num_workers = 1);
 
   BackendKind kind() const override { return BackendKind::kMaterialized; }
   QueryOutcome Execute(const StarQuery& query,
@@ -133,10 +143,22 @@ class MaterializedBackend : public ExecutionBackend {
                             int streams) const override;
 
   const MiniWarehouse& warehouse() const { return *warehouse_; }
+  /// The resolved parallel degree (>= 1).
+  int num_workers() const { return num_workers_; }
 
  private:
+  QueryOutcome ExecuteWith(const StarQuery& query, const QueryPlan& plan,
+                           const ThreadPool* pool) const;
+  /// The worker pool, spawned lazily on the first execution that can use
+  /// it (so plan-only / serial warehouses never pay for threads); nullptr
+  /// when num_workers_ == 1.
+  const ThreadPool* pool() const;
+
   std::shared_ptr<const MiniWarehouse> warehouse_;
   std::shared_ptr<const Fragmentation> fragmentation_;
+  int num_workers_ = 1;
+  mutable std::once_flag pool_once_;
+  mutable std::shared_ptr<const ThreadPool> pool_;
 };
 
 /// Timing/IO execution on the SIMPAD Shared Disk/Shared Nothing simulator.

@@ -1,20 +1,116 @@
 #include "core/mini_warehouse.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <cmath>
+#include <functional>
+#include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace mdw {
 
+namespace {
+
+/// A contiguous physical row range [begin, end) to be processed as one
+/// parallel task.
+struct RowChunk {
+  std::int64_t begin;
+  std::int64_t end;
+};
+
+/// Minimum rows per parallel task: below this, task overhead dominates.
+constexpr std::int64_t kMinChunkRows = 4096;
+
+/// Cuts disjoint ascending `ranges` into chunks of roughly equal row count
+/// sized for `lanes` parallel lanes (a few chunks per lane for dynamic
+/// load balancing; never smaller than kMinChunkRows).
+std::vector<RowChunk> ChunkRanges(const std::vector<RowChunk>& ranges,
+                                  int lanes) {
+  std::int64_t total = 0;
+  for (const auto& r : ranges) total += r.end - r.begin;
+  const std::int64_t target_chunks = std::max<std::int64_t>(1, lanes) * 4;
+  const std::int64_t grain =
+      std::max(kMinChunkRows, (total + target_chunks - 1) / target_chunks);
+  std::vector<RowChunk> chunks;
+  for (const auto& r : ranges) {
+    for (std::int64_t b = r.begin; b < r.end; b += grain) {
+      chunks.push_back({b, std::min(b + grain, r.end)});
+    }
+  }
+  return chunks;
+}
+
+/// Cuts `ranges` for `pool` and runs `process` once per chunk — serially,
+/// or as pool tasks each filling a private partial — then merges the
+/// partials in chunk order. The single merge point keeps serial and
+/// parallel runs (and both execution paths) bit-identical by
+/// construction.
+MiniWarehouse::MdhfExecution RunChunks(
+    const std::vector<RowChunk>& ranges, const ThreadPool* pool,
+    const std::function<void(const RowChunk&,
+                             MiniWarehouse::MdhfExecution*)>& process) {
+  const int lanes = pool == nullptr ? 1 : pool->size() + 1;
+  const std::vector<RowChunk> chunks = ChunkRanges(ranges, lanes);
+  MiniWarehouse::MdhfExecution exec;
+  if (pool == nullptr || chunks.size() < 2) {
+    for (const auto& c : chunks) process(c, &exec);
+    return exec;
+  }
+  std::vector<MiniWarehouse::MdhfExecution> partials(chunks.size());
+  pool->ParallelFor(static_cast<std::int64_t>(chunks.size()),
+                    [&](std::int64_t i) {
+                      process(chunks[static_cast<std::size_t>(i)],
+                              &partials[static_cast<std::size_t>(i)]);
+                    });
+  for (const auto& p : partials) {
+    exec.rows_scanned += p.rows_scanned;
+    exec.result.rows += p.result.rows;
+    exec.result.units_sold += p.result.units_sold;
+    exec.result.dollar_sales_cents += p.result.dollar_sales_cents;
+  }
+  return exec;
+}
+
+}  // namespace
+
 MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed)
     : schema_(std::move(schema)) {
+  Populate(seed);
+  indexes_ = std::make_unique<IndexSet>(schema_, facts_);
+}
+
+MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed,
+                             std::vector<FragAttr> cluster_attrs)
+    : schema_(std::move(schema)) {
+  Populate(seed);
+  ClusterByFragment(std::move(cluster_attrs));
+  // Indices are built AFTER the permutation: bit r of every bitmap refers
+  // to the clustered physical row r, so range-restricted selections line
+  // up with the fragment directory.
+  indexes_ = std::make_unique<IndexSet>(schema_, facts_);
+}
+
+void MiniWarehouse::Populate(std::uint64_t seed) {
   const std::int64_t max_rows = schema_.MaxFactCount();
   MDW_CHECK(max_rows <= 50'000'000,
             "schema too large to materialise; use the simulator instead");
   const int dims = schema_.num_dimensions();
   facts_.columns.assign(static_cast<std::size_t>(dims), {});
+
+  // Reserve for the expected Binomial(max_rows, density) row count plus
+  // four standard deviations (capped at the hard bound max_rows), so
+  // population virtually never reallocates.
+  const double expected =
+      schema_.density() * static_cast<double>(max_rows);
+  const double slack =
+      4.0 * std::sqrt(expected * std::max(0.0, 1.0 - schema_.density()));
+  const auto reserve_rows = static_cast<std::size_t>(std::min<double>(
+      static_cast<double>(max_rows), expected + slack + 64.0));
+  for (auto& column : facts_.columns) column.reserve(reserve_rows);
+  units_sold_.reserve(reserve_rows);
+  dollar_sales_cents_.reserve(reserve_rows);
 
   Rng rng(seed);
   // Enumerate every leaf-value combination (mixed radix over the leaf
@@ -41,7 +137,73 @@ MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed)
       v = 0;
     }
   }
-  indexes_ = std::make_unique<IndexSet>(schema_, facts_);
+}
+
+void MiniWarehouse::ClusterByFragment(std::vector<FragAttr> cluster_attrs) {
+  cluster_frag_ =
+      std::make_unique<Fragmentation>(&schema_, std::move(cluster_attrs));
+  const std::int64_t frag_count = cluster_frag_->FragmentCount();
+  const std::int64_t rows = row_count();
+  const int dims = schema_.num_dimensions();
+
+  // Each row's fragment is computed exactly once, here; queries never
+  // re-derive it.
+  std::vector<FragId> row_frag(static_cast<std::size_t>(rows));
+  std::vector<std::int64_t> leaf(static_cast<std::size_t>(dims));
+  for (std::int64_t row = 0; row < rows; ++row) {
+    for (DimId d = 0; d < dims; ++d) {
+      leaf[static_cast<std::size_t>(d)] =
+          facts_.columns[static_cast<std::size_t>(d)]
+                        [static_cast<std::size_t>(row)];
+    }
+    row_frag[static_cast<std::size_t>(row)] =
+        cluster_frag_->FragmentOfRow(leaf);
+  }
+
+  // Counting sort into fragment-major order (stable: generation order is
+  // preserved within a fragment).
+  frag_offsets_.assign(static_cast<std::size_t>(frag_count) + 1, 0);
+  for (const FragId f : row_frag) {
+    ++frag_offsets_[static_cast<std::size_t>(f) + 1];
+  }
+  for (std::size_t f = 1; f < frag_offsets_.size(); ++f) {
+    frag_offsets_[f] += frag_offsets_[f - 1];
+  }
+  std::vector<std::int64_t> cursor(frag_offsets_.begin(),
+                                   frag_offsets_.end() - 1);
+  std::vector<std::int64_t> new_pos(static_cast<std::size_t>(rows));
+  for (std::int64_t row = 0; row < rows; ++row) {
+    new_pos[static_cast<std::size_t>(row)] =
+        cursor[static_cast<std::size_t>(
+            row_frag[static_cast<std::size_t>(row)])]++;
+  }
+
+  const auto permute = [&](std::vector<std::int64_t>& column) {
+    std::vector<std::int64_t> permuted(static_cast<std::size_t>(rows));
+    for (std::int64_t row = 0; row < rows; ++row) {
+      permuted[static_cast<std::size_t>(
+          new_pos[static_cast<std::size_t>(row)])] =
+          column[static_cast<std::size_t>(row)];
+    }
+    column = std::move(permuted);
+  };
+  for (auto& column : facts_.columns) permute(column);
+  permute(units_sold_);
+  permute(dollar_sales_cents_);
+}
+
+bool MiniWarehouse::ClusteredFor(const Fragmentation& fragmentation) const {
+  return cluster_frag_ != nullptr && &fragmentation.schema() == &schema_ &&
+         fragmentation.attrs() == cluster_frag_->attrs();
+}
+
+std::pair<std::int64_t, std::int64_t> MiniWarehouse::FragmentRows(
+    FragId id) const {
+  MDW_CHECK(clustered(), "warehouse is not fragment-clustered");
+  MDW_CHECK(id >= 0 && id < cluster_frag_->FragmentCount(),
+            "fragment id out of range");
+  return {frag_offsets_[static_cast<std::size_t>(id)],
+          frag_offsets_[static_cast<std::size_t>(id) + 1]};
 }
 
 bool MiniWarehouse::RowMatches(std::int64_t row,
@@ -105,26 +267,32 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithFragmentation(
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
     const StarQuery& query, const QueryPlan& plan) const {
+  return ExecuteWithPlan(query, plan, /*pool=*/nullptr);
+}
+
+MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
+    const StarQuery& query, const QueryPlan& plan,
+    const ThreadPool* pool) const {
   const Fragmentation& fragmentation = plan.fragmentation();
   MDW_CHECK(&fragmentation.schema() == &schema_,
             "plan's fragmentation must belong to this warehouse's schema");
 
-  MdhfExecution exec;
+  const std::vector<BitmapAccess> accesses =
+      ResolveBitmapAccesses(query, plan);
+  MdhfExecution exec = ClusteredFor(fragmentation)
+                           ? ExecuteClustered(plan, accesses, pool)
+                           : ExecuteUnclustered(plan, accesses, pool);
   exec.query_class = plan.query_class();
   exec.io_class = plan.io_class();
   exec.bitmaps_read = plan.BitmapsPerFragment();
   exec.fragments_processed = plan.FragmentCount();
+  return exec;
+}
 
-  const std::unordered_set<FragId> fragments = [&] {
-    std::unordered_set<FragId> set;
-    plan.ForEachFragment([&set](FragId id) { set.insert(id); });
-    return set;
-  }();
-
-  // Bitmap filter for the predicates the plan marks as needing bitmaps;
-  // all-ones when none do (Q1/Q3: fragment membership is the filter).
-  BitVector filter(row_count());
-  filter.SetAll();
+std::vector<MiniWarehouse::BitmapAccess> MiniWarehouse::ResolveBitmapAccesses(
+    const StarQuery& query, const QueryPlan& plan) const {
+  const Fragmentation& fragmentation = plan.fragmentation();
+  std::vector<BitmapAccess> accesses;
   for (const auto& access : plan.accesses()) {
     if (!access.needs_bitmap) continue;
     const Predicate* pred = query.PredicateOn(access.dim);
@@ -146,38 +314,133 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
         }
       }
     }
-    BitVector pred_rows(row_count());
-    for (const auto value : pred->values) {
-      if (same_ancestor) {
-        pred_rows |= indexes_->SelectWithinFragment(pred->dim, pred->depth,
-                                                    value, frag_depth);
+    accesses.push_back({pred, frag_depth, same_ancestor});
+  }
+  return accesses;
+}
+
+void MiniWarehouse::ProcessRowRange(std::int64_t begin, std::int64_t end,
+                                    const std::vector<BitmapAccess>& accesses,
+                                    MdhfExecution* partial) const {
+  partial->rows_scanned += end - begin;
+  auto& agg = partial->result;
+  if (accesses.empty()) {
+    // Q1/Q3 clustered hits: fragment membership IS the filter — every row
+    // of the range is a hit.
+    for (std::int64_t row = begin; row < end; ++row) {
+      ++agg.rows;
+      agg.units_sold += units_sold_[static_cast<std::size_t>(row)];
+      agg.dollar_sales_cents +=
+          dollar_sales_cents_[static_cast<std::size_t>(row)];
+    }
+    return;
+  }
+  // Bitmap filter over this range only: O(range), never O(table).
+  BitVector filter(end - begin);
+  filter.SetAll();
+  for (const auto& a : accesses) {
+    BitVector pred_rows(end - begin);
+    for (const auto value : a.pred->values) {
+      if (a.same_ancestor) {
+        pred_rows |= indexes_->SelectWithinFragmentSlice(
+            a.pred->dim, a.pred->depth, value, a.frag_depth, begin, end);
       } else {
-        pred_rows |= indexes_->Select(pred->dim, pred->depth, value);
+        pred_rows |= indexes_->SelectSlice(a.pred->dim, a.pred->depth, value,
+                                           begin, end);
+      }
+    }
+    filter &= pred_rows;
+  }
+  filter.ForEachSetBit([&](std::int64_t i) {
+    const std::int64_t row = begin + i;
+    ++agg.rows;
+    agg.units_sold += units_sold_[static_cast<std::size_t>(row)];
+    agg.dollar_sales_cents +=
+        dollar_sales_cents_[static_cast<std::size_t>(row)];
+  });
+}
+
+MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
+    const QueryPlan& plan, const std::vector<BitmapAccess>& accesses,
+    const ThreadPool* pool) const {
+  // Directory walk: the plan's fragments map to physical row ranges;
+  // adjacent selected fragments coalesce into maximal runs (fragment ids
+  // arrive in ascending allocation order, and the layout is fragment-
+  // major, so ranges are ascending and disjoint).
+  std::vector<RowChunk> ranges;
+  plan.ForEachFragment([&](FragId id) {
+    const std::int64_t begin = frag_offsets_[static_cast<std::size_t>(id)];
+    const std::int64_t end = frag_offsets_[static_cast<std::size_t>(id) + 1];
+    if (begin == end) return;
+    if (!ranges.empty() && ranges.back().end == begin) {
+      ranges.back().end = end;
+    } else {
+      ranges.push_back({begin, end});
+    }
+  });
+
+  return RunChunks(ranges, pool,
+                   [&](const RowChunk& c, MdhfExecution* partial) {
+                     ProcessRowRange(c.begin, c.end, accesses, partial);
+                   });
+}
+
+MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
+    const QueryPlan& plan, const std::vector<BitmapAccess>& accesses,
+    const ThreadPool* pool) const {
+  const Fragmentation& fragmentation = plan.fragmentation();
+
+  // Sorted fragment membership (ForEachFragment enumerates ascending ids);
+  // when the plan covers every fragment the per-row mapping is skipped.
+  std::vector<FragId> frag_ids;
+  plan.ForEachFragment([&](FragId id) { frag_ids.push_back(id); });
+  const bool all_fragments =
+      static_cast<std::int64_t>(frag_ids.size()) ==
+      fragmentation.FragmentCount();
+
+  // Bitmap filter for the predicates the plan marks as needing bitmaps;
+  // all-ones when none do (Q1/Q3: fragment membership is the filter).
+  // Built full-width once, shared read-only by all workers.
+  BitVector filter(row_count());
+  filter.SetAll();
+  for (const auto& a : accesses) {
+    BitVector pred_rows(row_count());
+    for (const auto value : a.pred->values) {
+      if (a.same_ancestor) {
+        pred_rows |= indexes_->SelectWithinFragment(a.pred->dim, a.pred->depth,
+                                                    value, a.frag_depth);
+      } else {
+        pred_rows |= indexes_->Select(a.pred->dim, a.pred->depth, value);
       }
     }
     filter &= pred_rows;
   }
 
-  std::vector<std::int64_t> leaf_keys(
-      static_cast<std::size_t>(schema_.num_dimensions()));
-  for (std::int64_t row = 0; row < row_count(); ++row) {
-    for (DimId d = 0; d < schema_.num_dimensions(); ++d) {
-      leaf_keys[static_cast<std::size_t>(d)] =
-          facts_.columns[static_cast<std::size_t>(d)]
-                        [static_cast<std::size_t>(row)];
+  const int dims = schema_.num_dimensions();
+  return RunChunks({{0, row_count()}}, pool, [&](const RowChunk& chunk,
+                                                 MdhfExecution* partial) {
+    std::vector<std::int64_t> leaf_keys(static_cast<std::size_t>(dims));
+    auto& agg = partial->result;
+    for (std::int64_t row = chunk.begin; row < chunk.end; ++row) {
+      if (!all_fragments) {
+        for (DimId d = 0; d < dims; ++d) {
+          leaf_keys[static_cast<std::size_t>(d)] =
+              facts_.columns[static_cast<std::size_t>(d)]
+                            [static_cast<std::size_t>(row)];
+        }
+        if (!std::binary_search(frag_ids.begin(), frag_ids.end(),
+                                fragmentation.FragmentOfRow(leaf_keys))) {
+          continue;
+        }
+      }
+      ++partial->rows_scanned;
+      if (!filter.Get(row)) continue;
+      ++agg.rows;
+      agg.units_sold += units_sold_[static_cast<std::size_t>(row)];
+      agg.dollar_sales_cents +=
+          dollar_sales_cents_[static_cast<std::size_t>(row)];
     }
-    if (fragments.find(fragmentation.FragmentOfRow(leaf_keys)) ==
-        fragments.end()) {
-      continue;
-    }
-    ++exec.rows_scanned;
-    if (!filter.Get(row)) continue;
-    ++exec.result.rows;
-    exec.result.units_sold += units_sold_[static_cast<std::size_t>(row)];
-    exec.result.dollar_sales_cents +=
-        dollar_sales_cents_[static_cast<std::size_t>(row)];
-  }
-  return exec;
+  });
 }
 
 }  // namespace mdw

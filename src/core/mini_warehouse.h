@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bitmap/index_set.h"
 #include "fragment/query_planner.h"
 
 namespace mdw {
+
+class ThreadPool;
 
 /// A fully materialised, in-memory star warehouse at a scale small enough
 /// to hold every fact row. It executes star queries three ways — full
@@ -17,17 +20,49 @@ namespace mdw {
 /// machinery computes exactly the rows a full scan computes. (The
 /// full-scale APB-1 configuration is only ever *simulated*; see
 /// sim/simulator.h.)
+///
+/// Physical layout: the clustered constructor permutes the fact columns
+/// (and measure vectors) into *fragment-major* order of an MDHF
+/// fragmentation — the paper's clustering property (Sec. 4.5) made
+/// physical — and keeps a FragId -> [row_begin, row_end) directory, so
+/// fragment-confined execution touches only the plan's row ranges
+/// (O(selected rows)) and can process ranges as parallel partitions.
 class MiniWarehouse {
  public:
   /// Populates the fact table by sampling each possible dimension-value
   /// combination independently with probability schema.density() (the
-  /// APB-1 density semantics), and builds all bitmap join indices.
+  /// APB-1 density semantics), and builds all bitmap join indices. Rows
+  /// stay in generation (odometer) order; MDHF execution falls back to a
+  /// per-row fragment-membership scan.
   MiniWarehouse(StarSchema schema, std::uint64_t seed);
+
+  /// Same population, then clusters the physical layout fragment-major
+  /// under the MDHF fragmentation given by `cluster_attrs` (empty attrs =
+  /// the degenerate single-fragment clustering). Plans derived from a
+  /// fragmentation with the same attributes execute fragment-confined via
+  /// the row-range directory.
+  MiniWarehouse(StarSchema schema, std::uint64_t seed,
+                std::vector<FragAttr> cluster_attrs);
 
   const StarSchema& schema() const { return schema_; }
   const FactColumns& facts() const { return facts_; }
   const IndexSet& indexes() const { return *indexes_; }
   std::int64_t row_count() const { return facts_.row_count(); }
+
+  /// ---- Clustered-layout introspection ----
+
+  bool clustered() const { return cluster_frag_ != nullptr; }
+  /// The clustering fragmentation, or nullptr for generation order.
+  const Fragmentation* cluster_fragmentation() const {
+    return cluster_frag_.get();
+  }
+  /// True iff `fragmentation` matches the clustered layout (same schema
+  /// object, same attribute list), i.e. plans derived from it can use the
+  /// fragment directory.
+  bool ClusteredFor(const Fragmentation& fragmentation) const;
+  /// Physical row range [begin, end) of fragment `id` in the clustered
+  /// layout; aborts when not clustered.
+  std::pair<std::int64_t, std::int64_t> FragmentRows(FragId id) const;
 
   /// SUM aggregate over the matching rows.
   struct AggregateResult {
@@ -57,6 +92,9 @@ class MiniWarehouse {
     int bitmaps_read = 0;           ///< per fragment, from the plan
     QueryClass query_class = QueryClass::kUnsupported;
     IoClass io_class = IoClass::kIoc2NoSupp;
+
+    friend bool operator==(const MdhfExecution& a,
+                           const MdhfExecution& b) = default;
   };
   /// Compatibility entry point: derives the plan internally, then
   /// delegates to the plan-accepting overload below (one extra
@@ -68,18 +106,56 @@ class MiniWarehouse {
   /// Plan-first entry point: executes `query` under `plan` (derived by the
   /// caller, typically once per batch through Warehouse's plan cache)
   /// without re-planning. The plan's fragmentation must belong to this
-  /// warehouse's schema.
+  /// warehouse's schema. When the plan's fragmentation matches the
+  /// clustered layout, execution walks the fragment directory and touches
+  /// only the plan's row ranges; otherwise it falls back to a full scan
+  /// with per-row fragment membership tests.
   MdhfExecution ExecuteWithPlan(const StarQuery& query,
                                 const QueryPlan& plan) const;
 
+  /// Partition-parallel overload: splits the plan's row ranges (or, on the
+  /// fallback path, the whole table) into tasks executed on `pool`, each
+  /// accumulating a private partial aggregate; partials are merged at the
+  /// end, so the result — counters included — is identical for any worker
+  /// count (and to the serial overload). `pool == nullptr` runs serially.
+  MdhfExecution ExecuteWithPlan(const StarQuery& query, const QueryPlan& plan,
+                                const ThreadPool* pool) const;
+
  private:
+  /// One resolved bitmap-needing predicate of a plan.
+  struct BitmapAccess {
+    const Predicate* pred;
+    Depth frag_depth;    ///< fragmentation depth of the dim, or -1
+    bool same_ancestor;  ///< suffix-only (within-fragment) eval is sound
+  };
+
+  void Populate(std::uint64_t seed);
+  void ClusterByFragment(std::vector<FragAttr> cluster_attrs);
   bool RowMatches(std::int64_t row, const StarQuery& query) const;
+  std::vector<BitmapAccess> ResolveBitmapAccesses(const StarQuery& query,
+                                                  const QueryPlan& plan) const;
+  /// Aggregates rows [begin, end) of the clustered layout under the
+  /// accesses' bitmap filters (evaluated over the range only).
+  void ProcessRowRange(std::int64_t begin, std::int64_t end,
+                       const std::vector<BitmapAccess>& accesses,
+                       MdhfExecution* partial) const;
+  MdhfExecution ExecuteClustered(const QueryPlan& plan,
+                                 const std::vector<BitmapAccess>& accesses,
+                                 const ThreadPool* pool) const;
+  MdhfExecution ExecuteUnclustered(const QueryPlan& plan,
+                                   const std::vector<BitmapAccess>& accesses,
+                                   const ThreadPool* pool) const;
 
   StarSchema schema_;
   FactColumns facts_;
   std::vector<std::int64_t> units_sold_;
   std::vector<std::int64_t> dollar_sales_cents_;
   std::unique_ptr<IndexSet> indexes_;
+
+  /// Clustered layout (nullptr/empty when rows are in generation order):
+  /// rows of fragment f occupy [frag_offsets_[f], frag_offsets_[f+1]).
+  std::unique_ptr<Fragmentation> cluster_frag_;
+  std::vector<std::int64_t> frag_offsets_;
 };
 
 }  // namespace mdw

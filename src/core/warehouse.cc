@@ -11,9 +11,12 @@ Warehouse::Warehouse(WarehouseConfig config)
   if (config.backend == BackendKind::kMaterialized) {
     // The mini-warehouse owns its schema copy; alias the façade's schema
     // handle to it so fragmentation and planner see the same object the
-    // warehouse validates against.
+    // warehouse validates against. It is built fragment-clustered under
+    // the configured fragmentation attributes, so plans derived by this
+    // façade execute fragment-confined through the row-range directory.
     mini_ = std::make_shared<const MiniWarehouse>(std::move(config.schema),
-                                                  seed_);
+                                                  seed_,
+                                                  config.fragmentation);
     schema_ = std::shared_ptr<const StarSchema>(mini_, &mini_->schema());
   } else {
     schema_ = std::make_shared<const StarSchema>(std::move(config.schema));
@@ -28,7 +31,8 @@ Warehouse::Warehouse(WarehouseConfig config)
       [schema](const Fragmentation* f) { delete f; });
 
   if (config.backend == BackendKind::kMaterialized) {
-    backend_ = std::make_shared<MaterializedBackend>(mini_, fragmentation_);
+    backend_ = std::make_shared<MaterializedBackend>(mini_, fragmentation_,
+                                                     config.num_workers);
   } else {
     backend_ = std::make_shared<SimulatedBackend>(schema_, fragmentation_,
                                                   std::move(config.sim));

@@ -40,6 +40,14 @@ struct WarehouseConfig {
   /// Plan/Execute derives afresh. Copies of a Warehouse share one cache,
   /// so repeated workloads hit across copies.
   std::size_t plan_cache_capacity = 256;
+
+  /// Parallel degree of the materialized backend (the paper's partition
+  /// parallelism): fragment row ranges of one query — and the queries of a
+  /// batch — are processed as concurrent tasks. 0 = use the hardware
+  /// (std::thread::hardware_concurrency), 1 = serial fallback, n = n
+  /// workers. Results are bit-identical for any value. Ignored by the
+  /// simulated backend (it models its own parallelism via SimConfig).
+  int num_workers = 0;
 };
 
 /// The single entry point over the paper's machinery: owns the schema,

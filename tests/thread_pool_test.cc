@@ -1,0 +1,75 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace mdw {
+namespace {
+
+TEST(ThreadPoolTest, ResolveWorkersZeroMeansHardware) {
+  EXPECT_GE(ThreadPool::ResolveWorkers(0), 1);
+  EXPECT_EQ(ThreadPool::ResolveWorkers(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveWorkers(7), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  const ThreadPool pool(4);
+  constexpr std::int64_t kN = 10'000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&](std::int64_t i) {
+    visits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeCounts) {
+  const ThreadPool pool(2);
+  std::atomic<std::int64_t> count{0};
+  pool.ParallelFor(0, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+  // More indices than workers.
+  pool.ParallelFor(97, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 98);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  const ThreadPool pool(2);
+  std::atomic<std::int64_t> count{0};
+  pool.ParallelFor(4, [&](std::int64_t) {
+    pool.ParallelFor(100, [&](std::int64_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 400);
+}
+
+TEST(ThreadPoolTest, SequentialParallelForsReuseTheWorkers) {
+  const ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(64, [&](std::int64_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 50 * (64 * 63 / 2));
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareOnePool) {
+  const ThreadPool pool(4);
+  std::atomic<std::int64_t> count{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      pool.ParallelFor(1'000, [&](std::int64_t) { count.fetch_add(1); });
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(count.load(), 4'000);
+}
+
+}  // namespace
+}  // namespace mdw
