@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -315,6 +316,48 @@ BENCHMARK(BM_MdhfFragmentConfined)->Arg(0)->Arg(1)->Arg(2);
 // every fragment's row range is processed, with an encoded-index bitmap
 // filter) split over a worker pool. rows_scanned is identical at every
 // degree; real time should shrink with workers on multi-core hardware.
+// Coverage-aware aggregation: a hierarchy-aligned query's fragments are
+// fully covered, so the answer comes from the measure prefix sums without
+// scanning a row (arg 0; expect rows_scanned == 0 and fragments_summarized
+// == fragments_processed). Compare against a residual query whose CODE
+// predicate filters inside the fragment (arg 1) and against the same
+// aligned query with summaries disabled, i.e. the plain fragment-confined
+// scan (arg 2).
+void BM_MdhfCoveredAggregate(benchmark::State& state) {
+  static const auto* without_summaries = new mdw::Warehouse(
+      {.schema = MakeMediumApb1Schema(),
+       .fragmentation = {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}},
+       .backend = mdw::BackendKind::kMaterialized,
+       .seed = 42,
+       .num_workers = 1,
+       .enable_fragment_summaries = false});
+  const bool summaries_off = state.range(0) == 2;
+  const auto& wh = summaries_off ? *without_summaries : MediumWarehouse();
+  const mdw::MiniWarehouse& mini = *wh.materialized();
+  const mdw::StarQuery query =
+      state.range(0) == 1 ? mdw::apb1_queries::OneCodeOneMonth(415, 3)
+                          : mdw::apb1_queries::OneMonthOneGroup(3, 41);
+  // Plan-first, like production batches: the measured loop is the
+  // execution path (summary lookup vs range scan), not plan derivation.
+  const auto plan = wh.Plan(query);
+  mdw::MiniWarehouse::MdhfExecution exec;
+  for (auto _ : state) {
+    exec = mini.ExecuteWithPlan(query, plan);
+    benchmark::DoNotOptimize(exec.result.rows);
+  }
+  state.SetLabel(std::string(query.name()) +
+                 (summaries_off ? "/summaries_off" : ""));
+  state.counters["rows_scanned_per_query"] =
+      static_cast<double>(exec.rows_scanned);
+  state.counters["rows_summarized_per_query"] =
+      static_cast<double>(exec.rows_summarized);
+  state.counters["fragments_summarized"] =
+      static_cast<double>(exec.fragments_summarized);
+  state.counters["fragments_processed"] =
+      static_cast<double>(exec.fragments_processed);
+}
+BENCHMARK(BM_MdhfCoveredAggregate)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_MdhfParallelScan(benchmark::State& state) {
   const auto& wh = MediumWarehouse();
   const mdw::MiniWarehouse& mini = *wh.materialized();

@@ -57,11 +57,11 @@ const ThreadPool* MaterializedBackend::pool() const {
   return pool_.get();
 }
 
-QueryOutcome MaterializedBackend::ExecuteWith(const StarQuery& query,
-                                              const QueryPlan& plan,
-                                              const ThreadPool* pool) const {
+QueryOutcome MaterializedBackend::ExecuteWith(
+    const StarQuery& query, const QueryPlan& plan, const ThreadPool* pool,
+    MiniWarehouse::ExecScratch* scratch) const {
   QueryOutcome outcome = OutcomeFromPlan(BackendKind::kMaterialized, plan);
-  const auto mdhf = warehouse_->ExecuteWithPlan(query, plan, pool);
+  const auto mdhf = warehouse_->ExecuteWithPlan(query, plan, pool, scratch);
   // Prefer the execution's own record over the façade's plan where both
   // exist, so reported facts can never drift from what actually ran.
   outcome.query_class = mdhf.query_class;
@@ -70,12 +70,14 @@ QueryOutcome MaterializedBackend::ExecuteWith(const StarQuery& query,
   outcome.bitmaps_per_fragment = mdhf.bitmaps_read;
   outcome.aggregate = mdhf.result;
   outcome.rows_scanned = mdhf.rows_scanned;
+  outcome.fragments_summarized = mdhf.fragments_summarized;
+  outcome.rows_summarized = mdhf.rows_summarized;
   return outcome;
 }
 
 QueryOutcome MaterializedBackend::Execute(const StarQuery& query,
                                           const QueryPlan& plan) const {
-  return ExecuteWith(query, plan, pool());
+  return ExecuteWith(query, plan, pool(), /*scratch=*/nullptr);
 }
 
 BatchOutcome MaterializedBackend::ExecuteBatch(
@@ -89,18 +91,25 @@ BatchOutcome MaterializedBackend::ExecuteBatch(
       batch_pool != nullptr && queries.size() > 1) {
     // Inter-query parallelism: one task per query, each executed serially
     // inside its task (the pool is never nested). Outcomes land in input
-    // order; the total is summed in input order — deterministic.
+    // order; the total is summed in input order — deterministic. Each
+    // task owns a scratch for the query it claims (scratches are not
+    // thread-safe, so the serial per-batch reuse doesn't apply here).
     std::vector<QueryOutcome> outcomes(queries.size());
     batch_pool->ParallelFor(static_cast<std::int64_t>(queries.size()),
                             [&](std::int64_t i) {
                               const auto u = static_cast<std::size_t>(i);
+                              MiniWarehouse::ExecScratch scratch;
                               outcomes[u] = ExecuteWith(queries[u], plans[u],
-                                                        nullptr);
+                                                        nullptr, &scratch);
                             });
     batch.queries = std::move(outcomes);
   } else {
+    // One scratch for the whole batch: the per-query bitmap-access buffer
+    // is resolved in place instead of reallocated every iteration.
+    MiniWarehouse::ExecScratch scratch;
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      batch.queries.push_back(Execute(queries[i], plans[i]));
+      batch.queries.push_back(
+          ExecuteWith(queries[i], plans[i], pool(), &scratch));
     }
   }
   MiniWarehouse::AggregateResult total;

@@ -56,7 +56,16 @@ struct QueryOutcome {
 
   // ---- functional result (kMaterialized) ----
   std::optional<MiniWarehouse::AggregateResult> aggregate;
-  std::int64_t rows_scanned = 0;  ///< rows in the processed fragments
+  /// Rows of the *residual* fragments actually scanned; with fragment
+  /// summaries disabled (WarehouseConfig::enable_fragment_summaries =
+  /// false) every processed fragment is residual, so this is all rows of
+  /// the processed fragments.
+  std::int64_t rows_scanned = 0;
+  /// Fully-covered fragments answered from the measure prefix sums and
+  /// the rows they contributed without being scanned (kMaterialized with
+  /// summaries enabled; 0 otherwise).
+  std::int64_t fragments_summarized = 0;
+  std::int64_t rows_summarized = 0;
 
   // ---- timing and device metrics (kSimulated) ----
   std::optional<SimResult> sim;
@@ -148,7 +157,8 @@ class MaterializedBackend : public ExecutionBackend {
 
  private:
   QueryOutcome ExecuteWith(const StarQuery& query, const QueryPlan& plan,
-                           const ThreadPool* pool) const;
+                           const ThreadPool* pool,
+                           MiniWarehouse::ExecScratch* scratch) const;
   /// The worker pool, spawned lazily on the first execution that can use
   /// it (so plan-only / serial warehouses never pay for threads); nullptr
   /// when num_workers_ == 1.

@@ -82,7 +82,8 @@ MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed)
 }
 
 MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed,
-                             std::vector<FragAttr> cluster_attrs)
+                             std::vector<FragAttr> cluster_attrs,
+                             bool enable_summaries)
     : schema_(std::move(schema)) {
   Populate(seed);
   ClusterByFragment(std::move(cluster_attrs));
@@ -90,6 +91,18 @@ MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed,
   // to the clustered physical row r, so range-restricted selections line
   // up with the fragment directory.
   indexes_ = std::make_unique<IndexSet>(schema_, facts_);
+  if (enable_summaries) {
+    // Measure prefix sums in the clustered order, so any coalesced run of
+    // fully-covered fragments [b, e) aggregates as P[e] - P[b].
+    const auto rows = static_cast<std::size_t>(row_count());
+    units_prefix_.assign(rows + 1, 0);
+    dollars_prefix_.assign(rows + 1, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      units_prefix_[r + 1] = units_prefix_[r] + units_sold_[r];
+      dollars_prefix_[r + 1] = dollars_prefix_[r] + dollar_sales_cents_[r];
+    }
+    summaries_enabled_ = true;
+  }
 }
 
 void MiniWarehouse::Populate(std::uint64_t seed) {
@@ -273,12 +286,20 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
     const StarQuery& query, const QueryPlan& plan,
     const ThreadPool* pool) const {
+  return ExecuteWithPlan(query, plan, pool, /*scratch=*/nullptr);
+}
+
+MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
+    const StarQuery& query, const QueryPlan& plan, const ThreadPool* pool,
+    ExecScratch* scratch) const {
   const Fragmentation& fragmentation = plan.fragmentation();
   MDW_CHECK(&fragmentation.schema() == &schema_,
             "plan's fragmentation must belong to this warehouse's schema");
 
-  const std::vector<BitmapAccess> accesses =
-      ResolveBitmapAccesses(query, plan);
+  ExecScratch local;
+  ExecScratch& s = scratch != nullptr ? *scratch : local;
+  ResolveBitmapAccesses(query, plan, &s.accesses_);
+  const std::vector<BitmapAccess>& accesses = s.accesses_;
   MdhfExecution exec = ClusteredFor(fragmentation)
                            ? ExecuteClustered(plan, accesses, pool)
                            : ExecuteUnclustered(plan, accesses, pool);
@@ -289,10 +310,12 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
   return exec;
 }
 
-std::vector<MiniWarehouse::BitmapAccess> MiniWarehouse::ResolveBitmapAccesses(
-    const StarQuery& query, const QueryPlan& plan) const {
+void MiniWarehouse::ResolveBitmapAccesses(
+    const StarQuery& query, const QueryPlan& plan,
+    std::vector<BitmapAccess>* out) const {
   const Fragmentation& fragmentation = plan.fragmentation();
-  std::vector<BitmapAccess> accesses;
+  std::vector<BitmapAccess>& accesses = *out;
+  accesses.clear();
   for (const auto& access : plan.accesses()) {
     if (!access.needs_bitmap) continue;
     const Predicate* pred = query.PredicateOn(access.dim);
@@ -316,7 +339,6 @@ std::vector<MiniWarehouse::BitmapAccess> MiniWarehouse::ResolveBitmapAccesses(
     }
     accesses.push_back({pred, frag_depth, same_ancestor});
   }
-  return accesses;
 }
 
 void MiniWarehouse::ProcessRowRange(std::int64_t begin, std::int64_t end,
@@ -363,15 +385,56 @@ void MiniWarehouse::ProcessRowRange(std::int64_t begin, std::int64_t end,
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
     const QueryPlan& plan, const std::vector<BitmapAccess>& accesses,
     const ThreadPool* pool) const {
+  // Single-fragment fast path (the paper's IOC1-opt shape): the one
+  // fragment id falls out of the slices directly, skipping the odometer
+  // enumeration and its std::function indirection — for a fully-covered
+  // fragment the whole query is then three prefix-sum lookups.
+  if (plan.FragmentCount() == 1 && cluster_frag_->num_attrs() > 0) {
+    FragId id = 0;
+    bool covered = plan.coverable();
+    for (int i = 0; i < cluster_frag_->num_attrs(); ++i) {
+      const std::int64_t c = plan.slice(i).front();
+      MDW_CHECK(c >= 0 && c < cluster_frag_->CardOf(i),
+                "coordinate out of range");  // as FragmentIdOf enforces
+      id = id * cluster_frag_->CardOf(i) + c;
+      covered = covered && plan.covered(i).front();
+    }
+    const std::int64_t begin = frag_offsets_[static_cast<std::size_t>(id)];
+    const std::int64_t end = frag_offsets_[static_cast<std::size_t>(id) + 1];
+    MdhfExecution exec;
+    if (summaries_enabled_ && covered) {
+      const auto b = static_cast<std::size_t>(begin);
+      const auto e = static_cast<std::size_t>(end);
+      exec.result.rows = end - begin;
+      exec.result.units_sold = units_prefix_[e] - units_prefix_[b];
+      exec.result.dollar_sales_cents = dollars_prefix_[e] - dollars_prefix_[b];
+      exec.rows_summarized = end - begin;
+      exec.fragments_summarized = 1;
+      return exec;
+    }
+    if (begin == end) return exec;
+    return RunChunks({{begin, end}}, pool,
+                     [&](const RowChunk& c, MdhfExecution* partial) {
+                       ProcessRowRange(c.begin, c.end, accesses, partial);
+                     });
+  }
+
   // Directory walk: the plan's fragments map to physical row ranges;
   // adjacent selected fragments coalesce into maximal runs (fragment ids
   // arrive in ascending allocation order, and the layout is fragment-
-  // major, so ranges are ascending and disjoint).
-  std::vector<RowChunk> ranges;
-  plan.ForEachFragment([&](FragId id) {
+  // major, so ranges are ascending and disjoint). Fully-covered fragments
+  // split off into summary runs answered from the prefix sums; residual
+  // fragments keep the range-scan + bitmap path.
+  std::vector<RowChunk> scan_ranges;
+  std::vector<RowChunk> summary_ranges;
+  std::int64_t fragments_summarized = 0;
+  plan.ForEachFragment([&](FragId id, bool covered) {
+    const bool summarize = summaries_enabled_ && covered;
+    if (summarize) ++fragments_summarized;  // empty fragments included
     const std::int64_t begin = frag_offsets_[static_cast<std::size_t>(id)];
     const std::int64_t end = frag_offsets_[static_cast<std::size_t>(id) + 1];
     if (begin == end) return;
+    std::vector<RowChunk>& ranges = summarize ? summary_ranges : scan_ranges;
     if (!ranges.empty() && ranges.back().end == begin) {
       ranges.back().end = end;
     } else {
@@ -379,10 +442,26 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
     }
   });
 
-  return RunChunks(ranges, pool,
-                   [&](const RowChunk& c, MdhfExecution* partial) {
-                     ProcessRowRange(c.begin, c.end, accesses, partial);
-                   });
+  MdhfExecution exec;
+  if (!scan_ranges.empty()) {
+    exec = RunChunks(scan_ranges, pool,
+                     [&](const RowChunk& c, MdhfExecution* partial) {
+                       ProcessRowRange(c.begin, c.end, accesses, partial);
+                     });
+  }
+  // Summary runs merge after the scan partials, in ascending range order:
+  // one fixed merge sequence regardless of the worker count, and integer
+  // sums besides, so the whole record is bit-identical at any degree.
+  for (const auto& r : summary_ranges) {
+    const auto b = static_cast<std::size_t>(r.begin);
+    const auto e = static_cast<std::size_t>(r.end);
+    exec.result.rows += r.end - r.begin;
+    exec.result.units_sold += units_prefix_[e] - units_prefix_[b];
+    exec.result.dollar_sales_cents += dollars_prefix_[e] - dollars_prefix_[b];
+    exec.rows_summarized += r.end - r.begin;
+  }
+  exec.fragments_summarized = fragments_summarized;
+  return exec;
 }
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
@@ -416,20 +495,36 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
     filter &= pred_rows;
   }
 
-  const int dims = schema_.num_dimensions();
+  // Per-depth ancestor probes, resolved once per query: the fragment id of
+  // a row is the mixed-radix combination of leaf / LeavesPer(frag depth)
+  // over the fragmentation attributes, read straight from the fact
+  // columns — no per-row temporaries (FragmentOfRow would build a
+  // coordinate vector per row).
+  struct FragProbe {
+    const std::vector<std::int64_t>* leaves;  ///< fact column of the dim
+    std::int64_t leaves_per;  ///< leaf values per fragmentation-level value
+    std::int64_t card;        ///< attribute cardinality (radix)
+  };
+  std::vector<FragProbe> probes;
+  probes.reserve(static_cast<std::size_t>(fragmentation.num_attrs()));
+  for (int i = 0; i < fragmentation.num_attrs(); ++i) {
+    const FragAttr& a = fragmentation.attr(i);
+    const auto& h = schema_.dimension(a.dim).hierarchy();
+    probes.push_back({&facts_.columns[static_cast<std::size_t>(a.dim)],
+                      h.LeavesPer(a.depth), fragmentation.CardOf(i)});
+  }
+
   return RunChunks({{0, row_count()}}, pool, [&](const RowChunk& chunk,
                                                  MdhfExecution* partial) {
-    std::vector<std::int64_t> leaf_keys(static_cast<std::size_t>(dims));
     auto& agg = partial->result;
     for (std::int64_t row = chunk.begin; row < chunk.end; ++row) {
       if (!all_fragments) {
-        for (DimId d = 0; d < dims; ++d) {
-          leaf_keys[static_cast<std::size_t>(d)] =
-              facts_.columns[static_cast<std::size_t>(d)]
-                            [static_cast<std::size_t>(row)];
+        FragId fid = 0;
+        for (const auto& p : probes) {
+          fid = fid * p.card +
+                (*p.leaves)[static_cast<std::size_t>(row)] / p.leaves_per;
         }
-        if (!std::binary_search(frag_ids.begin(), frag_ids.end(),
-                                fragmentation.FragmentOfRow(leaf_keys))) {
+        if (!std::binary_search(frag_ids.begin(), frag_ids.end(), fid)) {
           continue;
         }
       }

@@ -27,8 +27,33 @@ class ThreadPool;
 /// physical — and keeps a FragId -> [row_begin, row_end) directory, so
 /// fragment-confined execution touches only the plan's row ranges
 /// (O(selected rows)) and can process ranges as parallel partitions.
+/// It additionally builds inclusive prefix sums over the measure columns
+/// in that physical order, so a run of *fully-covered* fragments [b, e)
+/// (every row a hit, per the plan's coverage classification) is answered
+/// as P[e] - P[b] without touching the fact columns at all — O(residual
+/// rows) instead of O(selected rows).
 class MiniWarehouse {
+ private:
+  /// One resolved bitmap-needing predicate of a plan.
+  struct BitmapAccess {
+    const Predicate* pred;
+    Depth frag_depth;    ///< fragmentation depth of the dim, or -1
+    bool same_ancestor;  ///< suffix-only (within-fragment) eval is sound
+  };
+
  public:
+  /// Reusable per-batch execution buffers (opaque): pass the same scratch
+  /// to consecutive ExecuteWithPlan calls to avoid a heap allocation per
+  /// query. Not thread-safe; use one scratch per executing thread.
+  class ExecScratch {
+   public:
+    ExecScratch() = default;
+
+   private:
+    friend class MiniWarehouse;
+    std::vector<BitmapAccess> accesses_;
+  };
+
   /// Populates the fact table by sampling each possible dimension-value
   /// combination independently with probability schema.density() (the
   /// APB-1 density semantics), and builds all bitmap join indices. Rows
@@ -40,9 +65,12 @@ class MiniWarehouse {
   /// under the MDHF fragmentation given by `cluster_attrs` (empty attrs =
   /// the degenerate single-fragment clustering). Plans derived from a
   /// fragmentation with the same attributes execute fragment-confined via
-  /// the row-range directory.
+  /// the row-range directory. `enable_summaries` additionally builds the
+  /// measure prefix sums so fully-covered fragments are answered without
+  /// scanning rows (false = PR 3 behaviour, for A/B comparisons).
   MiniWarehouse(StarSchema schema, std::uint64_t seed,
-                std::vector<FragAttr> cluster_attrs);
+                std::vector<FragAttr> cluster_attrs,
+                bool enable_summaries = true);
 
   const StarSchema& schema() const { return schema_; }
   const FactColumns& facts() const { return facts_; }
@@ -52,6 +80,9 @@ class MiniWarehouse {
   /// ---- Clustered-layout introspection ----
 
   bool clustered() const { return cluster_frag_ != nullptr; }
+  /// True iff the measure prefix sums exist, i.e. fully-covered fragments
+  /// are answered from summaries instead of row scans.
+  bool summaries_enabled() const { return summaries_enabled_; }
   /// The clustering fragmentation, or nullptr for generation order.
   const Fragmentation* cluster_fragmentation() const {
     return cluster_frag_.get();
@@ -88,7 +119,16 @@ class MiniWarehouse {
   struct MdhfExecution {
     AggregateResult result;
     std::int64_t fragments_processed = 0;
-    std::int64_t rows_scanned = 0;  ///< rows in the processed fragments
+    /// Rows actually scanned, i.e. rows of the *residual* fragments (with
+    /// summaries disabled every processed fragment is residual, so this
+    /// reverts to "rows in the processed fragments").
+    std::int64_t rows_scanned = 0;
+    /// Fully-covered fragments answered from the measure prefix sums
+    /// (empty ones included), and the rows they contributed without being
+    /// scanned. Zero when summaries are disabled or the layout fell back
+    /// to the membership scan.
+    std::int64_t fragments_summarized = 0;
+    std::int64_t rows_summarized = 0;
     int bitmaps_read = 0;           ///< per fragment, from the plan
     QueryClass query_class = QueryClass::kUnsupported;
     IoClass io_class = IoClass::kIoc2NoSupp;
@@ -121,19 +161,19 @@ class MiniWarehouse {
   MdhfExecution ExecuteWithPlan(const StarQuery& query, const QueryPlan& plan,
                                 const ThreadPool* pool) const;
 
- private:
-  /// One resolved bitmap-needing predicate of a plan.
-  struct BitmapAccess {
-    const Predicate* pred;
-    Depth frag_depth;    ///< fragmentation depth of the dim, or -1
-    bool same_ancestor;  ///< suffix-only (within-fragment) eval is sound
-  };
+  /// Like above, reusing `scratch`'s buffers instead of allocating per
+  /// query (nullptr = allocate locally). Batch drivers pass one scratch
+  /// across their whole loop.
+  MdhfExecution ExecuteWithPlan(const StarQuery& query, const QueryPlan& plan,
+                                const ThreadPool* pool,
+                                ExecScratch* scratch) const;
 
+ private:
   void Populate(std::uint64_t seed);
   void ClusterByFragment(std::vector<FragAttr> cluster_attrs);
   bool RowMatches(std::int64_t row, const StarQuery& query) const;
-  std::vector<BitmapAccess> ResolveBitmapAccesses(const StarQuery& query,
-                                                  const QueryPlan& plan) const;
+  void ResolveBitmapAccesses(const StarQuery& query, const QueryPlan& plan,
+                             std::vector<BitmapAccess>* out) const;
   /// Aggregates rows [begin, end) of the clustered layout under the
   /// accesses' bitmap filters (evaluated over the range only).
   void ProcessRowRange(std::int64_t begin, std::int64_t end,
@@ -156,6 +196,13 @@ class MiniWarehouse {
   /// rows of fragment f occupy [frag_offsets_[f], frag_offsets_[f+1]).
   std::unique_ptr<Fragmentation> cluster_frag_;
   std::vector<std::int64_t> frag_offsets_;
+
+  /// Measure prefix sums in clustered row order (size row_count() + 1,
+  /// P[0] = 0): sum over physical rows [b, e) is P[e] - P[b]. Built only
+  /// by the clustered constructor with summaries enabled.
+  bool summaries_enabled_ = false;
+  std::vector<std::int64_t> units_prefix_;
+  std::vector<std::int64_t> dollars_prefix_;
 };
 
 }  // namespace mdw

@@ -48,6 +48,14 @@ struct WarehouseConfig {
   /// workers. Results are bit-identical for any value. Ignored by the
   /// simulated backend (it models its own parallelism via SimConfig).
   int num_workers = 0;
+
+  /// Coverage-aware aggregation on the materialized backend: build measure
+  /// prefix sums over the fragment-clustered layout so fully-covered
+  /// fragments (every row a hit, decided by the planner from the hierarchy
+  /// alone) are answered in O(1) per run instead of scanned. Aggregates
+  /// are bit-identical either way; `false` restores the scan-everything
+  /// behaviour for A/B benchmarking. Ignored by the simulated backend.
+  bool enable_fragment_summaries = true;
 };
 
 /// The single entry point over the paper's machinery: owns the schema,

@@ -42,25 +42,49 @@ QueryPlan::QueryPlan(std::shared_ptr<const Fragmentation> fragmentation,
                      std::vector<std::vector<std::int64_t>> slices,
                      QueryClass query_class, IoClass io_class,
                      std::vector<PredicateAccess> accesses,
-                     double selectivity)
+                     double selectivity,
+                     std::vector<std::vector<bool>> covered, bool coverable)
     : fragmentation_(std::move(fragmentation)),
       slices_(std::move(slices)),
       query_class_(query_class),
       io_class_(io_class),
       accesses_(std::move(accesses)),
-      selectivity_(selectivity) {
+      selectivity_(selectivity),
+      covered_(std::move(covered)),
+      coverable_(coverable) {
   MDW_CHECK(fragmentation_ != nullptr, "plan needs a fragmentation");
   MDW_CHECK(static_cast<int>(slices_.size()) == fragmentation_->num_attrs(),
             "one slice per fragmentation attribute");
+  if (covered_.size() != slices_.size()) {
+    // No coverage info supplied: every fragment is residual. (For a
+    // zero-attribute fragmentation the empty vector IS the right shape,
+    // so `coverable` passes through and a predicate-free query can still
+    // summarize the single fragment.)
+    MDW_CHECK(covered_.empty(),
+              "coverage flags must parallel the slices or be absent");
+    coverable_ = false;
+    covered_.resize(slices_.size());
+    for (std::size_t i = 0; i < slices_.size(); ++i) {
+      covered_[i].assign(slices_[i].size(), false);
+    }
+  }
+  MDW_CHECK(covered_.size() == slices_.size(),
+            "one coverage vector per fragmentation attribute");
+  for (std::size_t i = 0; i < slices_.size(); ++i) {
+    MDW_CHECK(covered_[i].size() == slices_[i].size(),
+              "coverage flags must parallel the slice values");
+  }
 }
 
 QueryPlan::QueryPlan(const Fragmentation* fragmentation,
                      std::vector<std::vector<std::int64_t>> slices,
                      QueryClass query_class, IoClass io_class,
                      std::vector<PredicateAccess> accesses,
-                     double selectivity)
+                     double selectivity,
+                     std::vector<std::vector<bool>> covered, bool coverable)
     : QueryPlan(Borrowed(fragmentation), std::move(slices), query_class,
-                io_class, std::move(accesses), selectivity) {}
+                io_class, std::move(accesses), selectivity,
+                std::move(covered), coverable) {}
 
 const std::vector<std::int64_t>& QueryPlan::slice(int i) const {
   MDW_CHECK(i >= 0 && i < static_cast<int>(slices_.size()),
@@ -102,11 +126,32 @@ double QueryPlan::FragmentSelectivity() const {
   return HitsPerFragment() / fragmentation_->TuplesPerFragment();
 }
 
+const std::vector<bool>& QueryPlan::covered(int i) const {
+  MDW_CHECK(i >= 0 && i < static_cast<int>(covered_.size()),
+            "coverage index out of range");
+  return covered_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t QueryPlan::CoveredFragmentCount() const {
+  if (!coverable_) return 0;
+  std::int64_t count = 1;
+  for (const auto& flags : covered_) {
+    count *= static_cast<std::int64_t>(
+        std::count(flags.begin(), flags.end(), true));
+  }
+  return count;
+}
+
 void QueryPlan::ForEachFragment(
     const std::function<void(FragId)>& fn) const {
+  ForEachFragment([&fn](FragId id, bool /*covered*/) { fn(id); });
+}
+
+void QueryPlan::ForEachFragment(
+    const std::function<void(FragId, bool)>& fn) const {
   const int n = fragmentation_->num_attrs();
   if (n == 0) {
-    fn(0);
+    fn(0, coverable_);
     return;
   }
   // Mixed-radix odometer over the slices, producing ascending fragment ids
@@ -114,11 +159,13 @@ void QueryPlan::ForEachFragment(
   std::vector<std::size_t> cursor(static_cast<std::size_t>(n), 0);
   std::vector<std::int64_t> coords(static_cast<std::size_t>(n));
   while (true) {
+    bool covered = coverable_;
     for (int i = 0; i < n; ++i) {
-      coords[static_cast<std::size_t>(i)] =
-          slices_[static_cast<std::size_t>(i)][cursor[static_cast<std::size_t>(i)]];
+      const auto u = static_cast<std::size_t>(i);
+      coords[u] = slices_[u][cursor[u]];
+      covered = covered && covered_[u][cursor[u]];
     }
-    fn(fragmentation_->FragmentIdOf(coords));
+    fn(fragmentation_->FragmentIdOf(coords), covered);
     int i = n - 1;
     while (i >= 0) {
       auto& c = cursor[static_cast<std::size_t>(i)];
@@ -156,8 +203,12 @@ QueryPlan QueryPlanner::Plan(const StarQuery& query) const {
   g_plan_count.fetch_add(1, std::memory_order_relaxed);
   const Fragmentation& frag = *fragmentation_;
 
-  // Step 1 (Sec. 4.3): the fragment slice per fragmentation attribute.
+  // Step 1 (Sec. 4.3): the fragment slice per fragmentation attribute,
+  // with per-value coverage flags (is every row of the coordinate a hit
+  // for this attribute's predicate?).
   std::vector<std::vector<std::int64_t>> slices(
+      static_cast<std::size_t>(frag.num_attrs()));
+  std::vector<std::vector<bool>> covered(
       static_cast<std::size_t>(frag.num_attrs()));
   bool any_frag_dim_referenced = false;
   bool any_lower = false;    // predicate below the fragmentation level (Q2)
@@ -168,13 +219,16 @@ QueryPlan QueryPlanner::Plan(const StarQuery& query) const {
     const FragAttr& attr = frag.attr(i);
     const auto& h = schema_->dimension(attr.dim).hierarchy();
     auto& slice = slices[static_cast<std::size_t>(i)];
+    auto& slice_covered = covered[static_cast<std::size_t>(i)];
     const Predicate* pred = query.PredicateOn(attr.dim);
     if (pred == nullptr) {
-      // Unreferenced fragmentation dimension: all its values.
+      // Unreferenced fragmentation dimension: all its values, trivially
+      // covered (no predicate to satisfy).
       slice.resize(static_cast<std::size_t>(frag.CardOf(i)));
       for (std::int64_t v = 0; v < frag.CardOf(i); ++v) {
         slice[static_cast<std::size_t>(v)] = v;
       }
+      slice_covered.assign(slice.size(), true);
       continue;
     }
     any_frag_dim_referenced = true;
@@ -198,10 +252,47 @@ QueryPlan QueryPlanner::Plan(const StarQuery& query) const {
       for (const auto v : pred->values) {
         slice.push_back(h.Ancestor(v, pred->depth, attr.depth));
       }
-      std::sort(slice.begin(), slice.end());
-      slice.erase(std::unique(slice.begin(), slice.end()), slice.end());
     }
+    // Sorted-unique in every branch: a duplicated IN-list value must not
+    // enumerate (and aggregate) its fragment twice.
     std::sort(slice.begin(), slice.end());
+    slice.erase(std::unique(slice.begin(), slice.end()), slice.end());
+    if (pred->depth <= attr.depth) {
+      // At or above the fragmentation level: membership in a selected
+      // fragment implies the predicate, so every coordinate is covered.
+      slice_covered.assign(slice.size(), true);
+    } else {
+      // Below the fragmentation level: a coordinate is covered only when
+      // the IN-list contains ALL of its depth-pred descendants, i.e. the
+      // predicate degenerates to fragment membership there.
+      std::vector<std::int64_t> values = pred->values;
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      const std::int64_t per = h.DescendantsPer(attr.depth, pred->depth);
+      slice_covered.assign(slice.size(), false);
+      std::size_t j = 0;  // lockstep: slice is the sorted unique ancestors
+      for (std::size_t k = 0; k < values.size(); ++j) {
+        const std::int64_t anc = h.Ancestor(values[k], pred->depth, attr.depth);
+        std::int64_t run = 0;
+        while (k < values.size() &&
+               h.Ancestor(values[k], pred->depth, attr.depth) == anc) {
+          ++k;
+          ++run;
+        }
+        MDW_CHECK(slice[j] == anc, "coverage walk out of step with slice");
+        slice_covered[j] = (run == per);
+      }
+    }
+  }
+
+  // A predicate outside the fragmentation dimensions filters inside every
+  // fragment, so no fragment can be answered from membership alone.
+  bool coverable = true;
+  for (const auto& pred : query.predicates()) {
+    if (frag.FragDepthOf(pred.dim) < 0) {
+      coverable = false;
+      break;
+    }
   }
 
   // Step 2 (Sec. 4.3): bitmap requirements per predicate.
@@ -284,7 +375,8 @@ QueryPlan QueryPlanner::Plan(const StarQuery& query) const {
   }
 
   return QueryPlan(fragmentation_, std::move(slices), query_class, io_class,
-                   std::move(accesses), query.Selectivity(*schema_));
+                   std::move(accesses), query.Selectivity(*schema_),
+                   std::move(covered), coverable);
 }
 
 }  // namespace mdw

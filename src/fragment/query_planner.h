@@ -52,21 +52,38 @@ struct PredicateAccess {
 /// fragmentation attribute (the cross product of the slices), plus the
 /// access classification. Fragment sets are enumerated lazily because the
 /// cross product can be large.
+///
+/// Coverage classification: a selected fragment is *fully covered* when
+/// every row it can contain satisfies all the query's predicates — a fact
+/// decidable from the fragmentation attributes and hierarchy ancestors
+/// alone, with no data access. Coverage factorises over the slices
+/// (`covered(i)[j]` marks the j-th slice value of attribute i), so a
+/// fragment is covered iff all its coordinates are and no predicate falls
+/// outside the fragmentation dimensions (`coverable()`). Fully-covered
+/// fragments can be answered from precomputed measure summaries; the rest
+/// are *residual* and need a row scan.
 class QueryPlan {
  public:
   /// The plan shares ownership of the fragmentation, so it stays valid
   /// even if the planner (or the façade that produced it) is destroyed.
+  /// `covered` carries the per-slice coverage flags (same shape as
+  /// `slices`); an empty `covered` marks every fragment residual, the
+  /// conservative default for hand-built plans.
   QueryPlan(std::shared_ptr<const Fragmentation> fragmentation,
             std::vector<std::vector<std::int64_t>> slices,
             QueryClass query_class, IoClass io_class,
-            std::vector<PredicateAccess> accesses, double selectivity);
+            std::vector<PredicateAccess> accesses, double selectivity,
+            std::vector<std::vector<bool>> covered = {},
+            bool coverable = false);
 
   /// Compatibility: borrows a caller-owned fragmentation (no ownership);
   /// the caller must keep it alive for the plan's lifetime.
   QueryPlan(const Fragmentation* fragmentation,
             std::vector<std::vector<std::int64_t>> slices,
             QueryClass query_class, IoClass io_class,
-            std::vector<PredicateAccess> accesses, double selectivity);
+            std::vector<PredicateAccess> accesses, double selectivity,
+            std::vector<std::vector<bool>> covered = {},
+            bool coverable = false);
 
   const Fragmentation& fragmentation() const { return *fragmentation_; }
   QueryClass query_class() const { return query_class_; }
@@ -93,9 +110,28 @@ class QueryPlan {
   /// Fraction of a processed fragment's rows that are hits.
   double FragmentSelectivity() const;
 
+  /// ---- Coverage classification ----
+
+  /// False when some predicate lies outside the fragmentation dimensions,
+  /// so every selected fragment needs a row scan regardless of its
+  /// coordinates.
+  bool coverable() const { return coverable_; }
+  /// Coverage flags of the i-th slice, parallel to slice(i):
+  /// covered(i)[j] iff the predicate on attribute i (if any) is satisfied
+  /// by every row whose attribute-i coordinate is slice(i)[j].
+  const std::vector<bool>& covered(int i) const;
+  /// Number of fully-covered fragments in the selected set (product of
+  /// per-attribute covered counts; 0 when !coverable()).
+  std::int64_t CoveredFragmentCount() const;
+
   /// Enumerates the fragment ids to process, in allocation order
   /// (ascending id).
   void ForEachFragment(const std::function<void(FragId)>& fn) const;
+
+  /// Like above, additionally reporting whether each fragment is fully
+  /// covered (answerable without touching its rows).
+  void ForEachFragment(
+      const std::function<void(FragId, bool covered)>& fn) const;
 
   /// Materialises the fragment ids; aborts if more than `cap` fragments
   /// (guard against accidentally exploding cross products).
@@ -109,6 +145,9 @@ class QueryPlan {
   IoClass io_class_;
   std::vector<PredicateAccess> accesses_;
   double selectivity_;
+  /// Parallel to slices_; empty-constructed plans normalise to all-false.
+  std::vector<std::vector<bool>> covered_;
+  bool coverable_ = false;
 };
 
 /// Derives QueryPlans from StarQueries for a fixed fragmentation,

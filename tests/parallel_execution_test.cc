@@ -200,13 +200,17 @@ TEST(FragmentConfinementTest, ScansOnlyThePlansRowRanges) {
     const auto [begin, end] = wh.FragmentRows(id);
     expected_rows += end - begin;
   });
-  EXPECT_EQ(exec.rows_scanned, expected_rows);
-  EXPECT_LT(exec.rows_scanned, wh.row_count());
-  // IOC1-opt: every scanned row is a hit.
-  EXPECT_EQ(exec.rows_scanned, exec.result.rows);
+  // Hierarchy-aligned (IOC1-opt): the single fragment is fully covered,
+  // so it is answered from the prefix sums without scanning a row.
+  EXPECT_EQ(exec.rows_scanned, 0);
+  EXPECT_EQ(exec.rows_summarized, expected_rows);
+  EXPECT_EQ(exec.fragments_summarized, 1);
+  EXPECT_LT(exec.rows_summarized, wh.row_count());
+  // IOC1-opt: every row of the fragment is a hit.
+  EXPECT_EQ(exec.rows_summarized, exec.result.rows);
 }
 
-TEST(FragmentConfinementTest, RowsScannedShrinksWithSelectivity) {
+TEST(FragmentConfinementTest, RowsAccountedShrinkWithSelectivity) {
   const MiniWarehouse wh(MakeTinyApb1Schema(), /*seed=*/42, MonthGroup());
   const Fragmentation frag(&wh.schema(), MonthGroup());
   const QueryPlanner planner(&wh.schema(), &frag);
@@ -219,23 +223,43 @@ TEST(FragmentConfinementTest, RowsScannedShrinksWithSelectivity) {
   const auto e_mg = wh.ExecuteWithPlan(month_group, planner.Plan(month_group));
   const auto e_all = wh.ExecuteWithPlan(unsupported, planner.Plan(unsupported));
 
-  EXPECT_EQ(e_all.rows_scanned, wh.row_count());
-  EXPECT_LT(e_month.rows_scanned, e_all.rows_scanned);
-  EXPECT_LT(e_mg.rows_scanned, e_month.rows_scanned);
+  // Confinement: the rows a query accounts for (scanned or summarized)
+  // track its fragment set.
+  const auto accounted = [](const MiniWarehouse::MdhfExecution& e) {
+    return e.rows_scanned + e.rows_summarized;
+  };
+  EXPECT_EQ(accounted(e_all), wh.row_count());
+  EXPECT_LT(accounted(e_month), accounted(e_all));
+  EXPECT_LT(accounted(e_mg), accounted(e_month));
+  // The store predicate is outside the fragmentation, so nothing is
+  // coverable; the hierarchy-aligned queries summarize everything.
+  EXPECT_EQ(e_all.rows_summarized, 0);
+  EXPECT_EQ(e_month.rows_scanned, 0);
+  EXPECT_EQ(e_mg.rows_scanned, 0);
 }
 
 TEST(FragmentConfinementTest, ClusteredAndFallbackReportSameCounters) {
-  // rows_scanned semantics must not change with the layout: the clustered
-  // directory walk and the fallback membership scan count the same rows.
+  // rows_scanned semantics must not change with the layout: with summaries
+  // off, the clustered directory walk and the fallback membership scan
+  // produce identical execution records; with summaries on, the summarized
+  // rows account exactly for the rows the fallback scans.
   const MiniWarehouse clustered(MakeTinyApb1Schema(), /*seed=*/42,
                                 MonthGroup());
+  const MiniWarehouse plain(MakeTinyApb1Schema(), /*seed=*/42, MonthGroup(),
+                            /*enable_summaries=*/false);
   const MiniWarehouse generation(MakeTinyApb1Schema(), /*seed=*/42);
   const Fragmentation fc(&clustered.schema(), MonthGroup());
+  const Fragmentation fp(&plain.schema(), MonthGroup());
   const Fragmentation fg(&generation.schema(), MonthGroup());
   for (const auto& query : QuerySweep()) {
     const auto a = clustered.ExecuteWithFragmentation(query, fc);
+    const auto p = plain.ExecuteWithFragmentation(query, fp);
     const auto b = generation.ExecuteWithFragmentation(query, fg);
-    EXPECT_EQ(a, b) << query.name();
+    EXPECT_EQ(p, b) << query.name();
+    EXPECT_EQ(a.result, b.result) << query.name();
+    EXPECT_EQ(a.rows_scanned + a.rows_summarized, b.rows_scanned)
+        << query.name();
+    EXPECT_EQ(b.fragments_summarized, 0) << query.name();
   }
 }
 

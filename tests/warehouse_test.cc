@@ -79,7 +79,11 @@ TEST(WarehouseMaterializedTest, OutcomeCarriesPlanFacts) {
   EXPECT_EQ(outcome.io_class, IoClass::kIoc1Opt);
   EXPECT_EQ(outcome.fragments_processed, 1);
   EXPECT_EQ(outcome.bitmaps_per_fragment, 0);
-  EXPECT_GT(outcome.rows_scanned, 0);
+  // Hierarchy-aligned: the fragment is fully covered, so it is answered
+  // from the measure prefix sums without scanning a row.
+  EXPECT_EQ(outcome.rows_scanned, 0);
+  EXPECT_EQ(outcome.fragments_summarized, 1);
+  EXPECT_GT(outcome.rows_summarized, 0);
 }
 
 TEST(WarehouseMaterializedTest, BatchSumsAggregates) {
