@@ -358,6 +358,71 @@ void BM_MdhfCoveredAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_MdhfCoveredAggregate)->Arg(0)->Arg(1)->Arg(2);
 
+// A compact APB-1-shaped schema (~170k fact rows at density 0.25), cheap
+// enough to materialise once per benchmark instance — the sharded-scan
+// benchmark needs a separate store per (shards, round_gap) point.
+mdw::StarSchema MakeCompactApb1Schema() {
+  mdw::Dimension product("product",
+                         mdw::Hierarchy({{"division", 2},
+                                         {"line", 6},
+                                         {"family", 12},
+                                         {"group", 48},
+                                         {"class", 240},
+                                         {"code", 480}}),
+                         mdw::IndexKind::kEncoded);
+  mdw::Dimension customer("customer",
+                          mdw::Hierarchy({{"retailer", 6}, {"store", 60}}),
+                          mdw::IndexKind::kEncoded);
+  mdw::Dimension channel("channel", mdw::Hierarchy({{"channel", 2}}),
+                         mdw::IndexKind::kSimple);
+  mdw::Dimension time("time",
+                      mdw::Hierarchy(
+                          {{"year", 1}, {"quarter", 4}, {"month", 12}}),
+                      mdw::IndexKind::kSimple);
+  return mdw::StarSchema("compact_sales",
+                         {std::move(product), std::move(customer),
+                          std::move(channel), std::move(time)},
+                         /*density=*/0.25, mdw::PhysicalParams{});
+}
+
+// Sharded scan with affinity scheduling + stealing: the heavy no-support
+// query (every fragment processed under a bitmap filter) over a store
+// declustered into shards {1, 2, 4, 8} by round robin with round_gap
+// {0, 1}, at 4 workers throughout. Emits the skew metric (max/mean shard
+// busy-work — deterministic, machine-independent) next to wall time so
+// the CI perf gate tracks placement quality as well as speed.
+void BM_MdhfShardedScan(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  mdw::AllocationConfig allocation;
+  allocation.round_gap = static_cast<int>(state.range(1));
+  const mdw::Warehouse wh(
+      {.schema = MakeCompactApb1Schema(),
+       .fragmentation = {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}},
+       .backend = mdw::BackendKind::kMaterialized,
+       .seed = 42,
+       .num_workers = 4,
+       .num_shards = shards,
+       .allocation = allocation});
+  const auto query = mdw::apb1_queries::OneStore(17);
+  wh.Plan(query);  // warm the plan cache; the loop measures execution
+  double skew = 0;
+  std::int64_t rows_scanned = 0;
+  for (auto _ : state) {
+    const auto outcome = wh.Execute(query);
+    skew = outcome.shard_skew;
+    rows_scanned = outcome.rows_scanned;
+    benchmark::DoNotOptimize(outcome.aggregate->rows);
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["round_gap"] = static_cast<double>(allocation.round_gap);
+  state.counters["skew"] = skew;
+  state.counters["rows_scanned_per_query"] =
+      static_cast<double>(rows_scanned);
+}
+BENCHMARK(BM_MdhfShardedScan)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->UseRealTime();
+
 void BM_MdhfParallelScan(benchmark::State& state) {
   const auto& wh = MediumWarehouse();
   const mdw::MiniWarehouse& mini = *wh.materialized();

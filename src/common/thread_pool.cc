@@ -15,6 +15,32 @@ namespace {
 // runs inline instead.
 thread_local bool tls_pool_worker = false;
 
+/// Completion protocol shared by the ParallelFor variants: every executed
+/// item calls Mark() exactly once; the caller blocks in AwaitAll() until
+/// all `total` items are done (stragglers may still be inside their drain
+/// loop at that point — they only touch this state, which the helper
+/// closures keep alive).
+struct Completion {
+  std::atomic<std::int64_t> done{0};
+  std::int64_t total = 0;
+  std::mutex mu;
+  std::condition_variable all_done;
+
+  void Mark() {
+    if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+      std::lock_guard<std::mutex> lock(mu);
+      all_done.notify_all();
+    }
+  }
+
+  void AwaitAll() {
+    std::unique_lock<std::mutex> lock(mu);
+    all_done.wait(lock, [&] {
+      return done.load(std::memory_order_acquire) == total;
+    });
+  }
+};
+
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -57,6 +83,26 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::RunDrain(std::int64_t total,
+                          const std::function<void()>& drain) const {
+  const std::int64_t helpers = std::min<std::int64_t>(
+      static_cast<std::int64_t>(workers_.size()), total - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::int64_t h = 0; h < helpers; ++h) {
+      tasks_.emplace_back(drain);
+    }
+  }
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else if (helpers > 1) {
+    cv_.notify_all();
+  }
+  // The caller claims work too, then (in AwaitAll) waits for stragglers
+  // to finish the items they already claimed.
+  drain();
+}
+
 void ThreadPool::ParallelFor(
     std::int64_t n, const std::function<void(std::int64_t)>& fn) const {
   if (n <= 0) return;
@@ -69,49 +115,82 @@ void ThreadPool::ParallelFor(
   // case stragglers dequeue after the caller has already returned.
   struct ForState {
     std::atomic<std::int64_t> next{0};
-    std::atomic<std::int64_t> done{0};
-    std::int64_t n;
     const std::function<void(std::int64_t)>* fn;
-    std::mutex mu;
-    std::condition_variable all_done;
+    Completion completion;
   };
   auto state = std::make_shared<ForState>();
-  state->n = n;
+  state->completion.total = n;
   state->fn = &fn;
 
-  const auto drain = [](ForState& s) {
+  RunDrain(n, [state] {
+    ForState& s = *state;
     while (true) {
       const std::int64_t i = s.next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= s.n) break;
+      if (i >= s.completion.total) break;
       (*s.fn)(i);
-      if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.n) {
-        std::lock_guard<std::mutex> lock(s.mu);
-        s.all_done.notify_all();
+      s.completion.Mark();
+    }
+  });
+  state->completion.AwaitAll();
+}
+
+void ThreadPool::ParallelForQueues(
+    const std::vector<std::int64_t>& queue_sizes,
+    const std::function<void(int, std::int64_t)>& fn) const {
+  const int num_queues = static_cast<int>(queue_sizes.size());
+  std::int64_t total = 0;
+  for (const std::int64_t size : queue_sizes) {
+    MDW_CHECK(size >= 0, "queue sizes must be non-negative");
+    total += size;
+  }
+  if (total <= 0) return;
+  if (total == 1 || tls_pool_worker) {
+    for (int q = 0; q < num_queues; ++q) {
+      for (std::int64_t i = 0; i < queue_sizes[static_cast<std::size_t>(q)];
+           ++i) {
+        fn(q, i);
       }
     }
+    return;
+  }
+
+  // Shared claim/completion state; kept alive by the helper closures in
+  // case stragglers dequeue after the caller has already returned.
+  struct QueuesState {
+    std::unique_ptr<std::atomic<std::int64_t>[]> next;
+    std::atomic<int> owner{0};
+    std::vector<std::int64_t> sizes;
+    const std::function<void(int, std::int64_t)>* fn;
+    Completion completion;
   };
+  auto state = std::make_shared<QueuesState>();
+  state->next =
+      std::make_unique<std::atomic<std::int64_t>[]>(
+          static_cast<std::size_t>(num_queues));
+  for (int q = 0; q < num_queues; ++q) state->next[q].store(0);
+  state->sizes = queue_sizes;
+  state->completion.total = total;
+  state->fn = &fn;
 
-  const std::int64_t helpers =
-      std::min<std::int64_t>(static_cast<std::int64_t>(workers_.size()), n - 1);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (std::int64_t h = 0; h < helpers; ++h) {
-      tasks_.emplace_back([state, drain] { drain(*state); });
+  RunDrain(total, [state, num_queues] {
+    // Affinity phase: claim the next unowned queue and drain it; once it
+    // is empty, steal from the other queues in cyclic order. A cursor past
+    // a queue's size just means the queue is drained.
+    QueuesState& s = *state;
+    const int q0 = s.owner.fetch_add(1, std::memory_order_relaxed) %
+                   num_queues;
+    for (int off = 0; off < num_queues; ++off) {
+      const int q = (q0 + off) % num_queues;
+      while (true) {
+        const std::int64_t i =
+            s.next[q].fetch_add(1, std::memory_order_relaxed);
+        if (i >= s.sizes[static_cast<std::size_t>(q)]) break;
+        (*s.fn)(q, i);
+        s.completion.Mark();
+      }
     }
-  }
-  if (helpers == 1) {
-    cv_.notify_one();
-  } else if (helpers > 1) {
-    cv_.notify_all();
-  }
-
-  // The caller claims indices too, then waits for stragglers to finish the
-  // indices they already claimed.
-  drain(*state);
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->all_done.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == n;
   });
+  state->completion.AwaitAll();
 }
 
 }  // namespace mdw

@@ -48,8 +48,32 @@ class ThreadPool {
   void ParallelFor(std::int64_t n,
                    const std::function<void(std::int64_t)>& fn) const;
 
+  /// Affinity scheduling with idle-worker stealing: `queue_sizes[q]` items
+  /// sit in queue q; fn(q, i) is invoked exactly once for every queue q and
+  /// item i in [0, queue_sizes[q]). Each parallel lane first claims an
+  /// unowned queue (round-robin over lanes, so with as many lanes as
+  /// queues every queue gets a dedicated lane) and drains it to
+  /// completion — the affinity phase — then steals items from the
+  /// remaining queues in cyclic order until nothing is left. Used by the
+  /// sharded executor: one queue per shard keeps a worker on one shard's
+  /// rows while it lasts, stealing only when its shard runs dry, so skewed
+  /// shards never idle the rest of the pool. Same exactly-once and
+  /// reentrancy guarantees as ParallelFor; determinism is the caller's
+  /// merge discipline (per-item slots, fixed merge order).
+  void ParallelForQueues(
+      const std::vector<std::int64_t>& queue_sizes,
+      const std::function<void(int, std::int64_t)>& fn) const;
+
  private:
   void WorkerLoop();
+  /// Shared scaffolding of the ParallelFor variants: enqueues up to
+  /// `total - 1` helper tasks running `drain` (which must keep claiming
+  /// items until none are left), wakes workers, and runs `drain` on the
+  /// calling thread too. Completion is the caller's to await — drain
+  /// closures own the shared state, so stragglers outlive the call
+  /// safely.
+  void RunDrain(std::int64_t total,
+                const std::function<void()>& drain) const;
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;

@@ -61,7 +61,7 @@ QueryOutcome MaterializedBackend::ExecuteWith(
     const StarQuery& query, const QueryPlan& plan, const ThreadPool* pool,
     MiniWarehouse::ExecScratch* scratch) const {
   QueryOutcome outcome = OutcomeFromPlan(BackendKind::kMaterialized, plan);
-  const auto mdhf = warehouse_->ExecuteWithPlan(query, plan, pool, scratch);
+  auto mdhf = warehouse_->ExecuteWithPlan(query, plan, pool, scratch);
   // Prefer the execution's own record over the façade's plan where both
   // exist, so reported facts can never drift from what actually ran.
   outcome.query_class = mdhf.query_class;
@@ -72,6 +72,8 @@ QueryOutcome MaterializedBackend::ExecuteWith(
   outcome.rows_scanned = mdhf.rows_scanned;
   outcome.fragments_summarized = mdhf.fragments_summarized;
   outcome.rows_summarized = mdhf.rows_summarized;
+  outcome.shard_skew = mdhf.ShardSkew();
+  outcome.shards = std::move(mdhf.shards);
   return outcome;
 }
 

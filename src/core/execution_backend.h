@@ -66,6 +66,13 @@ struct QueryOutcome {
   /// summaries enabled; 0 otherwise).
   std::int64_t fragments_summarized = 0;
   std::int64_t rows_summarized = 0;
+  /// Per-shard work split of a sharded materialized execution (index =
+  /// shard id) and its skew — max/mean shard busy-work, 1.0 = perfectly
+  /// balanced. Empty/0 unless kMaterialized with
+  /// WarehouseConfig::num_shards > 1 and the plan hit the clustered
+  /// layout. Deterministic: the split depends only on the allocation.
+  std::vector<MiniWarehouse::ShardWork> shards;
+  double shard_skew = 0;
 
   // ---- timing and device metrics (kSimulated) ----
   std::optional<SimResult> sim;

@@ -13,33 +13,45 @@ namespace mdw {
 
 namespace {
 
-/// A contiguous physical row range [begin, end) to be processed as one
-/// parallel task.
-struct RowChunk {
-  std::int64_t begin;
-  std::int64_t end;
-};
-
 /// Minimum rows per parallel task: below this, task overhead dominates.
 constexpr std::int64_t kMinChunkRows = 4096;
 
-/// Cuts disjoint ascending `ranges` into chunks of roughly equal row count
-/// sized for `lanes` parallel lanes (a few chunks per lane for dynamic
-/// load balancing; never smaller than kMinChunkRows).
-std::vector<RowChunk> ChunkRanges(const std::vector<RowChunk>& ranges,
-                                  int lanes) {
-  std::int64_t total = 0;
-  for (const auto& r : ranges) total += r.end - r.begin;
+/// Chunk grain for `total` rows over `lanes` parallel lanes: a few chunks
+/// per lane for dynamic load balancing (and for cross-shard stealing);
+/// never smaller than kMinChunkRows.
+std::int64_t ChunkGrain(std::int64_t total, int lanes) {
   const std::int64_t target_chunks = std::max<std::int64_t>(1, lanes) * 4;
-  const std::int64_t grain =
-      std::max(kMinChunkRows, (total + target_chunks - 1) / target_chunks);
-  std::vector<RowChunk> chunks;
+  return std::max(kMinChunkRows, (total + target_chunks - 1) / target_chunks);
+}
+
+/// Cuts disjoint ascending `ranges` into chunks of roughly `grain` rows,
+/// appending to `chunks`.
+void CutRanges(const std::vector<RowRange>& ranges, std::int64_t grain,
+               std::vector<RowRange>* chunks) {
   for (const auto& r : ranges) {
     for (std::int64_t b = r.begin; b < r.end; b += grain) {
-      chunks.push_back({b, std::min(b + grain, r.end)});
+      chunks->push_back({b, std::min(b + grain, r.end)});
     }
   }
+}
+
+/// Cuts disjoint ascending `ranges` into chunks sized for `lanes` lanes.
+std::vector<RowRange> ChunkRanges(const std::vector<RowRange>& ranges,
+                                  int lanes) {
+  std::int64_t total = 0;
+  for (const auto& r : ranges) total += r.rows();
+  std::vector<RowRange> chunks;
+  CutRanges(ranges, ChunkGrain(total, lanes), &chunks);
   return chunks;
+}
+
+/// Adds p's scan-side partial (scanned rows and aggregate) into exec.
+void MergeScanPartial(const MiniWarehouse::MdhfExecution& p,
+                      MiniWarehouse::MdhfExecution* exec) {
+  exec->rows_scanned += p.rows_scanned;
+  exec->result.rows += p.result.rows;
+  exec->result.units_sold += p.result.units_sold;
+  exec->result.dollar_sales_cents += p.result.dollar_sales_cents;
 }
 
 /// Cuts `ranges` for `pool` and runs `process` once per chunk — serially,
@@ -48,11 +60,11 @@ std::vector<RowChunk> ChunkRanges(const std::vector<RowChunk>& ranges,
 /// parallel runs (and both execution paths) bit-identical by
 /// construction.
 MiniWarehouse::MdhfExecution RunChunks(
-    const std::vector<RowChunk>& ranges, const ThreadPool* pool,
-    const std::function<void(const RowChunk&,
+    const std::vector<RowRange>& ranges, const ThreadPool* pool,
+    const std::function<void(const RowRange&,
                              MiniWarehouse::MdhfExecution*)>& process) {
   const int lanes = pool == nullptr ? 1 : pool->size() + 1;
-  const std::vector<RowChunk> chunks = ChunkRanges(ranges, lanes);
+  const std::vector<RowRange> chunks = ChunkRanges(ranges, lanes);
   MiniWarehouse::MdhfExecution exec;
   if (pool == nullptr || chunks.size() < 2) {
     for (const auto& c : chunks) process(c, &exec);
@@ -64,12 +76,7 @@ MiniWarehouse::MdhfExecution RunChunks(
                       process(chunks[static_cast<std::size_t>(i)],
                               &partials[static_cast<std::size_t>(i)]);
                     });
-  for (const auto& p : partials) {
-    exec.rows_scanned += p.rows_scanned;
-    exec.result.rows += p.result.rows;
-    exec.result.units_sold += p.result.units_sold;
-    exec.result.dollar_sales_cents += p.result.dollar_sales_cents;
-  }
+  for (const auto& p : partials) MergeScanPartial(p, &exec);
   return exec;
 }
 
@@ -83,10 +90,11 @@ MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed)
 
 MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed,
                              std::vector<FragAttr> cluster_attrs,
-                             bool enable_summaries)
+                             bool enable_summaries, int num_shards,
+                             AllocationConfig allocation)
     : schema_(std::move(schema)) {
   Populate(seed);
-  ClusterByFragment(std::move(cluster_attrs));
+  ClusterByFragment(std::move(cluster_attrs), num_shards, allocation);
   // Indices are built AFTER the permutation: bit r of every bitmap refers
   // to the clustered physical row r, so range-restricted selections line
   // up with the fragment directory.
@@ -152,16 +160,52 @@ void MiniWarehouse::Populate(std::uint64_t seed) {
   }
 }
 
-void MiniWarehouse::ClusterByFragment(std::vector<FragAttr> cluster_attrs) {
+void MiniWarehouse::ClusterByFragment(std::vector<FragAttr> cluster_attrs,
+                                      int num_shards,
+                                      AllocationConfig allocation) {
+  MDW_CHECK(num_shards >= 1, "need at least one shard");
   cluster_frag_ =
       std::make_unique<Fragmentation>(&schema_, std::move(cluster_attrs));
   const std::int64_t frag_count = cluster_frag_->FragmentCount();
   const std::int64_t rows = row_count();
   const int dims = schema_.num_dimensions();
+  num_shards_ = num_shards;
+
+  // Fragment -> shard through the disk allocation (one "disk" per shard,
+  // round robin with the configured round_gap/cluster_factor); the
+  // trivial single-shard split skips the allocation machinery entirely.
+  shard_of_frag_.assign(static_cast<std::size_t>(frag_count), 0);
+  if (num_shards_ > 1) {
+    allocation.num_disks = num_shards_;
+    shard_alloc_ = std::make_unique<DiskAllocation>(
+        cluster_frag_.get(), allocation, /*bitmap_count=*/0);
+    for (FragId f = 0; f < frag_count; ++f) {
+      shard_of_frag_[static_cast<std::size_t>(f)] =
+          shard_alloc_->DiskOfFragment(f);
+    }
+  }
+
+  // Shard-major fragment order: shard by shard, ascending ids within, so
+  // each shard owns one contiguous row region whose fragment ranges are
+  // ascending — per-shard directory walks coalesce exactly like the
+  // unsharded one did.
+  shard_fragments_.assign(static_cast<std::size_t>(num_shards_), {});
+  for (FragId f = 0; f < frag_count; ++f) {
+    shard_fragments_[static_cast<std::size_t>(
+                         shard_of_frag_[static_cast<std::size_t>(f)])]
+        .push_back(f);
+  }
+  frag_rank_.assign(static_cast<std::size_t>(frag_count), 0);
+  std::int64_t rank = 0;
+  for (const auto& frags : shard_fragments_) {
+    for (const FragId f : frags) {
+      frag_rank_[static_cast<std::size_t>(f)] = rank++;
+    }
+  }
 
   // Each row's fragment is computed exactly once, here; queries never
   // re-derive it.
-  std::vector<FragId> row_frag(static_cast<std::size_t>(rows));
+  std::vector<std::int64_t> row_rank(static_cast<std::size_t>(rows));
   std::vector<std::int64_t> leaf(static_cast<std::size_t>(dims));
   for (std::int64_t row = 0; row < rows; ++row) {
     for (DimId d = 0; d < dims; ++d) {
@@ -169,15 +213,16 @@ void MiniWarehouse::ClusterByFragment(std::vector<FragAttr> cluster_attrs) {
           facts_.columns[static_cast<std::size_t>(d)]
                         [static_cast<std::size_t>(row)];
     }
-    row_frag[static_cast<std::size_t>(row)] =
-        cluster_frag_->FragmentOfRow(leaf);
+    row_rank[static_cast<std::size_t>(row)] = frag_rank_[
+        static_cast<std::size_t>(cluster_frag_->FragmentOfRow(leaf))];
   }
 
-  // Counting sort into fragment-major order (stable: generation order is
-  // preserved within a fragment).
+  // Counting sort into shard-major, fragment-major order (stable:
+  // generation order is preserved within a fragment). frag_offsets_ is
+  // indexed by rank, not id.
   frag_offsets_.assign(static_cast<std::size_t>(frag_count) + 1, 0);
-  for (const FragId f : row_frag) {
-    ++frag_offsets_[static_cast<std::size_t>(f) + 1];
+  for (const std::int64_t r : row_rank) {
+    ++frag_offsets_[static_cast<std::size_t>(r) + 1];
   }
   for (std::size_t f = 1; f < frag_offsets_.size(); ++f) {
     frag_offsets_[f] += frag_offsets_[f - 1];
@@ -188,7 +233,18 @@ void MiniWarehouse::ClusterByFragment(std::vector<FragAttr> cluster_attrs) {
   for (std::int64_t row = 0; row < rows; ++row) {
     new_pos[static_cast<std::size_t>(row)] =
         cursor[static_cast<std::size_t>(
-            row_frag[static_cast<std::size_t>(row)])]++;
+            row_rank[static_cast<std::size_t>(row)])]++;
+  }
+
+  // Shard regions: shard s spans the offsets of its rank interval.
+  shard_row_begin_.assign(static_cast<std::size_t>(num_shards_) + 1, 0);
+  std::int64_t first_rank = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    first_rank +=
+        static_cast<std::int64_t>(shard_fragments_[
+            static_cast<std::size_t>(s)].size());
+    shard_row_begin_[static_cast<std::size_t>(s) + 1] =
+        frag_offsets_[static_cast<std::size_t>(first_rank)];
   }
 
   const auto permute = [&](std::vector<std::int64_t>& column) {
@@ -215,8 +271,43 @@ std::pair<std::int64_t, std::int64_t> MiniWarehouse::FragmentRows(
   MDW_CHECK(clustered(), "warehouse is not fragment-clustered");
   MDW_CHECK(id >= 0 && id < cluster_frag_->FragmentCount(),
             "fragment id out of range");
-  return {frag_offsets_[static_cast<std::size_t>(id)],
-          frag_offsets_[static_cast<std::size_t>(id) + 1]};
+  const auto rank =
+      static_cast<std::size_t>(frag_rank_[static_cast<std::size_t>(id)]);
+  return {frag_offsets_[rank], frag_offsets_[rank + 1]};
+}
+
+int MiniWarehouse::ShardOfFragment(FragId id) const {
+  MDW_CHECK(clustered(), "warehouse is not fragment-clustered");
+  MDW_CHECK(id >= 0 && id < cluster_frag_->FragmentCount(),
+            "fragment id out of range");
+  return shard_of_frag_[static_cast<std::size_t>(id)];
+}
+
+std::pair<std::int64_t, std::int64_t> MiniWarehouse::ShardRows(int s) const {
+  MDW_CHECK(clustered(), "warehouse is not fragment-clustered");
+  MDW_CHECK(s >= 0 && s < num_shards_, "shard out of range");
+  return {shard_row_begin_[static_cast<std::size_t>(s)],
+          shard_row_begin_[static_cast<std::size_t>(s) + 1]};
+}
+
+const std::vector<FragId>& MiniWarehouse::ShardFragments(int s) const {
+  MDW_CHECK(clustered(), "warehouse is not fragment-clustered");
+  MDW_CHECK(s >= 0 && s < num_shards_, "shard out of range");
+  return shard_fragments_[static_cast<std::size_t>(s)];
+}
+
+double MiniWarehouse::MdhfExecution::ShardSkew() const {
+  if (shards.empty()) return 0;
+  std::int64_t total = 0;
+  std::int64_t max = 0;
+  for (const auto& w : shards) {
+    total += w.BusyWork();
+    max = std::max(max, w.BusyWork());
+  }
+  if (total == 0) return 0;
+  // max / mean, with mean = total / num_shards.
+  return static_cast<double>(max) * static_cast<double>(shards.size()) /
+         static_cast<double>(total);
 }
 
 bool MiniWarehouse::RowMatches(std::int64_t row,
@@ -382,6 +473,16 @@ void MiniWarehouse::ProcessRowRange(std::int64_t begin, std::int64_t end,
   });
 }
 
+void MiniWarehouse::FoldSummaryRun(const RowRange& run,
+                                   MdhfExecution* exec) const {
+  const auto b = static_cast<std::size_t>(run.begin);
+  const auto e = static_cast<std::size_t>(run.end);
+  exec->result.rows += run.rows();
+  exec->result.units_sold += units_prefix_[e] - units_prefix_[b];
+  exec->result.dollar_sales_cents += dollars_prefix_[e] - dollars_prefix_[b];
+  exec->rows_summarized += run.rows();
+}
+
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
     const QueryPlan& plan, const std::vector<BitmapAccess>& accesses,
     const ThreadPool* pool) const {
@@ -399,68 +500,123 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
       id = id * cluster_frag_->CardOf(i) + c;
       covered = covered && plan.covered(i).front();
     }
-    const std::int64_t begin = frag_offsets_[static_cast<std::size_t>(id)];
-    const std::int64_t end = frag_offsets_[static_cast<std::size_t>(id) + 1];
+    const auto rank =
+        static_cast<std::size_t>(frag_rank_[static_cast<std::size_t>(id)]);
+    const std::int64_t begin = frag_offsets_[rank];
+    const std::int64_t end = frag_offsets_[rank + 1];
     MdhfExecution exec;
     if (summaries_enabled_ && covered) {
-      const auto b = static_cast<std::size_t>(begin);
-      const auto e = static_cast<std::size_t>(end);
-      exec.result.rows = end - begin;
-      exec.result.units_sold = units_prefix_[e] - units_prefix_[b];
-      exec.result.dollar_sales_cents = dollars_prefix_[e] - dollars_prefix_[b];
-      exec.rows_summarized = end - begin;
+      FoldSummaryRun({begin, end}, &exec);
       exec.fragments_summarized = 1;
-      return exec;
+    } else if (begin < end) {
+      exec = RunChunks({{begin, end}}, pool,
+                       [&](const RowRange& c, MdhfExecution* partial) {
+                         ProcessRowRange(c.begin, c.end, accesses, partial);
+                       });
     }
-    if (begin == end) return exec;
-    return RunChunks({{begin, end}}, pool,
-                     [&](const RowChunk& c, MdhfExecution* partial) {
-                       ProcessRowRange(c.begin, c.end, accesses, partial);
-                     });
+    AttributeWorkToFragmentShard(id, &exec);
+    return exec;
   }
 
-  // Directory walk: the plan's fragments map to physical row ranges;
-  // adjacent selected fragments coalesce into maximal runs (fragment ids
-  // arrive in ascending allocation order, and the layout is fragment-
-  // major, so ranges are ascending and disjoint). Fully-covered fragments
-  // split off into summary runs answered from the prefix sums; residual
-  // fragments keep the range-scan + bitmap path.
-  std::vector<RowChunk> scan_ranges;
-  std::vector<RowChunk> summary_ranges;
-  std::int64_t fragments_summarized = 0;
-  plan.ForEachFragment([&](FragId id, bool covered) {
-    const bool summarize = summaries_enabled_ && covered;
-    if (summarize) ++fragments_summarized;  // empty fragments included
-    const std::int64_t begin = frag_offsets_[static_cast<std::size_t>(id)];
-    const std::int64_t end = frag_offsets_[static_cast<std::size_t>(id) + 1];
-    if (begin == end) return;
-    std::vector<RowChunk>& ranges = summarize ? summary_ranges : scan_ranges;
-    if (!ranges.empty() && ranges.back().end == begin) {
-      ranges.back().end = end;
-    } else {
-      ranges.push_back({begin, end});
-    }
-  });
+  // Directory walk: the plan's fragments are routed to their shards and
+  // map to physical row ranges; within a shard, adjacent selected
+  // fragments coalesce into maximal runs (fragment ids arrive in
+  // ascending allocation order, and the shard's layout is fragment-major,
+  // so per-shard ranges are ascending and disjoint). Fully-covered
+  // fragments split off into summary runs answered from the prefix sums;
+  // residual fragments keep the range-scan + bitmap path.
+  const std::vector<ShardSelection> selections = RouteSelectionToShards(
+      plan, num_shards_, summaries_enabled_,
+      [&](FragId id) { return shard_of_frag_[static_cast<std::size_t>(id)]; },
+      [&](FragId id) {
+        const auto rank = static_cast<std::size_t>(
+            frag_rank_[static_cast<std::size_t>(id)]);
+        return std::pair<std::int64_t, std::int64_t>{frag_offsets_[rank],
+                                                     frag_offsets_[rank + 1]};
+      });
+  return ExecuteSharded(selections, accesses, pool);
+}
 
+void MiniWarehouse::AttributeWorkToFragmentShard(FragId id,
+                                                 MdhfExecution* exec) const {
+  if (num_shards_ <= 1) return;
+  exec->shards.assign(static_cast<std::size_t>(num_shards_), {});
+  ShardWork& work = exec->shards[static_cast<std::size_t>(
+      shard_of_frag_[static_cast<std::size_t>(id)])];
+  work.fragments = 1;
+  work.rows_scanned = exec->rows_scanned;
+  work.rows_summarized = exec->rows_summarized;
+  work.fragments_summarized = exec->fragments_summarized;
+}
+
+MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
+    const std::vector<ShardSelection>& selections,
+    const std::vector<BitmapAccess>& accesses, const ThreadPool* pool) const {
+  // Cut every shard's scan ranges with ONE global grain (a few chunks per
+  // lane across all shards), so stealing has granularity even when one
+  // shard holds most of the work.
+  const int lanes = pool == nullptr ? 1 : pool->size() + 1;
+  std::int64_t total_scan = 0;
+  for (const auto& sel : selections) total_scan += sel.ScanRows();
+  const std::int64_t grain = ChunkGrain(total_scan, lanes);
+  std::vector<std::vector<RowRange>> chunks(selections.size());
+  std::vector<std::int64_t> queue_sizes(selections.size(), 0);
+  std::vector<std::size_t> slot_base(selections.size(), 0);
+  std::size_t total_chunks = 0;
+  for (std::size_t s = 0; s < selections.size(); ++s) {
+    CutRanges(selections[s].scan, grain, &chunks[s]);
+    queue_sizes[s] = static_cast<std::int64_t>(chunks[s].size());
+    slot_base[s] = total_chunks;
+    total_chunks += chunks[s].size();
+  }
+
+  // One private partial per chunk; affinity tasks (one queue per shard,
+  // idle lanes steal) or a serial loop fill them, and the merge below is
+  // the only point that reads them — in fixed (shard, chunk) order, so
+  // the record is bit-identical at any worker count.
+  std::vector<MdhfExecution> partials(total_chunks);
+  if (pool != nullptr && total_chunks >= 2) {
+    pool->ParallelForQueues(
+        queue_sizes, [&](int s, std::int64_t c) {
+          const auto su = static_cast<std::size_t>(s);
+          const RowRange& r = chunks[su][static_cast<std::size_t>(c)];
+          ProcessRowRange(r.begin, r.end, accesses,
+                          &partials[slot_base[su] + static_cast<std::size_t>(c)]);
+        });
+  } else {
+    for (std::size_t s = 0; s < chunks.size(); ++s) {
+      for (std::size_t c = 0; c < chunks[s].size(); ++c) {
+        ProcessRowRange(chunks[s][c].begin, chunks[s][c].end, accesses,
+                        &partials[slot_base[s] + c]);
+      }
+    }
+  }
+
+  // Fixed-order merge: shards ascending; within a shard, scan chunks in
+  // range order, then the shard's summary runs — all-integer sums, one
+  // merge sequence regardless of scheduling.
   MdhfExecution exec;
-  if (!scan_ranges.empty()) {
-    exec = RunChunks(scan_ranges, pool,
-                     [&](const RowChunk& c, MdhfExecution* partial) {
-                       ProcessRowRange(c.begin, c.end, accesses, partial);
-                     });
+  const bool sharded = num_shards_ > 1;
+  if (sharded) {
+    exec.shards.assign(static_cast<std::size_t>(num_shards_), {});
   }
-  // Summary runs merge after the scan partials, in ascending range order:
-  // one fixed merge sequence regardless of the worker count, and integer
-  // sums besides, so the whole record is bit-identical at any degree.
-  for (const auto& r : summary_ranges) {
-    const auto b = static_cast<std::size_t>(r.begin);
-    const auto e = static_cast<std::size_t>(r.end);
-    exec.result.rows += r.end - r.begin;
-    exec.result.units_sold += units_prefix_[e] - units_prefix_[b];
-    exec.result.dollar_sales_cents += dollars_prefix_[e] - dollars_prefix_[b];
-    exec.rows_summarized += r.end - r.begin;
+  for (std::size_t s = 0; s < selections.size(); ++s) {
+    const ShardSelection& sel = selections[s];
+    ShardWork work;
+    work.fragments = sel.fragments;
+    work.fragments_summarized = sel.fragments_covered;
+    for (std::size_t c = 0; c < chunks[s].size(); ++c) {
+      const MdhfExecution& p = partials[slot_base[s] + c];
+      MergeScanPartial(p, &exec);
+      work.rows_scanned += p.rows_scanned;
+    }
+    for (const auto& run : sel.summary) {
+      FoldSummaryRun(run, &exec);
+      work.rows_summarized += run.rows();
+    }
+    exec.fragments_summarized += sel.fragments_covered;
+    if (sharded) exec.shards[s] = work;
   }
-  exec.fragments_summarized = fragments_summarized;
   return exec;
 }
 
@@ -514,7 +670,7 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
                       h.LeavesPer(a.depth), fragmentation.CardOf(i)});
   }
 
-  return RunChunks({{0, row_count()}}, pool, [&](const RowChunk& chunk,
+  return RunChunks({{0, row_count()}}, pool, [&](const RowRange& chunk,
                                                  MdhfExecution* partial) {
     auto& agg = partial->result;
     for (std::int64_t row = chunk.begin; row < chunk.end; ++row) {

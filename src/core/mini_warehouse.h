@@ -6,8 +6,10 @@
 #include <utility>
 #include <vector>
 
+#include "alloc/disk_allocation.h"
 #include "bitmap/index_set.h"
 #include "fragment/query_planner.h"
+#include "fragment/shard_routing.h"
 
 namespace mdw {
 
@@ -32,6 +34,18 @@ class ThreadPool;
 /// (every row a hit, per the plan's coverage classification) is answered
 /// as P[e] - P[b] without touching the fact columns at all — O(residual
 /// rows) instead of O(selected rows).
+///
+/// Sharding (the paper's disk allocation made physical): with
+/// `num_shards` > 1 the clustered constructor consults a DiskAllocation
+/// (round robin with optional round_gap/cluster_factor, one "disk" per
+/// shard) and lays the store out *shard-major*: each shard owns a
+/// contiguous region of the permuted columns/measures/prefix sums holding
+/// exactly its allocated fragments in ascending id order, with a
+/// shard-local FragId -> row-range directory. Execution routes the plan's
+/// fragments to their shards and schedules one affinity task per shard
+/// (idle workers steal residual scan chunks from busy shards), merging
+/// shard partials in fixed shard order so the whole MdhfExecution record
+/// stays bit-identical at any worker count and shard count.
 class MiniWarehouse {
  private:
   /// One resolved bitmap-needing predicate of a plan.
@@ -68,9 +82,14 @@ class MiniWarehouse {
   /// the row-range directory. `enable_summaries` additionally builds the
   /// measure prefix sums so fully-covered fragments are answered without
   /// scanning rows (false = PR 3 behaviour, for A/B comparisons).
+  /// `num_shards` > 1 splits the store into that many physical shards
+  /// under `allocation` (num_disks is overridden by num_shards; bitmap
+  /// placement is irrelevant to the in-memory store) — see the class
+  /// comment for the layout and scheduling consequences.
   MiniWarehouse(StarSchema schema, std::uint64_t seed,
                 std::vector<FragAttr> cluster_attrs,
-                bool enable_summaries = true);
+                bool enable_summaries = true, int num_shards = 1,
+                AllocationConfig allocation = {});
 
   const StarSchema& schema() const { return schema_; }
   const FactColumns& facts() const { return facts_; }
@@ -95,6 +114,25 @@ class MiniWarehouse {
   /// layout; aborts when not clustered.
   std::pair<std::int64_t, std::int64_t> FragmentRows(FragId id) const;
 
+  /// ---- Sharded-layout introspection ----
+
+  /// Number of physical shards (1 = unsharded, also for the
+  /// generation-order constructor).
+  int num_shards() const { return num_shards_; }
+  /// The allocation mapping fragments to shards, or nullptr when
+  /// num_shards() == 1.
+  const DiskAllocation* shard_allocation() const {
+    return shard_alloc_.get();
+  }
+  /// Shard owning fragment `id` (always 0 when unsharded); aborts when
+  /// not clustered.
+  int ShardOfFragment(FragId id) const;
+  /// Contiguous physical row region [begin, end) of shard `s`.
+  std::pair<std::int64_t, std::int64_t> ShardRows(int s) const;
+  /// Fragments allocated to shard `s`, ascending — their row ranges tile
+  /// the shard's region in this order.
+  const std::vector<FragId>& ShardFragments(int s) const;
+
   /// SUM aggregate over the matching rows.
   struct AggregateResult {
     std::int64_t rows = 0;
@@ -112,6 +150,25 @@ class MiniWarehouse {
   /// Bitmap-index execution without fragmentation: intersects the index
   /// selections of all predicates, then aggregates the marked rows.
   AggregateResult ExecuteWithBitmaps(const StarQuery& query) const;
+
+  /// Work one shard contributed to a sharded execution. Deterministic:
+  /// which fragments (hence rows) belong to a shard is fixed by the
+  /// allocation at construction, independent of scheduling.
+  struct ShardWork {
+    std::int64_t rows_scanned = 0;
+    std::int64_t rows_summarized = 0;
+    /// Plan fragments routed to this shard, and the fully-covered ones
+    /// among them (empty fragments included).
+    std::int64_t fragments = 0;
+    std::int64_t fragments_summarized = 0;
+
+    /// Busy-work proxy behind the skew metric: one unit per residual row
+    /// scanned plus one per fragment answered from summaries (a summary
+    /// run costs O(1) per fragment, not per row).
+    std::int64_t BusyWork() const { return rows_scanned + fragments_summarized; }
+
+    friend bool operator==(const ShardWork& a, const ShardWork& b) = default;
+  };
 
   /// MDHF execution under `fragmentation`: confines processing to the
   /// plan's fragments, uses bitmaps only for the predicates the plan says
@@ -132,6 +189,15 @@ class MiniWarehouse {
     int bitmaps_read = 0;           ///< per fragment, from the plan
     QueryClass query_class = QueryClass::kUnsupported;
     IoClass io_class = IoClass::kIoc2NoSupp;
+    /// Per-shard work split, index = shard id. Populated only by sharded
+    /// clustered execution (num_shards > 1 and the plan matched the
+    /// layout); empty otherwise, so unsharded records are unchanged.
+    std::vector<ShardWork> shards;
+
+    /// Skew of the shard work split: max/mean BusyWork over the shards
+    /// (1.0 = perfectly balanced, num_shards = all work on one shard).
+    /// 0 when unsharded or when the query did no work at all.
+    double ShardSkew() const;
 
     friend bool operator==(const MdhfExecution& a,
                            const MdhfExecution& b) = default;
@@ -170,7 +236,8 @@ class MiniWarehouse {
 
  private:
   void Populate(std::uint64_t seed);
-  void ClusterByFragment(std::vector<FragAttr> cluster_attrs);
+  void ClusterByFragment(std::vector<FragAttr> cluster_attrs, int num_shards,
+                         AllocationConfig allocation);
   bool RowMatches(std::int64_t row, const StarQuery& query) const;
   void ResolveBitmapAccesses(const StarQuery& query, const QueryPlan& plan,
                              std::vector<BitmapAccess>* out) const;
@@ -182,9 +249,20 @@ class MiniWarehouse {
   MdhfExecution ExecuteClustered(const QueryPlan& plan,
                                  const std::vector<BitmapAccess>& accesses,
                                  const ThreadPool* pool) const;
+  /// Executes routed per-shard selections: affinity tasks + stealing on
+  /// `pool` (serial in shard order without one), fixed-order merge.
+  MdhfExecution ExecuteSharded(const std::vector<ShardSelection>& shards,
+                               const std::vector<BitmapAccess>& accesses,
+                               const ThreadPool* pool) const;
   MdhfExecution ExecuteUnclustered(const QueryPlan& plan,
                                    const std::vector<BitmapAccess>& accesses,
                                    const ThreadPool* pool) const;
+  /// Folds a summary run [begin, end) into exec from the prefix sums.
+  void FoldSummaryRun(const RowRange& run, MdhfExecution* exec) const;
+  /// Fills exec->shards by attributing the record's entire work to the
+  /// shard owning fragment `id` — the single-fragment counterpart of
+  /// ExecuteSharded's per-shard merge. No-op when unsharded.
+  void AttributeWorkToFragmentShard(FragId id, MdhfExecution* exec) const;
 
   StarSchema schema_;
   FactColumns facts_;
@@ -193,9 +271,20 @@ class MiniWarehouse {
   std::unique_ptr<IndexSet> indexes_;
 
   /// Clustered layout (nullptr/empty when rows are in generation order):
-  /// rows of fragment f occupy [frag_offsets_[f], frag_offsets_[f+1]).
+  /// rows of fragment f occupy [frag_offsets_[r], frag_offsets_[r+1])
+  /// where r = frag_rank_[f], the fragment's position in shard-major
+  /// order (identity when unsharded, so ranks == ids).
   std::unique_ptr<Fragmentation> cluster_frag_;
+  std::vector<std::int64_t> frag_rank_;
   std::vector<std::int64_t> frag_offsets_;
+
+  /// Shard split of the clustered layout. Unsharded stores keep
+  /// num_shards_ == 1 with the whole table as shard 0 and no allocation.
+  int num_shards_ = 1;
+  std::unique_ptr<DiskAllocation> shard_alloc_;
+  std::vector<int> shard_of_frag_;                ///< FragId -> shard
+  std::vector<std::int64_t> shard_row_begin_;     ///< size num_shards_+1
+  std::vector<std::vector<FragId>> shard_fragments_;
 
   /// Measure prefix sums in clustered row order (size row_count() + 1,
   /// P[0] = 0): sum over physical rows [b, e) is P[e] - P[b]. Built only

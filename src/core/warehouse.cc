@@ -14,9 +14,11 @@ Warehouse::Warehouse(WarehouseConfig config)
     // warehouse validates against. It is built fragment-clustered under
     // the configured fragmentation attributes, so plans derived by this
     // façade execute fragment-confined through the row-range directory.
+    MDW_CHECK(config.num_shards >= 1, "num_shards must be at least 1");
     mini_ = std::make_shared<const MiniWarehouse>(
         std::move(config.schema), seed_, config.fragmentation,
-        config.enable_fragment_summaries);
+        config.enable_fragment_summaries, config.num_shards,
+        config.allocation);
     schema_ = std::shared_ptr<const StarSchema>(mini_, &mini_->schema());
   } else {
     schema_ = std::make_shared<const StarSchema>(std::move(config.schema));

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "alloc/disk_allocation.h"
 #include "core/execution_backend.h"
 #include "fragment/fragmentation.h"
 #include "fragment/plan_cache.h"
@@ -56,6 +57,23 @@ struct WarehouseConfig {
   /// are bit-identical either way; `false` restores the scan-everything
   /// behaviour for A/B benchmarking. Ignored by the simulated backend.
   bool enable_fragment_summaries = true;
+
+  /// Physical shards of the materialized store (the paper's disks made
+  /// real): fragments are declustered over `num_shards` contiguous store
+  /// regions by `allocation`, and execution schedules one affinity task
+  /// per shard — idle workers steal residual scan chunks — recording
+  /// per-shard work and a skew metric in QueryOutcome. Results are
+  /// bit-identical at any shard count. 1 = unsharded (default). Ignored
+  /// by the simulated backend (its disks come from SimConfig).
+  int num_shards = 1;
+
+  /// Fragment -> shard mapping policy (round robin with optional
+  /// round_gap / cluster_factor, Sec. 4.6). `num_disks` is overridden by
+  /// `num_shards`; bitmap placement is irrelevant to the in-memory store.
+  /// The same AllocationConfig drives the simulator's DiskAllocation, so
+  /// one allocation policy can be evaluated in simulation and on real
+  /// hardware side by side (see examples/speedup_study).
+  AllocationConfig allocation = {};
 };
 
 /// The single entry point over the paper's machinery: owns the schema,

@@ -1,0 +1,33 @@
+#include "fragment/shard_routing.h"
+
+#include "common/check.h"
+
+namespace mdw {
+
+std::vector<ShardSelection> RouteSelectionToShards(
+    const QueryPlan& plan, int num_shards, bool summaries_enabled,
+    const std::function<int(FragId)>& shard_of,
+    const std::function<std::pair<std::int64_t, std::int64_t>(FragId)>&
+        rows_of) {
+  MDW_CHECK(num_shards >= 1, "need at least one shard");
+  std::vector<ShardSelection> shards(static_cast<std::size_t>(num_shards));
+  plan.ForEachFragment([&](FragId id, bool covered) {
+    const int s = shard_of(id);
+    MDW_CHECK(s >= 0 && s < num_shards, "shard out of range");
+    ShardSelection& sel = shards[static_cast<std::size_t>(s)];
+    const bool summarize = summaries_enabled && covered;
+    ++sel.fragments;
+    if (summarize) ++sel.fragments_covered;  // empty fragments included
+    const auto [begin, end] = rows_of(id);
+    if (begin == end) return;
+    std::vector<RowRange>& ranges = summarize ? sel.summary : sel.scan;
+    if (!ranges.empty() && ranges.back().end == begin) {
+      ranges.back().end = end;
+    } else {
+      ranges.push_back({begin, end});
+    }
+  });
+  return shards;
+}
+
+}  // namespace mdw

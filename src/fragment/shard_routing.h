@@ -1,0 +1,60 @@
+#ifndef MDW_FRAGMENT_SHARD_ROUTING_H_
+#define MDW_FRAGMENT_SHARD_ROUTING_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "fragment/query_planner.h"
+
+namespace mdw {
+
+/// A contiguous physical row range [begin, end).
+struct RowRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  std::int64_t rows() const { return end - begin; }
+
+  friend bool operator==(const RowRange& a, const RowRange& b) = default;
+};
+
+/// The work a query plan selects on ONE shard of a sharded,
+/// fragment-clustered store: maximal runs of residual fragments to scan,
+/// maximal runs of fully-covered fragments answerable from measure
+/// summaries, and the fragment counts behind them. Empty fragments
+/// contribute to the counts but not to the ranges.
+struct ShardSelection {
+  std::vector<RowRange> scan;
+  std::vector<RowRange> summary;
+  /// Plan fragments routed to this shard.
+  std::int64_t fragments = 0;
+  /// Fully-covered ones among them (empty fragments included).
+  std::int64_t fragments_covered = 0;
+
+  std::int64_t ScanRows() const {
+    std::int64_t rows = 0;
+    for (const auto& r : scan) rows += r.rows();
+    return rows;
+  }
+};
+
+/// Routes the plan's fragment set to shards: each selected fragment goes
+/// to `shard_of(id)` (in [0, num_shards)), its physical rows come from
+/// `rows_of(id)`, and fully-covered fragments split into summary runs
+/// when `summaries_enabled` (otherwise every fragment is scanned). Plans
+/// enumerate fragments in ascending id order and a shard lays its
+/// fragments out ascending too, so per-shard ranges arrive ascending and
+/// physically adjacent selected fragments coalesce into maximal runs —
+/// the property that keeps scheduling O(selected fragments) and the
+/// per-shard merge order fixed.
+std::vector<ShardSelection> RouteSelectionToShards(
+    const QueryPlan& plan, int num_shards, bool summaries_enabled,
+    const std::function<int(FragId)>& shard_of,
+    const std::function<std::pair<std::int64_t, std::int64_t>(FragId)>&
+        rows_of);
+
+}  // namespace mdw
+
+#endif  // MDW_FRAGMENT_SHARD_ROUTING_H_

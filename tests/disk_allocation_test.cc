@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "alloc/disk_allocation.h"
@@ -127,6 +128,57 @@ TEST_F(AllocationTest, BitmapExtentOrdinalsDifferPerBitmap) {
             alloc.BitmapExtentOrdinal(205, 1));
   EXPECT_NE(alloc.BitmapExtentOrdinal(205, 0),
             alloc.BitmapExtentOrdinal(305, 0));
+}
+
+TEST_F(AllocationTest, StaggeredBitmapNeverCollidesWithItsFactDisk) {
+  // Invariant behind parallel bitmap I/O: as long as there are more disks
+  // than bitmaps, a staggered bitmap fragment never lands on its fact
+  // fragment's disk — the offset 1 + b stays strictly inside (0, d).
+  for (const int disks : {13, 50, 100}) {
+    const auto alloc = Make(disks);
+    for (const FragId id : {FragId{0}, FragId{205}, FragId{11'519}}) {
+      for (int b = 0; b < 12; ++b) {
+        EXPECT_NE(alloc.DiskOfBitmapFragment(id, b),
+                  alloc.DiskOfFragment(id))
+            << "d=" << disks << " id=" << id << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST_F(AllocationTest, SameNodePlacementPreservesOwnerWhenNodesDivideDisks) {
+  // Shared Nothing (footnote 3): with node_count | num_disks, the
+  // node-stride stagger keeps every bitmap fragment on a disk of the fact
+  // fragment's owner node (ownership = disk % node_count).
+  AllocationConfig config;
+  config.num_disks = 100;
+  config.bitmap_placement = BitmapPlacement::kSameNode;
+  config.node_count = 20;
+  const DiskAllocation alloc(&frag_, config, /*bitmap_count=*/12);
+  for (const FragId id : {FragId{0}, FragId{42}, FragId{11'519}}) {
+    const int owner = alloc.DiskOfFragment(id) % config.node_count;
+    for (int b = 0; b < 12; ++b) {
+      EXPECT_EQ(alloc.DiskOfBitmapFragment(id, b) % config.node_count, owner)
+          << "id=" << id << " b=" << b;
+    }
+  }
+}
+
+TEST_F(AllocationTest, RoundRobinBalancedWithinOneOnAnyDiskCount) {
+  // Plain round robin (no gap) is balanced within +-1 fragment per disk,
+  // including disk counts that do not divide the fragment count.
+  for (const int disks : {7, 10, 33, 100}) {
+    const auto alloc = Make(disks);
+    std::int64_t min = frag_.FragmentCount(), max = 0, total = 0;
+    for (int d = 0; d < disks; ++d) {
+      const auto n = alloc.FragmentsOnDisk(d);
+      min = std::min(min, n);
+      max = std::max(max, n);
+      total += n;
+    }
+    EXPECT_LE(max - min, 1) << "d=" << disks;
+    EXPECT_EQ(total, frag_.FragmentCount()) << "d=" << disks;
+  }
 }
 
 TEST_F(AllocationTest, SingleDiskDegenerate) {

@@ -63,7 +63,9 @@ TEST(ClusteredLayoutTest, DirectoryPartitionsAllRows) {
   for (FragId id = 0; id < f.FragmentCount(); ++id) {
     const auto [begin, end] = wh.FragmentRows(id);
     ASSERT_LE(begin, end);
-    if (id > 0) ASSERT_EQ(begin, wh.FragmentRows(id - 1).second);
+    if (id > 0) {
+      ASSERT_EQ(begin, wh.FragmentRows(id - 1).second);
+    }
     covered += end - begin;
   }
   EXPECT_EQ(wh.FragmentRows(0).first, 0);

@@ -58,6 +58,59 @@ TEST(ThreadPoolTest, SequentialParallelForsReuseTheWorkers) {
   EXPECT_EQ(sum.load(), 50 * (64 * 63 / 2));
 }
 
+TEST(ThreadPoolTest, ParallelForQueuesVisitsEveryItemExactlyOnce) {
+  const ThreadPool pool(4);
+  const std::vector<std::int64_t> sizes = {1'000, 0, 37, 2'000, 1};
+  std::int64_t total = 0;
+  for (const auto s : sizes) total += s;
+  std::vector<std::vector<std::atomic<int>>> visits;
+  for (const auto s : sizes) {
+    visits.emplace_back(static_cast<std::size_t>(s));
+  }
+  pool.ParallelForQueues(sizes, [&](int q, std::int64_t i) {
+    visits[static_cast<std::size_t>(q)][static_cast<std::size_t>(i)]
+        .fetch_add(1);
+  });
+  for (std::size_t q = 0; q < visits.size(); ++q) {
+    for (std::size_t i = 0; i < visits[q].size(); ++i) {
+      ASSERT_EQ(visits[q][i].load(), 1) << "queue " << q << " item " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForQueuesHandlesEmptyAndSingleItem) {
+  const ThreadPool pool(2);
+  std::atomic<std::int64_t> count{0};
+  pool.ParallelForQueues({}, [&](int, std::int64_t) { count.fetch_add(1); });
+  pool.ParallelForQueues({0, 0, 0},
+                         [&](int, std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelForQueues({0, 1, 0},
+                         [&](int q, std::int64_t) { count.fetch_add(q); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForQueuesStealsAcrossSkewedQueues) {
+  // One queue holds nearly all the work; every item must still execute
+  // exactly once with 4 lanes draining it cooperatively.
+  const ThreadPool pool(3);
+  const std::vector<std::int64_t> sizes = {10'000, 1, 1, 1};
+  std::atomic<std::int64_t> count{0};
+  pool.ParallelForQueues(sizes,
+                         [&](int, std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10'003);
+}
+
+TEST(ThreadPoolTest, NestedParallelForQueuesRunsInlineWithoutDeadlock) {
+  const ThreadPool pool(2);
+  std::atomic<std::int64_t> count{0};
+  pool.ParallelFor(4, [&](std::int64_t) {
+    pool.ParallelForQueues({50, 50},
+                           [&](int, std::int64_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 400);
+}
+
 TEST(ThreadPoolTest, ConcurrentCallersShareOnePool) {
   const ThreadPool pool(4);
   std::atomic<std::int64_t> count{0};

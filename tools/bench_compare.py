@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro_core run against the committed baseline.
+
+Fails (exit 1) when any tracked benchmark regresses:
+
+  - wall time (real_time) grows by more than --max-regression (default
+    30%) relative to the baseline, after optional calibration (see
+    below), or
+  - a tracked *work counter* (rows_scanned_per_query, skew, ...) grows
+    by more than --counter-slack. Work counters are deterministic and
+    machine-independent, so they gate much tighter than wall time — an
+    executor change that scans more rows or skews the shard split fails
+    here even on a noisy runner.
+
+Calibration: absolute nanoseconds differ between the machine that
+recorded the baseline and the CI runner. --calibrate NAME scales the
+current run's times by baseline(NAME)/current(NAME) — the named
+benchmark acts as a machine-speed probe — so the gate compares
+*relative* cost, not raw clock speed. The probe must exist in both
+files.
+
+Usage:
+  tools/bench_compare.py bench/BENCH_baseline.json BENCH_micro.json \
+      [--max-regression 0.30] [--counter-slack 0.02] \
+      [--track BM_A,BM_B] [--counters rows_scanned_per_query,skew] \
+      [--calibrate BM_BitVectorPopcount/1048576]
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_TRACKED = [
+    "BM_MdhfFragmentConfined",
+    "BM_MdhfCoveredAggregate",
+    "BM_MdhfShardedScan",
+]
+DEFAULT_COUNTERS = ["rows_scanned_per_query", "skew"]
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns {name: entry} for plain iteration runs of a gbench JSON."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        out[entry["name"]] = entry
+    return out
+
+
+def real_time_ns(entry):
+    return entry["real_time"] * TIME_UNIT_NS[entry.get("time_unit", "ns")]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional wall-time growth")
+    parser.add_argument("--counter-slack", type=float, default=0.02,
+                        help="allowed fractional work-counter growth")
+    parser.add_argument("--track", default=",".join(DEFAULT_TRACKED),
+                        help="comma-separated benchmark name prefixes")
+    parser.add_argument("--counters", default=",".join(DEFAULT_COUNTERS),
+                        help="comma-separated counter names to gate on")
+    parser.add_argument("--calibrate", default=None,
+                        help="benchmark name used as machine-speed probe")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    prefixes = [p for p in args.track.split(",") if p]
+    counters = [c for c in args.counters.split(",") if c]
+
+    scale = 1.0
+    if args.calibrate:
+        if args.calibrate not in baseline or args.calibrate not in current:
+            print(f"FAIL: calibration benchmark '{args.calibrate}' missing "
+                  "from baseline or current run")
+            return 1
+        scale = (real_time_ns(baseline[args.calibrate]) /
+                 real_time_ns(current[args.calibrate]))
+        print(f"calibration: {args.calibrate} -> scaling current times "
+              f"by {scale:.3f}")
+
+    tracked = [name for name in baseline
+               if any(name.startswith(p) for p in prefixes)]
+    if not tracked:
+        print("FAIL: no tracked benchmarks found in the baseline "
+              f"(prefixes: {prefixes})")
+        return 1
+
+    failures = []
+    # A tracked-prefix benchmark that exists only in the current run would
+    # otherwise be silently ungated forever; force a baseline refresh.
+    for name in sorted(current):
+        if any(name.startswith(p) for p in prefixes) and name not in baseline:
+            failures.append(
+                f"{name}: present in current run but not in the baseline — "
+                "refresh bench/BENCH_baseline.json to start gating it")
+    print(f"{'benchmark':55} {'base':>12} {'now':>12} {'ratio':>7}  status")
+    for name in sorted(tracked):
+        if name not in current:
+            failures.append(f"{name}: missing from current run (bench rot?)")
+            print(f"{name:55} {'-':>12} {'-':>12} {'-':>7}  MISSING")
+            continue
+        base_ns = real_time_ns(baseline[name])
+        now_ns = real_time_ns(current[name]) * scale
+        ratio = now_ns / base_ns if base_ns > 0 else 1.0
+        ok = ratio <= 1.0 + args.max_regression
+        print(f"{name:55} {base_ns:10.0f}ns {now_ns:10.0f}ns {ratio:7.2f}  "
+              f"{'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(
+                f"{name}: real_time regressed {100 * (ratio - 1):.0f}% "
+                f"(limit {100 * args.max_regression:.0f}%)")
+        for counter in counters:
+            if counter not in baseline[name]:
+                # Not every benchmark emits every gated counter — but one
+                # that appears only in the current run would be silently
+                # ungated forever, so force a baseline refresh (mirrors
+                # the new-benchmark check above).
+                if counter in current[name]:
+                    failures.append(
+                        f"{name}: counter '{counter}' present in current "
+                        "run but not in the baseline — refresh "
+                        "bench/BENCH_baseline.json to start gating it")
+                continue
+            base_v = float(baseline[name][counter])
+            if counter not in current[name]:
+                failures.append(f"{name}: counter '{counter}' disappeared")
+                continue
+            now_v = float(current[name][counter])
+            limit = abs(base_v) * args.counter_slack
+            if now_v > base_v + limit:
+                failures.append(
+                    f"{name}: counter '{counter}' grew {base_v:g} -> "
+                    f"{now_v:g} (slack {100 * args.counter_slack:.0f}%)")
+
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nperf gate ok: {len(tracked)} tracked benchmarks within "
+          f"{100 * args.max_regression:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
