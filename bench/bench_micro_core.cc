@@ -3,10 +3,14 @@
 // query planning and the plan-first/plan-cache façade paths.
 
 #include <benchmark/benchmark.h>
+#include <stdlib.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -422,6 +426,83 @@ void BM_MdhfShardedScan(benchmark::State& state) {
 BENCHMARK(BM_MdhfShardedScan)
     ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
     ->UseRealTime();
+
+// File-backed execution through the buffer pool: the heavy no-support
+// query (every fragment's range scanned under a bitmap filter) against
+// page-aligned segment files, with the pool sized at {1/4x, 1x, 4x} the
+// two measure columns' page working set (arg 0, percent) and the pool
+// either reset before every iteration (arg 1 = 1, cold: every page
+// faults from the segment files) or left warm (arg 1 = 0: steady state,
+// pins served from cache where the pool is big enough). Execution is
+// serial, so pages_read_per_query is deterministic and the CI perf gate
+// can track it like rows_scanned. The segment files are written once
+// into a temp directory shared (and byte-identically reused) by all six
+// arg combinations, and removed at process exit.
+void BM_MdhfPagedScan(benchmark::State& state) {
+  struct TempStoreDir {
+    std::string path;
+    TempStoreDir() {
+      std::string tmpl = (std::filesystem::temp_directory_path() /
+                          "mdw_bench_paged_XXXXXX")
+                             .string();
+      std::vector<char> buf(tmpl.begin(), tmpl.end());
+      buf.push_back('\0');
+      path = ::mkdtemp(buf.data());
+    }
+    ~TempStoreDir() {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  };
+  static const TempStoreDir dir;
+
+  const std::int64_t pool_pct = state.range(0);
+  const bool cold = state.range(1) != 0;
+
+  // Size the pool relative to the scan working set: the pages of the two
+  // measure columns (the only columns a clustered residual scan reads).
+  // The logical FactCount is close enough to the sampled row count for a
+  // sizing knob.
+  const mdw::StarSchema schema = MakeCompactApb1Schema();
+  const std::int64_t tuples_per_page = schema.physical().TuplesPerPage();
+  const std::int64_t working_set =
+      2 * ((schema.FactCount() + tuples_per_page - 1) / tuples_per_page);
+  mdw::storage::StoreOptions options;
+  options.path = dir.path;
+  options.pool_pages = std::max<std::int64_t>(16, working_set * pool_pct / 100);
+
+  const std::vector<mdw::FragAttr> attrs = {{mdw::kApb1Time, 2},
+                                            {mdw::kApb1Product, 3}};
+  mdw::MiniWarehouse mini(MakeCompactApb1Schema(), 42, attrs,
+                          /*enable_summaries=*/true, /*num_shards=*/1, {},
+                          options);
+  const mdw::Fragmentation frag(&mini.schema(), attrs);
+  const mdw::QueryPlanner planner(&mini.schema(), &frag);
+  const auto query = mdw::apb1_queries::OneStore(17);
+  const auto plan = planner.Plan(query);
+
+  mdw::MiniWarehouse::MdhfExecution exec;
+  for (auto _ : state) {
+    if (cold) {
+      state.PauseTiming();
+      mini.mutable_paged_store()->pool().Reset();
+      state.ResumeTiming();
+    }
+    exec = mini.ExecuteWithPlan(query, plan);
+    benchmark::DoNotOptimize(exec.result.rows);
+  }
+  state.SetLabel(std::string(cold ? "cold" : "warm") + "/pool_" +
+                 std::to_string(pool_pct) + "pct");
+  state.counters["pool_pages"] = static_cast<double>(options.pool_pages);
+  state.counters["working_set_pages"] = static_cast<double>(working_set);
+  state.counters["pages_read_per_query"] =
+      static_cast<double>(exec.pages_read);
+  state.counters["buffer_hits_per_query"] =
+      static_cast<double>(exec.buffer_hits);
+  state.counters["rows_scanned_per_query"] =
+      static_cast<double>(exec.rows_scanned);
+}
+BENCHMARK(BM_MdhfPagedScan)->ArgsProduct({{25, 100, 400}, {1, 0}});
 
 void BM_MdhfParallelScan(benchmark::State& state) {
   const auto& wh = MediumWarehouse();

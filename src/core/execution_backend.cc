@@ -72,6 +72,9 @@ QueryOutcome MaterializedBackend::ExecuteWith(
   outcome.rows_scanned = mdhf.rows_scanned;
   outcome.fragments_summarized = mdhf.fragments_summarized;
   outcome.rows_summarized = mdhf.rows_summarized;
+  outcome.pages_read = mdhf.pages_read;
+  outcome.buffer_hits = mdhf.buffer_hits;
+  outcome.bytes_read = mdhf.bytes_read;
   outcome.shard_skew = mdhf.ShardSkew();
   outcome.shards = std::move(mdhf.shards);
   return outcome;

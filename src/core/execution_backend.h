@@ -73,6 +73,17 @@ struct QueryOutcome {
   /// layout. Deterministic: the split depends only on the allocation.
   std::vector<MiniWarehouse::ShardWork> shards;
   double shard_skew = 0;
+  /// File-backed I/O of a materialized execution (all-zero for an
+  /// in-RAM store and on kSimulated): segment pages faulted from disk
+  /// (demand misses plus pages prefetched for this query), buffer-pool
+  /// pins served from cache, and bytes faulted. Per-shard splits live
+  /// in `shards` and sum to these totals. Deterministic when
+  /// num_workers == 1; under parallel execution the hit/fault split
+  /// depends on scheduling (the simulated backend's I/O counts live in
+  /// `sim` instead).
+  std::int64_t pages_read = 0;
+  std::int64_t buffer_hits = 0;
+  std::int64_t bytes_read = 0;
 
   // ---- timing and device metrics (kSimulated) ----
   std::optional<SimResult> sim;

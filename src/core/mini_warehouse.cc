@@ -45,13 +45,147 @@ std::vector<RowRange> ChunkRanges(const std::vector<RowRange>& ranges,
   return chunks;
 }
 
-/// Adds p's scan-side partial (scanned rows and aggregate) into exec.
+/// Adds p's scan-side partial (scanned rows, I/O, and aggregate) into
+/// exec.
 void MergeScanPartial(const MiniWarehouse::MdhfExecution& p,
                       MiniWarehouse::MdhfExecution* exec) {
   exec->rows_scanned += p.rows_scanned;
+  exec->pages_read += p.pages_read;
+  exec->buffer_hits += p.buffer_hits;
+  exec->bytes_read += p.bytes_read;
   exec->result.rows += p.result.rows;
   exec->result.units_sold += p.result.units_sold;
   exec->result.dollar_sales_cents += p.result.dollar_sales_cents;
+}
+
+/// Measure readers the scan kernels are templated on — RAM vectors or
+/// per-chunk buffer-pool cursors — so the hot loops stay free of
+/// per-row virtual dispatch.
+struct RamMeasures {
+  const std::vector<std::int64_t>* units;
+  const std::vector<std::int64_t>* dollars;
+  std::int64_t Units(std::int64_t row) {
+    return (*units)[static_cast<std::size_t>(row)];
+  }
+  std::int64_t Dollars(std::int64_t row) {
+    return (*dollars)[static_cast<std::size_t>(row)];
+  }
+};
+
+struct PagedMeasures {
+  storage::SegmentStore::Cursor units;
+  storage::SegmentStore::Cursor dollars;
+  std::int64_t Units(std::int64_t row) { return units.At(row); }
+  std::int64_t Dollars(std::int64_t row) { return dollars.At(row); }
+};
+
+/// The residual-scan kernel: aggregates rows [begin, end) under the
+/// accesses' bitmap filters (evaluated over the range only, O(range)).
+template <typename Accesses, typename Measures>
+void ProcessRows(const IndexSet& indexes, std::int64_t begin,
+                 std::int64_t end, const Accesses& accesses, Measures& m,
+                 MiniWarehouse::MdhfExecution* partial) {
+  partial->rows_scanned += end - begin;
+  auto& agg = partial->result;
+  if (accesses.empty()) {
+    // Q1/Q3 clustered hits: fragment membership IS the filter — every row
+    // of the range is a hit.
+    for (std::int64_t row = begin; row < end; ++row) {
+      ++agg.rows;
+      agg.units_sold += m.Units(row);
+      agg.dollar_sales_cents += m.Dollars(row);
+    }
+    return;
+  }
+  // Bitmap filter over this range only: O(range), never O(table).
+  BitVector filter(end - begin);
+  filter.SetAll();
+  for (const auto& a : accesses) {
+    BitVector pred_rows(end - begin);
+    for (const auto value : a.pred->values) {
+      if (a.same_ancestor) {
+        pred_rows |= indexes.SelectWithinFragmentSlice(
+            a.pred->dim, a.pred->depth, value, a.frag_depth, begin, end);
+      } else {
+        pred_rows |= indexes.SelectSlice(a.pred->dim, a.pred->depth, value,
+                                         begin, end);
+      }
+    }
+    filter &= pred_rows;
+  }
+  filter.ForEachSetBit([&](std::int64_t i) {
+    const std::int64_t row = begin + i;
+    ++agg.rows;
+    agg.units_sold += m.Units(row);
+    agg.dollar_sales_cents += m.Dollars(row);
+  });
+}
+
+/// Sums the measures of the set rows (the bitmap-index execution tail).
+template <typename Measures>
+MiniWarehouse::AggregateResult SumSetBits(const BitVector& hits, Measures& m) {
+  MiniWarehouse::AggregateResult result;
+  hits.ForEachSetBit([&](std::int64_t row) {
+    ++result.rows;
+    result.units_sold += m.Units(row);
+    result.dollar_sales_cents += m.Dollars(row);
+  });
+  return result;
+}
+
+/// The reference full-scan kernel: applies the predicates against the
+/// hierarchies row by row, reading dimension leaves through `leaf_of`.
+template <typename LeafOf, typename Measures>
+MiniWarehouse::AggregateResult FullScanRows(const StarSchema& schema,
+                                            const StarQuery& query,
+                                            std::int64_t rows,
+                                            LeafOf&& leaf_of, Measures& m) {
+  MiniWarehouse::AggregateResult result;
+  for (std::int64_t row = 0; row < rows; ++row) {
+    bool match = true;
+    for (const auto& pred : query.predicates()) {
+      const auto& h = schema.dimension(pred.dim).hierarchy();
+      const std::int64_t value =
+          h.AncestorOfLeaf(leaf_of(pred.dim, row), pred.depth);
+      if (std::find(pred.values.begin(), pred.values.end(), value) ==
+          pred.values.end()) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    ++result.rows;
+    result.units_sold += m.Units(row);
+    result.dollar_sales_cents += m.Dollars(row);
+  }
+  return result;
+}
+
+/// The unclustered fallback kernel: per-row fragment membership through
+/// `probe_leaf` (probe index, row) plus the prebuilt full-width filter.
+template <typename Probes, typename ProbeLeaf, typename Measures>
+void UnclusteredChunk(const RowRange& chunk, const Probes& probes,
+                      ProbeLeaf&& probe_leaf,
+                      const std::vector<FragId>& frag_ids, bool all_fragments,
+                      const BitVector& filter, Measures& m,
+                      MiniWarehouse::MdhfExecution* partial) {
+  auto& agg = partial->result;
+  for (std::int64_t row = chunk.begin; row < chunk.end; ++row) {
+    if (!all_fragments) {
+      FragId fid = 0;
+      for (std::size_t p = 0; p < probes.size(); ++p) {
+        fid = fid * probes[p].card + probe_leaf(p, row) / probes[p].leaves_per;
+      }
+      if (!std::binary_search(frag_ids.begin(), frag_ids.end(), fid)) {
+        continue;
+      }
+    }
+    ++partial->rows_scanned;
+    if (!filter.Get(row)) continue;
+    ++agg.rows;
+    agg.units_sold += m.Units(row);
+    agg.dollar_sales_cents += m.Dollars(row);
+  }
 }
 
 /// Cuts `ranges` for `pool` and runs `process` once per chunk — serially,
@@ -91,7 +225,8 @@ MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed)
 MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed,
                              std::vector<FragAttr> cluster_attrs,
                              bool enable_summaries, int num_shards,
-                             AllocationConfig allocation)
+                             AllocationConfig allocation,
+                             storage::StoreOptions storage)
     : schema_(std::move(schema)) {
   Populate(seed);
   ClusterByFragment(std::move(cluster_attrs), num_shards, allocation);
@@ -111,6 +246,81 @@ MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed,
     }
     summaries_enabled_ = true;
   }
+  if (!storage.path.empty()) BuildPagedStore(seed, storage);
+}
+
+const FactColumns& MiniWarehouse::facts() const {
+  MDW_CHECK(store_ == nullptr,
+            "fact columns are file-backed (dropped from RAM); read them "
+            "through the execution paths instead");
+  return facts_;
+}
+
+void MiniWarehouse::BuildPagedStore(std::uint64_t seed,
+                                    const storage::StoreOptions& options) {
+  MDW_CHECK(clustered(), "file-backed mode requires the clustered layout");
+  storage::SegmentStore::BuildInput in;
+  in.page_size = schema_.physical().page_size_bytes;
+  in.tuples_per_page = schema_.physical().TuplesPerPage();
+  in.num_dims = schema_.num_dimensions();
+  in.has_summaries = summaries_enabled_;
+  in.shard_row_begin = shard_row_begin_;
+
+  // The schema hash folds in everything that determines the clustered
+  // bytes, so a segment from any other dataset, layout, or allocation
+  // fails validation and is rewritten.
+  storage::Fnv1a h;
+  h.U64(seed);
+  h.I64(schema_.num_dimensions());
+  const double density = schema_.density();
+  h.Bytes(&density, sizeof density);
+  for (DimId d = 0; d < schema_.num_dimensions(); ++d) {
+    const auto& hier = schema_.dimension(d).hierarchy();
+    h.I64(hier.num_levels());
+    h.I64(hier.LeafCardinality());
+  }
+  for (const FragAttr& a : cluster_frag_->attrs()) {
+    h.I64(a.dim);
+    h.I64(a.depth);
+  }
+  h.I64(num_shards_);
+  // The realised fragment -> shard map captures the allocation policy's
+  // entire outcome (round robin, round_gap, cluster_factor, ...).
+  for (const int s : shard_of_frag_) h.I64(s);
+  h.I64(row_count_);
+  h.I64(summaries_enabled_ ? 1 : 0);
+  in.schema_hash = h.hash;
+
+  in.shard_fragments.resize(static_cast<std::size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    const std::int64_t base = shard_row_begin_[static_cast<std::size_t>(s)];
+    for (const FragId f : shard_fragments_[static_cast<std::size_t>(s)]) {
+      const auto rank =
+          static_cast<std::size_t>(frag_rank_[static_cast<std::size_t>(f)]);
+      in.shard_fragments[static_cast<std::size_t>(s)].push_back(
+          {f, frag_offsets_[rank] - base, frag_offsets_[rank + 1] - base});
+    }
+  }
+  for (const auto& column : facts_.columns) in.columns.push_back(&column);
+  in.columns.push_back(&units_sold_);
+  in.columns.push_back(&dollar_sales_cents_);
+  if (summaries_enabled_) {
+    in.columns.push_back(&units_prefix_);
+    in.columns.push_back(&dollars_prefix_);
+  }
+  store_ = std::make_unique<storage::SegmentStore>(options, in);
+
+  // Drop the in-RAM copies — the segments are the backing truth now. The
+  // bitmap indexes (built over the same clustered order) stay resident:
+  // only the fact/measure/prefix columns are paged.
+  for (auto& column : facts_.columns) {
+    column.clear();
+    column.shrink_to_fit();
+  }
+  units_sold_ = {};
+  dollar_sales_cents_ = {};
+  units_prefix_ = {};
+  dollars_prefix_ = {};
 }
 
 void MiniWarehouse::Populate(std::uint64_t seed) {
@@ -158,6 +368,9 @@ void MiniWarehouse::Populate(std::uint64_t seed) {
       v = 0;
     }
   }
+  // Authoritative from here on: facts_ may be dropped in file-backed
+  // mode, but the row count is layout-independent.
+  row_count_ = facts_.row_count();
 }
 
 void MiniWarehouse::ClusterByFragment(std::vector<FragAttr> cluster_attrs,
@@ -310,34 +523,32 @@ double MiniWarehouse::MdhfExecution::ShardSkew() const {
          static_cast<double>(total);
 }
 
-bool MiniWarehouse::RowMatches(std::int64_t row,
-                               const StarQuery& query) const {
-  for (const auto& pred : query.predicates()) {
-    const auto& h = schema_.dimension(pred.dim).hierarchy();
-    const std::int64_t leaf =
-        facts_.columns[static_cast<std::size_t>(pred.dim)]
-                      [static_cast<std::size_t>(row)];
-    const std::int64_t value = h.AncestorOfLeaf(leaf, pred.depth);
-    if (std::find(pred.values.begin(), pred.values.end(), value) ==
-        pred.values.end()) {
-      return false;
-    }
-  }
-  return true;
-}
-
 MiniWarehouse::AggregateResult MiniWarehouse::ExecuteFullScan(
     const StarQuery& query) const {
-  AggregateResult result;
-  for (std::int64_t row = 0; row < row_count(); ++row) {
-    if (RowMatches(row, query)) {
-      ++result.rows;
-      result.units_sold += units_sold_[static_cast<std::size_t>(row)];
-      result.dollar_sales_cents +=
-          dollar_sales_cents_[static_cast<std::size_t>(row)];
-    }
+  if (store_ == nullptr) {
+    RamMeasures m{&units_sold_, &dollar_sales_cents_};
+    const auto leaf_of = [&](DimId d, std::int64_t row) {
+      return facts_.columns[static_cast<std::size_t>(d)]
+                           [static_cast<std::size_t>(row)];
+    };
+    return FullScanRows(schema_, query, row_count(), leaf_of, m);
   }
-  return result;
+  // File-backed: one pool cursor per predicate dimension + the measures.
+  std::vector<std::pair<DimId, storage::SegmentStore::Cursor>> dims;
+  for (const auto& pred : query.predicates()) {
+    dims.emplace_back(pred.dim,
+                      store_->MakeCursor(store_->ColDim(pred.dim), nullptr));
+  }
+  const auto leaf_of = [&](DimId d, std::int64_t row) {
+    for (auto& [dim, cursor] : dims) {
+      if (dim == d) return cursor.At(row);
+    }
+    MDW_CHECK(false, "predicate dimension without a cursor");
+    return std::int64_t{0};
+  };
+  PagedMeasures m{store_->MakeCursor(store_->ColUnits(), nullptr),
+                  store_->MakeCursor(store_->ColDollars(), nullptr)};
+  return FullScanRows(schema_, query, row_count(), leaf_of, m);
 }
 
 MiniWarehouse::AggregateResult MiniWarehouse::ExecuteWithBitmaps(
@@ -351,14 +562,13 @@ MiniWarehouse::AggregateResult MiniWarehouse::ExecuteWithBitmaps(
     }
     hits &= pred_rows;
   }
-  AggregateResult result;
-  hits.ForEachSetBit([&](std::int64_t row) {
-    ++result.rows;
-    result.units_sold += units_sold_[static_cast<std::size_t>(row)];
-    result.dollar_sales_cents +=
-        dollar_sales_cents_[static_cast<std::size_t>(row)];
-  });
-  return result;
+  if (store_ == nullptr) {
+    RamMeasures m{&units_sold_, &dollar_sales_cents_};
+    return SumSetBits(hits, m);
+  }
+  PagedMeasures m{store_->MakeCursor(store_->ColUnits(), nullptr),
+                  store_->MakeCursor(store_->ColDollars(), nullptr)};
+  return SumSetBits(hits, m);
 }
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithFragmentation(
@@ -432,55 +642,53 @@ void MiniWarehouse::ResolveBitmapAccesses(
   }
 }
 
-void MiniWarehouse::ProcessRowRange(std::int64_t begin, std::int64_t end,
-                                    const std::vector<BitmapAccess>& accesses,
-                                    MdhfExecution* partial) const {
-  partial->rows_scanned += end - begin;
-  auto& agg = partial->result;
-  if (accesses.empty()) {
-    // Q1/Q3 clustered hits: fragment membership IS the filter — every row
-    // of the range is a hit.
-    for (std::int64_t row = begin; row < end; ++row) {
-      ++agg.rows;
-      agg.units_sold += units_sold_[static_cast<std::size_t>(row)];
-      agg.dollar_sales_cents +=
-          dollar_sales_cents_[static_cast<std::size_t>(row)];
-    }
+void MiniWarehouse::ScanChunk(std::int64_t begin, std::int64_t end,
+                              const std::vector<BitmapAccess>& accesses,
+                              MdhfExecution* partial) const {
+  if (store_ == nullptr) {
+    RamMeasures m{&units_sold_, &dollar_sales_cents_};
+    ProcessRows(*indexes_, begin, end, accesses, m, partial);
     return;
   }
-  // Bitmap filter over this range only: O(range), never O(table).
-  BitVector filter(end - begin);
-  filter.SetAll();
-  for (const auto& a : accesses) {
-    BitVector pred_rows(end - begin);
-    for (const auto value : a.pred->values) {
-      if (a.same_ancestor) {
-        pred_rows |= indexes_->SelectWithinFragmentSlice(
-            a.pred->dim, a.pred->depth, value, a.frag_depth, begin, end);
-      } else {
-        pred_rows |= indexes_->SelectSlice(a.pred->dim, a.pred->depth, value,
-                                           begin, end);
-      }
-    }
-    filter &= pred_rows;
+  storage::SegmentStore::IoCounters io;
+  PagedMeasures m{store_->MakeCursor(store_->ColUnits(), &io),
+                  store_->MakeCursor(store_->ColDollars(), &io)};
+  if (accesses.empty()) {
+    // Unfiltered range: every page will be touched, so read ahead in
+    // coalesced runs. Filtered scans skip prefetch — they fault only the
+    // pages that actually hold hits.
+    m.units.PrefetchRun(begin, end);
+    m.dollars.PrefetchRun(begin, end);
   }
-  filter.ForEachSetBit([&](std::int64_t i) {
-    const std::int64_t row = begin + i;
-    ++agg.rows;
-    agg.units_sold += units_sold_[static_cast<std::size_t>(row)];
-    agg.dollar_sales_cents +=
-        dollar_sales_cents_[static_cast<std::size_t>(row)];
-  });
+  ProcessRows(*indexes_, begin, end, accesses, m, partial);
+  partial->pages_read += io.pages_read;
+  partial->buffer_hits += io.buffer_hits;
+  partial->bytes_read += io.bytes_read;
 }
 
 void MiniWarehouse::FoldSummaryRun(const RowRange& run,
                                    MdhfExecution* exec) const {
-  const auto b = static_cast<std::size_t>(run.begin);
-  const auto e = static_cast<std::size_t>(run.end);
   exec->result.rows += run.rows();
-  exec->result.units_sold += units_prefix_[e] - units_prefix_[b];
-  exec->result.dollar_sales_cents += dollars_prefix_[e] - dollars_prefix_[b];
   exec->rows_summarized += run.rows();
+  if (store_ == nullptr) {
+    const auto b = static_cast<std::size_t>(run.begin);
+    const auto e = static_cast<std::size_t>(run.end);
+    exec->result.units_sold += units_prefix_[e] - units_prefix_[b];
+    exec->result.dollar_sales_cents +=
+        dollars_prefix_[e] - dollars_prefix_[b];
+    return;
+  }
+  // File-backed: the prefix-sum columns answer the covered run from at
+  // most two pages per measure.
+  storage::SegmentStore::IoCounters io;
+  auto units = store_->MakeCursor(store_->ColUnitsPrefix(), &io);
+  auto dollars = store_->MakeCursor(store_->ColDollarsPrefix(), &io);
+  exec->result.units_sold += units.At(run.end) - units.At(run.begin);
+  exec->result.dollar_sales_cents +=
+      dollars.At(run.end) - dollars.At(run.begin);
+  exec->pages_read += io.pages_read;
+  exec->buffer_hits += io.buffer_hits;
+  exec->bytes_read += io.bytes_read;
 }
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
@@ -511,7 +719,7 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
     } else if (begin < end) {
       exec = RunChunks({{begin, end}}, pool,
                        [&](const RowRange& c, MdhfExecution* partial) {
-                         ProcessRowRange(c.begin, c.end, accesses, partial);
+                         ScanChunk(c.begin, c.end, accesses, partial);
                        });
     }
     AttributeWorkToFragmentShard(id, &exec);
@@ -547,6 +755,9 @@ void MiniWarehouse::AttributeWorkToFragmentShard(FragId id,
   work.rows_scanned = exec->rows_scanned;
   work.rows_summarized = exec->rows_summarized;
   work.fragments_summarized = exec->fragments_summarized;
+  work.pages_read = exec->pages_read;
+  work.buffer_hits = exec->buffer_hits;
+  work.bytes_read = exec->bytes_read;
 }
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
@@ -580,14 +791,14 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
         queue_sizes, [&](int s, std::int64_t c) {
           const auto su = static_cast<std::size_t>(s);
           const RowRange& r = chunks[su][static_cast<std::size_t>(c)];
-          ProcessRowRange(r.begin, r.end, accesses,
-                          &partials[slot_base[su] + static_cast<std::size_t>(c)]);
+          ScanChunk(r.begin, r.end, accesses,
+                    &partials[slot_base[su] + static_cast<std::size_t>(c)]);
         });
   } else {
     for (std::size_t s = 0; s < chunks.size(); ++s) {
       for (std::size_t c = 0; c < chunks[s].size(); ++c) {
-        ProcessRowRange(chunks[s][c].begin, chunks[s][c].end, accesses,
-                        &partials[slot_base[s] + c]);
+        ScanChunk(chunks[s][c].begin, chunks[s][c].end, accesses,
+                  &partials[slot_base[s] + c]);
       }
     }
   }
@@ -609,11 +820,22 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
       const MdhfExecution& p = partials[slot_base[s] + c];
       MergeScanPartial(p, &exec);
       work.rows_scanned += p.rows_scanned;
+      work.pages_read += p.pages_read;
+      work.buffer_hits += p.buffer_hits;
+      work.bytes_read += p.bytes_read;
     }
+    // Summary runs fold io into the totals; attribute the delta to this
+    // shard so the per-shard split keeps summing to the totals.
+    const std::int64_t pages0 = exec.pages_read;
+    const std::int64_t hits0 = exec.buffer_hits;
+    const std::int64_t bytes0 = exec.bytes_read;
     for (const auto& run : sel.summary) {
       FoldSummaryRun(run, &exec);
       work.rows_summarized += run.rows();
     }
+    work.pages_read += exec.pages_read - pages0;
+    work.buffer_hits += exec.buffer_hits - hits0;
+    work.bytes_read += exec.bytes_read - bytes0;
     exec.fragments_summarized += sel.fragments_covered;
     if (sharded) exec.shards[s] = work;
   }
@@ -654,10 +876,10 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
   // Per-depth ancestor probes, resolved once per query: the fragment id of
   // a row is the mixed-radix combination of leaf / LeavesPer(frag depth)
   // over the fragmentation attributes, read straight from the fact
-  // columns — no per-row temporaries (FragmentOfRow would build a
-  // coordinate vector per row).
+  // columns (or their segment pages) — no per-row temporaries
+  // (FragmentOfRow would build a coordinate vector per row).
   struct FragProbe {
-    const std::vector<std::int64_t>* leaves;  ///< fact column of the dim
+    DimId dim;
     std::int64_t leaves_per;  ///< leaf values per fragmentation-level value
     std::int64_t card;        ///< attribute cardinality (radix)
   };
@@ -666,31 +888,37 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
   for (int i = 0; i < fragmentation.num_attrs(); ++i) {
     const FragAttr& a = fragmentation.attr(i);
     const auto& h = schema_.dimension(a.dim).hierarchy();
-    probes.push_back({&facts_.columns[static_cast<std::size_t>(a.dim)],
-                      h.LeavesPer(a.depth), fragmentation.CardOf(i)});
+    probes.push_back({a.dim, h.LeavesPer(a.depth), fragmentation.CardOf(i)});
   }
 
   return RunChunks({{0, row_count()}}, pool, [&](const RowRange& chunk,
                                                  MdhfExecution* partial) {
-    auto& agg = partial->result;
-    for (std::int64_t row = chunk.begin; row < chunk.end; ++row) {
-      if (!all_fragments) {
-        FragId fid = 0;
-        for (const auto& p : probes) {
-          fid = fid * p.card +
-                (*p.leaves)[static_cast<std::size_t>(row)] / p.leaves_per;
-        }
-        if (!std::binary_search(frag_ids.begin(), frag_ids.end(), fid)) {
-          continue;
-        }
-      }
-      ++partial->rows_scanned;
-      if (!filter.Get(row)) continue;
-      ++agg.rows;
-      agg.units_sold += units_sold_[static_cast<std::size_t>(row)];
-      agg.dollar_sales_cents +=
-          dollar_sales_cents_[static_cast<std::size_t>(row)];
+    if (store_ == nullptr) {
+      const auto probe_leaf = [&](std::size_t p, std::int64_t row) {
+        return facts_.columns[static_cast<std::size_t>(probes[p].dim)]
+                             [static_cast<std::size_t>(row)];
+      };
+      RamMeasures m{&units_sold_, &dollar_sales_cents_};
+      UnclusteredChunk(chunk, probes, probe_leaf, frag_ids, all_fragments,
+                       filter, m, partial);
+      return;
     }
+    storage::SegmentStore::IoCounters io;
+    std::vector<storage::SegmentStore::Cursor> cursors;
+    cursors.reserve(probes.size());
+    for (const auto& p : probes) {
+      cursors.push_back(store_->MakeCursor(store_->ColDim(p.dim), &io));
+    }
+    const auto probe_leaf = [&](std::size_t p, std::int64_t row) {
+      return cursors[p].At(row);
+    };
+    PagedMeasures m{store_->MakeCursor(store_->ColUnits(), &io),
+                    store_->MakeCursor(store_->ColDollars(), &io)};
+    UnclusteredChunk(chunk, probes, probe_leaf, frag_ids, all_fragments,
+                     filter, m, partial);
+    partial->pages_read += io.pages_read;
+    partial->buffer_hits += io.buffer_hits;
+    partial->bytes_read += io.bytes_read;
   });
 }
 

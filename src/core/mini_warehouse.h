@@ -10,6 +10,7 @@
 #include "bitmap/index_set.h"
 #include "fragment/query_planner.h"
 #include "fragment/shard_routing.h"
+#include "storage/segment_store.h"
 
 namespace mdw {
 
@@ -86,15 +87,36 @@ class MiniWarehouse {
   /// under `allocation` (num_disks is overridden by num_shards; bitmap
   /// placement is irrelevant to the in-memory store) — see the class
   /// comment for the layout and scheduling consequences.
+  ///
+  /// `storage` with a non-empty path switches the store to file-backed
+  /// mode: each shard's columns, measures, and prefix-sum summaries are
+  /// written (or reused) as a page-aligned segment file under
+  /// storage.path, the in-RAM copies are dropped, and execution resolves
+  /// rows through a buffer pool of storage.pool_pages pages — results
+  /// stay bit-identical to the in-RAM store; MdhfExecution additionally
+  /// reports pages_read / buffer_hits / bytes_read.
   MiniWarehouse(StarSchema schema, std::uint64_t seed,
                 std::vector<FragAttr> cluster_attrs,
                 bool enable_summaries = true, int num_shards = 1,
-                AllocationConfig allocation = {});
+                AllocationConfig allocation = {},
+                storage::StoreOptions storage = {});
 
   const StarSchema& schema() const { return schema_; }
-  const FactColumns& facts() const { return facts_; }
+  /// The in-RAM fact columns; aborts in file-backed mode (the columns
+  /// were dropped after the segments were written — go through the
+  /// execution paths, which read via the buffer pool).
+  const FactColumns& facts() const;
   const IndexSet& indexes() const { return *indexes_; }
-  std::int64_t row_count() const { return facts_.row_count(); }
+  std::int64_t row_count() const { return row_count_; }
+
+  /// True iff the fact/measure columns live in segment files behind the
+  /// buffer pool instead of RAM.
+  bool file_backed() const { return store_ != nullptr; }
+  /// The segment store backing file-backed mode, or nullptr.
+  const storage::SegmentStore* paged_store() const { return store_.get(); }
+  /// Mutable segment store, for tools/benchmarks that reset the buffer
+  /// pool between runs (cold-cache measurements); nullptr in RAM mode.
+  storage::SegmentStore* mutable_paged_store() { return store_.get(); }
 
   /// ---- Clustered-layout introspection ----
 
@@ -161,6 +183,14 @@ class MiniWarehouse {
     /// among them (empty fragments included).
     std::int64_t fragments = 0;
     std::int64_t fragments_summarized = 0;
+    /// I/O this shard's ranges cost in file-backed mode (all-zero in
+    /// RAM): pages faulted from its segment, pins served from the pool,
+    /// bytes faulted. Deterministic in serial execution; under parallel
+    /// execution the hit/fault split depends on scheduling (see
+    /// MdhfExecution).
+    std::int64_t pages_read = 0;
+    std::int64_t buffer_hits = 0;
+    std::int64_t bytes_read = 0;
 
     /// Busy-work proxy behind the skew metric: one unit per residual row
     /// scanned plus one per fragment answered from summaries (a summary
@@ -186,6 +216,18 @@ class MiniWarehouse {
     /// to the membership scan.
     std::int64_t fragments_summarized = 0;
     std::int64_t rows_summarized = 0;
+    /// File-backed I/O of this execution (all-zero for an in-RAM store,
+    /// so records of RAM warehouses keep comparing equal as before):
+    /// pages faulted from the segment files (demand misses plus pages
+    /// prefetched for this query), pool pins served from cache, and
+    /// bytes faulted. Sums over `shards` equal the totals. Unlike the
+    /// aggregate and the logical counters these are NOT part of the
+    /// bit-identical guarantee across worker counts: with more than one
+    /// worker, which chunk faults a shared boundary page first depends
+    /// on scheduling (serial execution is deterministic).
+    std::int64_t pages_read = 0;
+    std::int64_t buffer_hits = 0;
+    std::int64_t bytes_read = 0;
     int bitmaps_read = 0;           ///< per fragment, from the plan
     QueryClass query_class = QueryClass::kUnsupported;
     IoClass io_class = IoClass::kIoc2NoSupp;
@@ -238,14 +280,20 @@ class MiniWarehouse {
   void Populate(std::uint64_t seed);
   void ClusterByFragment(std::vector<FragAttr> cluster_attrs, int num_shards,
                          AllocationConfig allocation);
-  bool RowMatches(std::int64_t row, const StarQuery& query) const;
+  /// Writes (or reuses) the per-shard segment files under `options`,
+  /// opens them behind the buffer pool, and drops the in-RAM columns.
+  void BuildPagedStore(std::uint64_t seed,
+                       const storage::StoreOptions& options);
   void ResolveBitmapAccesses(const StarQuery& query, const QueryPlan& plan,
                              std::vector<BitmapAccess>* out) const;
   /// Aggregates rows [begin, end) of the clustered layout under the
-  /// accesses' bitmap filters (evaluated over the range only).
-  void ProcessRowRange(std::int64_t begin, std::int64_t end,
-                       const std::vector<BitmapAccess>& accesses,
-                       MdhfExecution* partial) const;
+  /// accesses' bitmap filters (evaluated over the range only), reading
+  /// measures from RAM or through per-chunk buffer-pool cursors
+  /// (file-backed mode, which also attributes the chunk's I/O into
+  /// `partial`). One call per scan chunk; safe to run concurrently.
+  void ScanChunk(std::int64_t begin, std::int64_t end,
+                 const std::vector<BitmapAccess>& accesses,
+                 MdhfExecution* partial) const;
   MdhfExecution ExecuteClustered(const QueryPlan& plan,
                                  const std::vector<BitmapAccess>& accesses,
                                  const ThreadPool* pool) const;
@@ -265,10 +313,16 @@ class MiniWarehouse {
   void AttributeWorkToFragmentShard(FragId id, MdhfExecution* exec) const;
 
   StarSchema schema_;
+  std::int64_t row_count_ = 0;
+  /// In-RAM columns; emptied (but the store stays authoritative through
+  /// store_) in file-backed mode.
   FactColumns facts_;
   std::vector<std::int64_t> units_sold_;
   std::vector<std::int64_t> dollar_sales_cents_;
   std::unique_ptr<IndexSet> indexes_;
+  /// File-backed mode: the page-aligned segment files and their buffer
+  /// pool; nullptr for the in-RAM store.
+  std::unique_ptr<storage::SegmentStore> store_;
 
   /// Clustered layout (nullptr/empty when rows are in generation order):
   /// rows of fragment f occupy [frag_offsets_[r], frag_offsets_[r+1])

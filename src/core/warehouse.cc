@@ -15,10 +15,15 @@ Warehouse::Warehouse(WarehouseConfig config)
     // the configured fragmentation attributes, so plans derived by this
     // façade execute fragment-confined through the row-range directory.
     MDW_CHECK(config.num_shards >= 1, "num_shards must be at least 1");
+    storage::StoreOptions store_options;
+    store_options.path = std::move(config.storage_path);
+    store_options.pool_pages = config.storage_pool_pages;
+    store_options.backend = config.storage_backend;
+    store_options.prefetch = config.storage_prefetch;
     mini_ = std::make_shared<const MiniWarehouse>(
         std::move(config.schema), seed_, config.fragmentation,
         config.enable_fragment_summaries, config.num_shards,
-        config.allocation);
+        config.allocation, std::move(store_options));
     schema_ = std::shared_ptr<const StarSchema>(mini_, &mini_->schema());
   } else {
     schema_ = std::make_shared<const StarSchema>(std::move(config.schema));

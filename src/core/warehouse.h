@@ -74,6 +74,23 @@ struct WarehouseConfig {
   /// one allocation policy can be evaluated in simulation and on real
   /// hardware side by side (see examples/speedup_study).
   AllocationConfig allocation = {};
+
+  /// Non-empty: file-backed materialized store. At construction each
+  /// shard's fact columns, measures, and prefix-sum summaries are
+  /// written (or reused byte-identically) as page-aligned segment files
+  /// under this directory — one subdirectory per shard — and the in-RAM
+  /// copies are dropped; queries then read through a page-granular
+  /// buffer pool and QueryOutcome reports pages_read / buffer_hits /
+  /// bytes_read. Aggregates and logical counters stay bit-identical to
+  /// the in-RAM store. Ignored by the simulated backend.
+  std::string storage_path = {};
+  /// Buffer-pool capacity in pages shared by all shard segments
+  /// (file-backed mode only).
+  std::int64_t storage_pool_pages = 4096;
+  /// How segment pages are read off the filesystem.
+  storage::IoBackend storage_backend = storage::IoBackend::kPread;
+  /// Read ahead over coalesced unfiltered scan runs (best-effort).
+  bool storage_prefetch = true;
 };
 
 /// The single entry point over the paper's machinery: owns the schema,

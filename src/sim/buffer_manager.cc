@@ -5,38 +5,27 @@
 namespace mdw {
 
 BufferManager::BufferManager(std::int64_t capacity_pages)
-    : capacity_pages_(capacity_pages) {
+    : core_(capacity_pages) {
   MDW_CHECK(capacity_pages >= 1, "buffer pool needs capacity");
 }
 
-bool BufferManager::Lookup(Key key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++misses_;
-    return false;
-  }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return true;
-}
+bool BufferManager::Lookup(Key key) { return core_.Get(key) != nullptr; }
 
 void BufferManager::Insert(Key key, std::int64_t pages) {
   MDW_CHECK(pages >= 1, "granule must have at least one page");
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  if (core_.Peek(key) != nullptr) {
+    // Reinserting an existing granule refreshes recency without counting
+    // a hit (hits/misses are Lookup's to report).
+    core_.Touch(key);
     return;
   }
-  while (used_pages_ + pages > capacity_pages_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    used_pages_ -= victim.pages;
-    map_.erase(victim.key);
-    lru_.pop_back();
-    ++evictions_;
-  }
-  lru_.push_front(Entry{key, pages});
-  map_[key] = lru_.begin();
-  used_pages_ += pages;
+  // Everything is evictable in the simulator's pool; an oversized granule
+  // is admitted alone after the pool empties.
+  core_.EvictToFit(
+      pages, [](const Unit&) { return true; }, [](Key, const Unit&) {});
+  core_.Insert(key, Unit{}, pages);
 }
+
+void BufferManager::Reset() { core_.Reset(); }
 
 }  // namespace mdw

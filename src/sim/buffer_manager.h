@@ -2,8 +2,8 @@
 #define MDW_SIM_BUFFER_MANAGER_H_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+
+#include "common/lru_cache.h"
 
 namespace mdw {
 
@@ -16,6 +16,11 @@ namespace mdw {
 /// Granule-level (rather than page-level) bookkeeping is an accuracy
 /// trade-off: the simulator always reads whole granules, so a granule is
 /// the natural caching unit, and it keeps the hot path O(1).
+///
+/// This is a thin granule-keyed wrapper over the shared mdw::LruCache
+/// eviction core (common/lru_cache.h) — the same core that backs the
+/// storage layer's page-granular mdw::storage::BufferPool, so both pools
+/// share one eviction implementation.
 class BufferManager {
  public:
   explicit BufferManager(std::int64_t capacity_pages);
@@ -32,11 +37,15 @@ class BufferManager {
   /// flushes the pool).
   void Insert(Key key, std::int64_t pages);
 
-  std::int64_t capacity_pages() const { return capacity_pages_; }
-  std::int64_t used_pages() const { return used_pages_; }
-  std::int64_t hits() const { return hits_; }
-  std::int64_t misses() const { return misses_; }
-  std::int64_t evictions() const { return evictions_; }
+  /// Drops every cached granule and zeroes the counters, keeping the
+  /// capacity — reuse the pool across simulation runs.
+  void Reset();
+
+  std::int64_t capacity_pages() const { return core_.capacity(); }
+  std::int64_t used_pages() const { return core_.used(); }
+  std::int64_t hits() const { return core_.hits(); }
+  std::int64_t misses() const { return core_.misses(); }
+  std::int64_t evictions() const { return core_.evictions(); }
 
   /// Packs a cache key from its parts.
   static Key MakeKey(int space, int disk, std::int64_t start_page) {
@@ -46,18 +55,10 @@ class BufferManager {
   }
 
  private:
-  struct Entry {
-    Key key;
-    std::int64_t pages;
-  };
+  /// Granule entries carry no payload; the key and weight are the state.
+  struct Unit {};
 
-  std::int64_t capacity_pages_;
-  std::int64_t used_pages_ = 0;
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
-  std::int64_t evictions_ = 0;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator> map_;
+  LruCache<Key, Unit> core_;
 };
 
 }  // namespace mdw

@@ -1,0 +1,161 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace mdw::storage {
+
+BufferPool::BufferPool(std::int64_t capacity_pages, std::int64_t page_size)
+    : capacity_pages_(capacity_pages),
+      page_size_(page_size),
+      cache_(capacity_pages) {
+  MDW_CHECK(capacity_pages >= 1, "buffer pool needs at least one frame");
+  MDW_CHECK(page_size >= 1, "buffer pool page size must be positive");
+  arena_.resize(static_cast<std::size_t>(capacity_pages * page_size));
+  free_slots_.reserve(static_cast<std::size_t>(capacity_pages));
+  for (std::int64_t s = capacity_pages - 1; s >= 0; --s) {
+    free_slots_.push_back(static_cast<std::int32_t>(s));
+  }
+}
+
+BufferPool::~BufferPool() = default;
+
+std::int32_t BufferPool::AcquireSlot() {
+  if (free_slots_.empty()) {
+    // Pool full: evict one unpinned, fully-loaded page to recycle its slot.
+    cache_.EvictToFit(
+        1, [](const Frame& fr) { return fr.pins == 0 && !fr.loading; },
+        [this](std::uint64_t, const Frame& fr) {
+          free_slots_.push_back(fr.slot);
+        });
+  }
+  if (free_slots_.empty()) return -1;
+  const std::int32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+BufferPool::PageRef BufferPool::Pin(const PageFile& file, std::int64_t page) {
+  MDW_CHECK(page_size_ == file.page_size(), "page size mismatch with pool");
+  const std::uint64_t key = MakeKey(file.file_id(), page);
+  std::unique_lock<std::mutex> lk(mu_);
+  if (Frame* f = cache_.Get(key); f != nullptr) {
+    // Resident or being loaded by another thread: either way the caller
+    // avoids a demand fault, so it counts as a hit. Pin first so the
+    // frame cannot be evicted while we wait for the in-flight load.
+    ++f->pins;
+    ++pinned_;
+    if (f->loading) {
+      cv_.wait(lk, [&] { return !f->loading; });
+    }
+    return PageRef(this, key, SlotData(f->slot), /*hit=*/true);
+  }
+  const std::int32_t slot = AcquireSlot();
+  MDW_CHECK(slot >= 0,
+            "buffer pool exhausted: every frame is pinned; "
+            "increase pool capacity");
+  Frame* f = cache_.Insert(key, Frame{slot, /*pins=*/1, /*loading=*/true},
+                           /*weight=*/1);
+  ++pinned_;
+  lk.unlock();
+  file.ReadPages(page, 1, SlotData(slot));
+  lk.lock();
+  f->loading = false;
+  cv_.notify_all();
+  return PageRef(this, key, SlotData(slot), /*hit=*/false);
+}
+
+void BufferPool::Unpin(std::uint64_t key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Frame* f = cache_.Peek(key);
+  MDW_CHECK(f != nullptr && f->pins > 0, "unpin of a page that is not pinned");
+  --f->pins;
+  --pinned_;
+}
+
+std::int64_t BufferPool::Prefetch(const PageFile& file, std::int64_t first,
+                                  std::int64_t count) {
+  MDW_CHECK(page_size_ == file.page_size(), "page size mismatch with pool");
+  first = std::max<std::int64_t>(first, 0);
+  count = std::min(count, file.page_count() - first);
+  // Cap the run so one prefetch can never flush a small pool.
+  count = std::min(count, std::min<std::int64_t>(64, capacity_pages_ / 4));
+  if (count <= 0) return 0;
+
+  // Claim frames for the uncached pages, grouped into runs of
+  // consecutive pages so each run is one coalesced read.
+  std::vector<std::int64_t> pages;
+  std::vector<std::int32_t> slots;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::int64_t p = first; p < first + count; ++p) {
+      const std::uint64_t key = MakeKey(file.file_id(), p);
+      if (cache_.Peek(key) != nullptr) continue;  // already resident
+      const std::int32_t slot = AcquireSlot();
+      if (slot < 0) break;  // best-effort: stop when frames run out
+      cache_.Insert(key, Frame{slot, /*pins=*/1, /*loading=*/true},
+                    /*weight=*/1);
+      ++pinned_;
+      pages.push_back(p);
+      slots.push_back(slot);
+    }
+    prefetched_ += static_cast<std::int64_t>(pages.size());
+  }
+  if (pages.empty()) return 0;
+
+  // Read each run of consecutive claimed pages in one call, landing in a
+  // scratch buffer (arena slots are scattered), then scatter to slots.
+  std::vector<std::byte> scratch;
+  std::size_t i = 0;
+  while (i < pages.size()) {
+    std::size_t j = i + 1;
+    while (j < pages.size() && pages[j] == pages[j - 1] + 1) ++j;
+    const std::int64_t run_len = static_cast<std::int64_t>(j - i);
+    scratch.resize(static_cast<std::size_t>(run_len * page_size_));
+    file.ReadPages(pages[i], run_len, scratch.data());
+    for (std::size_t k = i; k < j; ++k) {
+      std::memcpy(SlotData(slots[k]),
+                  scratch.data() + (k - i) * static_cast<std::size_t>(page_size_),
+                  static_cast<std::size_t>(page_size_));
+    }
+    i = j;
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t k = 0; k < pages.size(); ++k) {
+    Frame* f = cache_.Peek(MakeKey(file.file_id(), pages[k]));
+    MDW_CHECK(f != nullptr, "prefetched frame vanished while pinned");
+    f->loading = false;
+    --f->pins;
+    --pinned_;
+  }
+  cv_.notify_all();
+  return static_cast<std::int64_t>(pages.size());
+}
+
+void BufferPool::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  MDW_CHECK(pinned_ == 0, "cannot reset a buffer pool with pinned pages");
+  cache_.Reset();
+  free_slots_.clear();
+  for (std::int64_t s = capacity_pages_ - 1; s >= 0; --s) {
+    free_slots_.push_back(static_cast<std::int32_t>(s));
+  }
+  prefetched_ = 0;
+}
+
+PoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  PoolStats s;
+  s.hits = cache_.hits();
+  s.misses = cache_.misses();
+  s.evictions = cache_.evictions();
+  s.prefetched = prefetched_;
+  s.pages_read = s.misses + s.prefetched;
+  s.bytes_read = s.pages_read * page_size_;
+  return s;
+}
+
+}  // namespace mdw::storage

@@ -1,0 +1,152 @@
+#ifndef MDW_STORAGE_BUFFER_POOL_H_
+#define MDW_STORAGE_BUFFER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "storage/page_file.h"
+
+namespace mdw::storage {
+
+/// Counters a BufferPool accumulates over its lifetime (until Reset).
+/// `pages_read` counts pages actually faulted from the backing files —
+/// demand misses plus prefetched pages; `bytes_read` is the same in
+/// bytes.
+struct PoolStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t prefetched = 0;
+  std::int64_t pages_read = 0;
+  std::int64_t bytes_read = 0;
+};
+
+/// A page-granular buffer pool over one or more PageFiles: a fixed arena
+/// of `capacity_pages` frames managed by the shared mdw::LruCache
+/// eviction core (pinned or in-flight frames are never victims). Thread
+/// safe; page I/O happens outside the pool lock, with concurrent misses
+/// on the same page coalesced (the waiters count hits).
+class BufferPool {
+ public:
+  /// All registered files must share this page size.
+  BufferPool(std::int64_t capacity_pages, std::int64_t page_size);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  class PageRef;
+
+  /// Returns a pinned reference to `page` of `file`, faulting it in on a
+  /// miss. Aborts when every frame is pinned (the pool is sized too
+  /// small for the concurrent pin load).
+  PageRef Pin(const PageFile& file, std::int64_t page);
+
+  /// Best-effort read-ahead of pages [first, first + count): faults the
+  /// uncached ones in one coalesced read per gap, without pinning them
+  /// beyond the load. Skips silently when free frames are scarce. The
+  /// run is capped at min(64, capacity/4) pages so a prefetch can never
+  /// flush a small pool. Returns the number of pages actually faulted,
+  /// so callers can attribute the I/O.
+  std::int64_t Prefetch(const PageFile& file, std::int64_t first,
+                        std::int64_t count);
+
+  /// Drops every cached page and zeroes the counters; aborts if any page
+  /// is still pinned. For cold-cache benchmarks and tests.
+  void Reset();
+
+  std::int64_t capacity_pages() const { return capacity_pages_; }
+  std::int64_t page_size() const { return page_size_; }
+
+  /// Snapshot of the counters (consistent across fields).
+  PoolStats stats() const;
+
+ private:
+  struct Frame {
+    std::int32_t slot = -1;    ///< index into the arena
+    std::int32_t pins = 0;     ///< outstanding PageRefs
+    bool loading = false;      ///< I/O in flight; wait on cv_
+  };
+
+  static std::uint64_t MakeKey(std::uint32_t file_id, std::int64_t page) {
+    return (static_cast<std::uint64_t>(file_id) << 40) |
+           static_cast<std::uint64_t>(page);
+  }
+
+  std::byte* SlotData(std::int32_t slot) {
+    return arena_.data() + static_cast<std::size_t>(slot) * page_size_;
+  }
+
+  /// Pops a free arena slot, evicting an unpinned page if none is free.
+  /// Returns -1 when every frame is pinned or loading. Caller holds mu_.
+  std::int32_t AcquireSlot();
+
+  void Unpin(std::uint64_t key);
+
+  const std::int64_t capacity_pages_;
+  const std::int64_t page_size_;
+  std::vector<std::byte> arena_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< signalled when a load completes
+  LruCache<std::uint64_t, Frame> cache_;
+  std::vector<std::int32_t> free_slots_;
+  std::int64_t prefetched_ = 0;
+  std::int64_t pinned_ = 0;  ///< total outstanding pins across all frames
+
+  friend class PageRef;
+};
+
+/// RAII pin on one resident page: `data()` stays valid and the frame
+/// unevictable for the ref's lifetime. Move-only.
+class BufferPool::PageRef {
+ public:
+  PageRef(PageRef&& other) noexcept
+      : pool_(other.pool_), key_(other.key_), data_(other.data_),
+        hit_(other.hit_) {
+    other.pool_ = nullptr;
+  }
+  PageRef& operator=(PageRef&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      key_ = other.key_;
+      data_ = other.data_;
+      hit_ = other.hit_;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Release(); }
+
+  const std::byte* data() const { return data_; }
+  /// True when the pin was served from cache (no demand fault).
+  bool hit() const { return hit_; }
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, std::uint64_t key, const std::byte* data, bool hit)
+      : pool_(pool), key_(key), data_(data), hit_(hit) {}
+
+  void Release() {
+    if (pool_ != nullptr) {
+      pool_->Unpin(key_);
+      pool_ = nullptr;
+    }
+  }
+
+  BufferPool* pool_;
+  std::uint64_t key_;
+  const std::byte* data_;
+  bool hit_;
+};
+
+}  // namespace mdw::storage
+
+#endif  // MDW_STORAGE_BUFFER_POOL_H_

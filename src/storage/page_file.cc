@@ -1,0 +1,121 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace mdw::storage {
+
+const char* ToString(IoBackend backend) {
+  switch (backend) {
+    case IoBackend::kPread: return "pread";
+    case IoBackend::kMmap: return "mmap";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Opens `path` read-only and returns {fd, size}; aborts on failure.
+std::pair<int, std::int64_t> OpenAndSize(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  MDW_CHECK(fd >= 0, "cannot open segment file for reading");
+  struct stat st;
+  MDW_CHECK(::fstat(fd, &st) == 0, "cannot stat segment file");
+  return {fd, static_cast<std::int64_t>(st.st_size)};
+}
+
+class PreadPageFile final : public PageFile {
+ public:
+  PreadPageFile(std::string path, std::int64_t page_size,
+                std::int64_t page_count, std::uint32_t file_id, int fd)
+      : PageFile(std::move(path), page_size, page_count, file_id), fd_(fd) {}
+
+  ~PreadPageFile() override { ::close(fd_); }
+
+  void ReadPages(std::int64_t first, std::int64_t count,
+                 std::byte* dst) const override {
+    MDW_CHECK(first >= 0 && count >= 0 && first + count <= page_count(),
+              "page read out of range");
+    std::int64_t want = count * page_size();
+    std::int64_t off = first * page_size();
+    char* out = reinterpret_cast<char*>(dst);
+    while (want > 0) {
+      const ssize_t got = ::pread(fd_, out, static_cast<std::size_t>(want),
+                                  static_cast<off_t>(off));
+      if (got < 0 && errno == EINTR) continue;
+      MDW_CHECK(got > 0, "short read from segment file");
+      want -= got;
+      off += got;
+      out += got;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+class MmapPageFile final : public PageFile {
+ public:
+  MmapPageFile(std::string path, std::int64_t page_size,
+               std::int64_t page_count, std::uint32_t file_id,
+               const std::byte* map, std::size_t map_len)
+      : PageFile(std::move(path), page_size, page_count, file_id),
+        map_(map),
+        map_len_(map_len) {}
+
+  ~MmapPageFile() override {
+    if (map_ != nullptr) {
+      ::munmap(const_cast<std::byte*>(map_), map_len_);
+    }
+  }
+
+  void ReadPages(std::int64_t first, std::int64_t count,
+                 std::byte* dst) const override {
+    MDW_CHECK(first >= 0 && count >= 0 && first + count <= page_count(),
+              "page read out of range");
+    std::memcpy(dst, map_ + first * page_size(),
+                static_cast<std::size_t>(count * page_size()));
+  }
+
+ private:
+  const std::byte* map_;
+  std::size_t map_len_;
+};
+
+}  // namespace
+
+std::unique_ptr<PageFile> PageFile::Open(IoBackend backend,
+                                         const std::string& path,
+                                         std::int64_t page_size,
+                                         std::uint32_t file_id) {
+  MDW_CHECK(page_size >= 1, "page size must be positive");
+  auto [fd, size] = OpenAndSize(path);
+  MDW_CHECK(size % page_size == 0,
+            "segment file length is not a whole number of pages");
+  const std::int64_t page_count = size / page_size;
+  if (backend == IoBackend::kPread) {
+    return std::make_unique<PreadPageFile>(path, page_size, page_count,
+                                           file_id, fd);
+  }
+  // Zero-length files cannot be mapped; serve them with a null mapping
+  // (any read is out of range and aborts above anyway).
+  const std::byte* map = nullptr;
+  if (size > 0) {
+    void* m = ::mmap(nullptr, static_cast<std::size_t>(size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+    MDW_CHECK(m != MAP_FAILED, "cannot mmap segment file");
+    map = static_cast<const std::byte*>(m);
+  }
+  ::close(fd);  // the mapping survives the descriptor
+  return std::make_unique<MmapPageFile>(path, page_size, page_count, file_id,
+                                        map, static_cast<std::size_t>(size));
+}
+
+}  // namespace mdw::storage

@@ -1,0 +1,67 @@
+#ifndef MDW_STORAGE_PAGE_FILE_H_
+#define MDW_STORAGE_PAGE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace mdw::storage {
+
+/// How a PageFile reads pages off the filesystem.
+enum class IoBackend {
+  kPread,  ///< positional read() per request; the kernel page cache applies
+  kMmap,   ///< the whole file mapped read-only; reads are memcpy
+};
+
+const char* ToString(IoBackend backend);
+
+/// Read-only page-granular access to one segment file. The file length
+/// must be a whole number of pages (enforced at Open). Implementations
+/// are safe for concurrent ReadPages calls — positional reads share no
+/// cursor — so the BufferPool can fault pages from several threads at
+/// once.
+class PageFile {
+ public:
+  virtual ~PageFile() = default;
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Opens `path` with the chosen backend; aborts when the file cannot
+  /// be opened or its size is not a multiple of `page_size`. `file_id`
+  /// is the caller-assigned identity used in buffer-pool cache keys and
+  /// must be unique among the files served by one pool.
+  static std::unique_ptr<PageFile> Open(IoBackend backend,
+                                        const std::string& path,
+                                        std::int64_t page_size,
+                                        std::uint32_t file_id);
+
+  const std::string& path() const { return path_; }
+  std::int64_t page_size() const { return page_size_; }
+  std::int64_t page_count() const { return page_count_; }
+  std::uint32_t file_id() const { return file_id_; }
+
+  /// Copies pages [first, first + count) into `dst` (count * page_size
+  /// bytes). Aborts on short reads or out-of-range pages.
+  virtual void ReadPages(std::int64_t first, std::int64_t count,
+                         std::byte* dst) const = 0;
+
+ protected:
+  PageFile(std::string path, std::int64_t page_size, std::int64_t page_count,
+           std::uint32_t file_id)
+      : path_(std::move(path)),
+        page_size_(page_size),
+        page_count_(page_count),
+        file_id_(file_id) {}
+
+ private:
+  std::string path_;
+  std::int64_t page_size_;
+  std::int64_t page_count_;
+  std::uint32_t file_id_;
+};
+
+}  // namespace mdw::storage
+
+#endif  // MDW_STORAGE_PAGE_FILE_H_

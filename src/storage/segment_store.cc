@@ -1,0 +1,358 @@
+#include "storage/segment_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/check.h"
+
+namespace mdw::storage {
+
+// Raw int64 values are written in native byte order and the header
+// declares little-endian; refuse to build elsewhere rather than byte-swap.
+static_assert(std::endian::native == std::endian::little,
+              "segment files assume a little-endian host");
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'D', 'W', 'S', 'E', 'G', '1', '\0'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::uint32_t kFlagHasSummaries = 1u << 0;
+
+/// Fixed-size prefix of the header, before the column and fragment
+/// directories.
+constexpr std::int64_t kFixedHeaderBytes = 96;
+
+std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+void Append(std::vector<std::byte>* out, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(data);
+  out->insert(out->end(), p, p + len);
+}
+void AppendU32(std::vector<std::byte>* out, std::uint32_t v) {
+  Append(out, &v, sizeof v);
+}
+void AppendI32(std::vector<std::byte>* out, std::int32_t v) {
+  Append(out, &v, sizeof v);
+}
+void AppendI64(std::vector<std::byte>* out, std::int64_t v) {
+  Append(out, &v, sizeof v);
+}
+void AppendU64(std::vector<std::byte>* out, std::uint64_t v) {
+  Append(out, &v, sizeof v);
+}
+
+void WriteAll(int fd, const std::byte* data, std::int64_t len,
+              const char* what) {
+  const char* p = reinterpret_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t got = ::write(fd, p, static_cast<std::size_t>(len));
+    if (got < 0 && errno == EINTR) continue;
+    MDW_CHECK(got > 0, what);
+    p += got;
+    len -= got;
+  }
+}
+
+/// Local value count of column `c` in shard `s` (prefix columns carry
+/// one extra boundary value).
+std::int64_t ValueCount(const SegmentStore::BuildInput& input, int s, int c) {
+  const std::int64_t rows = input.shard_row_begin[static_cast<std::size_t>(s) + 1] -
+                            input.shard_row_begin[static_cast<std::size_t>(s)];
+  const bool is_prefix = input.has_summaries && c >= input.num_dims + 2;
+  return is_prefix ? rows + 1 : rows;
+}
+
+int ColumnCount(const SegmentStore::BuildInput& input) {
+  return input.num_dims + 2 + (input.has_summaries ? 2 : 0);
+}
+
+}  // namespace
+
+std::vector<std::byte> SegmentStore::BuildHeader(const BuildInput& input,
+                                                 int s) {
+  const int cols = ColumnCount(input);
+  const auto& frags = input.shard_fragments[static_cast<std::size_t>(s)];
+  const std::int64_t raw_bytes =
+      kFixedHeaderBytes + 16 * cols +
+      24 * static_cast<std::int64_t>(frags.size());
+  const std::int64_t header_pages = CeilDiv(raw_bytes, input.page_size);
+
+  std::vector<std::byte> h;
+  h.reserve(static_cast<std::size_t>(header_pages * input.page_size));
+  Append(&h, kMagic, sizeof kMagic);
+  AppendU32(&h, kVersion);
+  AppendU32(&h, kEndianTag);
+  AppendU64(&h, input.schema_hash);
+  AppendI64(&h, input.page_size);
+  AppendI64(&h, input.tuples_per_page);
+  AppendI32(&h, s);
+  AppendI32(&h, static_cast<std::int32_t>(input.shard_row_begin.size()) - 1);
+  AppendI64(&h, input.shard_row_begin[static_cast<std::size_t>(s)]);
+  AppendI64(&h, input.shard_row_begin[static_cast<std::size_t>(s) + 1] -
+                    input.shard_row_begin[static_cast<std::size_t>(s)]);
+  AppendI32(&h, input.num_dims);
+  AppendU32(&h, input.has_summaries ? kFlagHasSummaries : 0u);
+  AppendI64(&h, static_cast<std::int64_t>(frags.size()));
+  AppendI64(&h, static_cast<std::int64_t>(cols));
+  AppendI64(&h, header_pages);
+  MDW_CHECK(static_cast<std::int64_t>(h.size()) == kFixedHeaderBytes,
+            "segment header layout drifted from kFixedHeaderBytes");
+
+  std::int64_t next_page = header_pages;
+  for (int c = 0; c < cols; ++c) {
+    const std::int64_t values = ValueCount(input, s, c);
+    AppendI64(&h, next_page);
+    AppendI64(&h, values);
+    next_page += CeilDiv(values, input.tuples_per_page);
+  }
+  for (const FragEntry& f : frags) {
+    AppendI64(&h, f.frag_id);
+    AppendI64(&h, f.begin);
+    AppendI64(&h, f.end);
+  }
+  h.resize(static_cast<std::size_t>(header_pages * input.page_size));
+  return h;
+}
+
+bool SegmentStore::ValidateExisting(const std::string& path,
+                                    const std::vector<std::byte>& header,
+                                    std::int64_t expected_bytes,
+                                    std::string* why) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    why->clear();  // no prior file: not an error, just nothing to reuse
+    return false;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    *why = "cannot stat existing segment " + path;
+    return false;
+  }
+  if (static_cast<std::int64_t>(st.st_size) != expected_bytes) {
+    ::close(fd);
+    *why = "existing segment " + path + " has unexpected size";
+    return false;
+  }
+  std::vector<std::byte> got(header.size());
+  std::int64_t want = static_cast<std::int64_t>(got.size());
+  char* out = reinterpret_cast<char*>(got.data());
+  std::int64_t off = 0;
+  while (want > 0) {
+    const ssize_t n = ::pread(fd, out, static_cast<std::size_t>(want),
+                              static_cast<off_t>(off));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      *why = "cannot read header of existing segment " + path;
+      return false;
+    }
+    want -= n;
+    off += n;
+    out += n;
+  }
+  ::close(fd);
+  if (std::memcmp(got.data(), header.data(), header.size()) != 0) {
+    *why = "existing segment " + path +
+           " header does not match this dataset (corrupt or stale)";
+    return false;
+  }
+  return true;
+}
+
+void SegmentStore::WriteSegment(const BuildInput& input, int s,
+                                const std::vector<std::byte>& header,
+                                const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  MDW_CHECK(fd >= 0, "cannot create segment file");
+  WriteAll(fd, header.data(), static_cast<std::int64_t>(header.size()),
+           "cannot write segment header");
+
+  const std::int64_t begin =
+      input.shard_row_begin[static_cast<std::size_t>(s)];
+  std::vector<std::byte> page(static_cast<std::size_t>(page_size_));
+  const int cols = ColumnCount(input);
+  for (int c = 0; c < cols; ++c) {
+    // Prefix columns index the same global positions as row columns, so
+    // every column of this shard starts at global offset `begin`.
+    const std::int64_t* src =
+        input.columns[static_cast<std::size_t>(c)]->data() + begin;
+    std::int64_t remaining = ValueCount(input, s, c);
+    while (remaining > 0) {
+      const std::int64_t n = std::min(remaining, tuples_per_page_);
+      std::memset(page.data(), 0, page.size());
+      std::memcpy(page.data(), src, static_cast<std::size_t>(n) * 8);
+      WriteAll(fd, page.data(), page_size_, "cannot write segment page");
+      src += n;
+      remaining -= n;
+    }
+  }
+  MDW_CHECK(::close(fd) == 0, "cannot close segment file");
+  MDW_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "cannot move segment file into place");
+}
+
+SegmentStore::SegmentStore(const StoreOptions& options,
+                           const BuildInput& input)
+    : page_size_(input.page_size),
+      tuples_per_page_(input.tuples_per_page),
+      num_dims_(input.num_dims),
+      num_columns_(ColumnCount(input)),
+      has_summaries_(input.has_summaries),
+      prefetch_(options.prefetch),
+      root_(options.path),
+      shard_row_begin_(input.shard_row_begin) {
+  MDW_CHECK(!root_.empty(), "segment store needs a path");
+  MDW_CHECK(page_size_ >= 8 && tuples_per_page_ >= 1 &&
+                tuples_per_page_ * 8 <= page_size_,
+            "page geometry cannot hold its tuples");
+  MDW_CHECK(shard_row_begin_.size() >= 2, "store needs at least one shard");
+  const int num_shards = static_cast<int>(shard_row_begin_.size()) - 1;
+  MDW_CHECK(static_cast<int>(input.shard_fragments.size()) == num_shards,
+            "fragment directory does not cover every shard");
+  MDW_CHECK(static_cast<int>(input.columns.size()) == num_columns_,
+            "column list does not match the declared layout");
+
+  dirs_.resize(static_cast<std::size_t>(num_shards));
+  files_.resize(static_cast<std::size_t>(num_shards));
+  bool all_reused = true;
+  for (int s = 0; s < num_shards; ++s) {
+    // Read-side directory (independent of whether the file is rewritten).
+    ShardDir& dir = dirs_[static_cast<std::size_t>(s)];
+    const std::vector<std::byte> header = BuildHeader(input, s);
+    std::int64_t next_page =
+        static_cast<std::int64_t>(header.size()) / page_size_;
+    for (int c = 0; c < num_columns_; ++c) {
+      const std::int64_t values = ValueCount(input, s, c);
+      dir.col_first_page.push_back(next_page);
+      dir.col_value_count.push_back(values);
+      next_page += CeilDiv(values, tuples_per_page_);
+    }
+    dir.total_pages = next_page;
+
+    char shard_dir[32];
+    std::snprintf(shard_dir, sizeof shard_dir, "shard-%04d", s);
+    const std::filesystem::path dir_path =
+        std::filesystem::path(root_) / shard_dir;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_path, ec);
+    MDW_CHECK(!ec, "cannot create segment store directory");
+    const std::string path = (dir_path / "segment.mdwseg").string();
+
+    std::string why;
+    const bool reuse =
+        options.reuse_existing &&
+        ValidateExisting(path, header, dir.total_pages * page_size_, &why);
+    if (!reuse) {
+      all_reused = false;
+      if (!why.empty() && validation_error_.empty()) validation_error_ = why;
+      WriteSegment(input, s, header, path);
+    }
+    files_[static_cast<std::size_t>(s)] = PageFile::Open(
+        options.backend, path, page_size_, static_cast<std::uint32_t>(s));
+    MDW_CHECK(files_[static_cast<std::size_t>(s)]->page_count() ==
+                  dir.total_pages,
+              "segment file page count does not match its directory");
+  }
+  reused_ = all_reused;
+  pool_ = std::make_unique<BufferPool>(options.pool_pages, page_size_);
+}
+
+std::string SegmentStore::SegmentPath(int s) const {
+  MDW_CHECK(s >= 0 && s < num_shards(), "shard out of range");
+  return files_[static_cast<std::size_t>(s)]->path();
+}
+
+std::int64_t SegmentStore::SegmentPages(int s) const {
+  MDW_CHECK(s >= 0 && s < num_shards(), "shard out of range");
+  return dirs_[static_cast<std::size_t>(s)].total_pages;
+}
+
+int SegmentStore::ShardOf(std::int64_t i) const {
+  MDW_CHECK(i >= 0 && i <= shard_row_begin_.back(),
+            "global row index out of range");
+  const auto it = std::upper_bound(shard_row_begin_.begin(),
+                                   shard_row_begin_.end(), i);
+  const auto idx =
+      static_cast<int>(it - shard_row_begin_.begin()) - 1;
+  return std::min(idx, num_shards() - 1);
+}
+
+std::int64_t SegmentStore::Cursor::Fault(std::int64_t i) {
+  const SegmentStore& st = *store_;
+  const int s = st.ShardOf(i);
+  const ShardDir& dir = st.dirs_[static_cast<std::size_t>(s)];
+  const std::int64_t begin =
+      st.shard_row_begin_[static_cast<std::size_t>(s)];
+  const std::int64_t local = i - begin;
+  const std::int64_t values =
+      dir.col_value_count[static_cast<std::size_t>(column_)];
+  MDW_CHECK(local >= 0 && local < values, "column index out of range");
+  const std::int64_t page_in_col = local / st.tuples_per_page_;
+  const std::int64_t file_page =
+      dir.col_first_page[static_cast<std::size_t>(column_)] + page_in_col;
+
+  BufferPool::PageRef ref =
+      st.pool_->Pin(*st.files_[static_cast<std::size_t>(s)], file_page);
+  if (io_ != nullptr) {
+    if (ref.hit()) {
+      ++io_->buffer_hits;
+    } else {
+      ++io_->pages_read;
+      io_->bytes_read += st.page_size_;
+    }
+  }
+  span_ = reinterpret_cast<const std::int64_t*>(ref.data());
+  span_begin_ = begin + page_in_col * st.tuples_per_page_;
+  span_end_ =
+      begin + std::min(page_in_col * st.tuples_per_page_ + st.tuples_per_page_,
+                       values);
+  shard_ = s;
+  page_ = std::make_unique<BufferPool::PageRef>(std::move(ref));
+  return span_[static_cast<std::size_t>(i - span_begin_)];
+}
+
+void SegmentStore::Cursor::PrefetchRun(std::int64_t begin, std::int64_t end) {
+  const SegmentStore& st = *store_;
+  if (!st.prefetch_ || begin >= end) return;
+  std::int64_t i = begin;
+  while (i < end) {
+    const int s = st.ShardOf(i);
+    const ShardDir& dir = st.dirs_[static_cast<std::size_t>(s)];
+    const std::int64_t base =
+        st.shard_row_begin_[static_cast<std::size_t>(s)];
+    const std::int64_t values =
+        dir.col_value_count[static_cast<std::size_t>(column_)];
+    const std::int64_t run_end = std::min(end, base + values);
+    if (run_end > i) {
+      const std::int64_t first_page = (i - base) / st.tuples_per_page_;
+      const std::int64_t last_page = (run_end - 1 - base) / st.tuples_per_page_;
+      const std::int64_t fetched = st.pool_->Prefetch(
+          *st.files_[static_cast<std::size_t>(s)],
+          dir.col_first_page[static_cast<std::size_t>(column_)] + first_page,
+          last_page - first_page + 1);
+      if (io_ != nullptr) {
+        io_->pages_read += fetched;
+        io_->bytes_read += fetched * st.page_size_;
+      }
+    }
+    // Advance past this shard's slice of the run (guaranteed progress
+    // even over empty shards).
+    i = std::max(base + values, i + 1);
+  }
+}
+
+}  // namespace mdw::storage

@@ -1,0 +1,228 @@
+#ifndef MDW_STORAGE_SEGMENT_STORE_H_
+#define MDW_STORAGE_SEGMENT_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace mdw::storage {
+
+/// How a file-backed warehouse finds and sizes its persistent store.
+struct StoreOptions {
+  /// Root directory of the store; one subdirectory per shard ("disk").
+  std::string path;
+  /// Buffer-pool capacity in pages, shared by all shard segments.
+  std::int64_t pool_pages = 4096;
+  IoBackend backend = IoBackend::kPread;
+  /// Read ahead over coalesced scan runs (best-effort).
+  bool prefetch = true;
+  /// Reuse an existing segment whose header matches exactly; any
+  /// mismatch (corruption, truncation, different dataset) rewrites it.
+  bool reuse_existing = true;
+};
+
+/// FNV-1a accumulator for the schema hash stamped into segment headers:
+/// the warehouse folds in everything that determines the bytes of the
+/// clustered store (schema parameters, seed, clustering attributes,
+/// shard count, allocation, row count), so a stale segment from any
+/// other configuration fails validation and is rewritten.
+struct Fnv1a {
+  std::uint64_t hash = 1469598103934665603ull;
+
+  void Bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      hash ^= p[i];
+      hash *= 1099511628211ull;
+    }
+  }
+  void I64(std::int64_t v) { Bytes(&v, sizeof v); }
+  void U64(std::uint64_t v) { Bytes(&v, sizeof v); }
+};
+
+/// The page-aligned on-disk form of one clustered, sharded warehouse:
+/// per shard a directory `shard-NNNN/` holding `segment.mdwseg` — a
+/// little-endian header (magic, version, schema hash, geometry, column
+/// and fragment directories) followed by the shard's columns, each
+/// column stored page-aligned with `tuples_per_page` values per page
+/// (the same page geometry PagedLayout and the paper's I/O-class math
+/// count, so page boundaries line up with the logical page model).
+///
+/// Column order: the `num_dims` dimension leaf columns, units_sold,
+/// dollar_sales_cents, then — when summaries are enabled — the two
+/// measure prefix-sum columns. A prefix column of a shard with R rows
+/// holds R + 1 values: the global inclusive prefix P[B..E] sliced at
+/// the shard's row region [B, E), so a covered run [b, e) inside the
+/// shard folds as P[e] - P[b] from at most two pages.
+///
+/// Construction writes each shard's segment (write-to-temp + rename),
+/// or reuses a byte-identical existing one (see StoreOptions), then
+/// opens every segment behind one shared BufferPool. All row addressing
+/// on the read side is in *global* clustered row indices; the store
+/// maps them to (shard, local page, offset) internally.
+class SegmentStore {
+ public:
+  /// One fragment's local row range inside its shard's segment.
+  struct FragEntry {
+    std::int64_t frag_id;
+    std::int64_t begin;  ///< shard-local row index
+    std::int64_t end;
+  };
+
+  /// Everything the writer needs from the clustered warehouse. Column
+  /// pointers address the *global* clustered vectors; the store slices
+  /// each shard's region itself.
+  struct BuildInput {
+    std::int64_t page_size;
+    std::int64_t tuples_per_page;
+    std::uint64_t schema_hash;
+    int num_dims;
+    bool has_summaries;
+    /// Global row region of each shard; size num_shards + 1.
+    std::vector<std::int64_t> shard_row_begin;
+    /// Per shard, its fragments' local row ranges, ascending.
+    std::vector<std::vector<FragEntry>> shard_fragments;
+    /// Global columns in on-disk order: dims..., units, dollars, then
+    /// (iff has_summaries) units_prefix, dollars_prefix. The prefix
+    /// vectors hold total_rows + 1 values.
+    std::vector<const std::vector<std::int64_t>*> columns;
+  };
+
+  SegmentStore(const StoreOptions& options, const BuildInput& input);
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// True iff every shard's existing segment file validated and was
+  /// reused as-is (no shard was written).
+  bool reused() const { return reused_; }
+  /// Why the first non-reusable existing segment was rejected (header
+  /// mismatch, truncation, short file, ...); empty when reused() or
+  /// when no prior file existed.
+  const std::string& validation_error() const { return validation_error_; }
+
+  BufferPool& pool() { return *pool_; }
+  const BufferPool& pool() const { return *pool_; }
+
+  std::int64_t page_size() const { return page_size_; }
+  std::int64_t tuples_per_page() const { return tuples_per_page_; }
+  int num_shards() const { return static_cast<int>(files_.size()); }
+  std::int64_t row_count() const { return shard_row_begin_.back(); }
+  int num_columns() const { return num_columns_; }
+  bool has_summaries() const { return has_summaries_; }
+
+  /// Column indices in on-disk order.
+  int ColDim(int d) const { return d; }
+  int ColUnits() const { return num_dims_; }
+  int ColDollars() const { return num_dims_ + 1; }
+  int ColUnitsPrefix() const { return num_dims_ + 2; }
+  int ColDollarsPrefix() const { return num_dims_ + 3; }
+
+  /// Path of shard `s`'s segment file (for tests and tooling).
+  std::string SegmentPath(int s) const;
+  /// Pages in shard `s`'s segment file, header included.
+  std::int64_t SegmentPages(int s) const;
+
+  /// I/O a reader attributed to one execution slice. `pages_read`
+  /// counts pages faulted from disk (demand misses plus pages this
+  /// reader prefetched); `buffer_hits` counts pins served from cache
+  /// (prefetched pages pin as hits). Summed over a query's cursors,
+  /// these match the pool's own counter deltas.
+  struct IoCounters {
+    std::int64_t pages_read = 0;
+    std::int64_t buffer_hits = 0;
+    std::int64_t bytes_read = 0;
+  };
+
+  /// A read cursor over one column, addressed by global clustered row
+  /// index; caches the current pinned page so sequential access costs
+  /// one pool pin per page. Cheap to construct (per scan chunk); NOT
+  /// thread-safe — use one cursor per thread, and a non-null `io` must
+  /// not be shared across concurrently-used cursors.
+  class Cursor {
+   public:
+    Cursor(const SegmentStore* store, int column, IoCounters* io)
+        : store_(store), column_(column), io_(io) {}
+
+    /// Value at global index `i`. For prefix columns `i` ranges over
+    /// [0, row_count()]; for all others [0, row_count()).
+    std::int64_t At(std::int64_t i) {
+      if (i >= span_begin_ && i < span_end_) {
+        return span_
+            [static_cast<std::size_t>(i - span_begin_)];
+      }
+      return Fault(i);
+    }
+
+    /// Best-effort read-ahead of the pages backing global rows
+    /// [begin, end) of this column; no-op when the store disables
+    /// prefetch. Faulted pages count into `io` as pages_read.
+    void PrefetchRun(std::int64_t begin, std::int64_t end);
+
+   private:
+    std::int64_t Fault(std::int64_t i);
+
+    const SegmentStore* store_;
+    int column_;
+    IoCounters* io_;
+    /// Global index span of the currently-pinned page ([begin, end)),
+    /// empty initially.
+    std::int64_t span_begin_ = 0;
+    std::int64_t span_end_ = 0;
+    const std::int64_t* span_ = nullptr;
+    std::int64_t shard_ = 0;  ///< shard of the current span (hint)
+    std::unique_ptr<BufferPool::PageRef> page_;
+  };
+
+  Cursor MakeCursor(int column, IoCounters* io) const {
+    return Cursor(this, column, io);
+  }
+
+ private:
+  /// Per-shard read-side directory derived from the build input.
+  struct ShardDir {
+    std::vector<std::int64_t> col_first_page;  ///< per column
+    std::vector<std::int64_t> col_value_count;
+    std::int64_t total_pages = 0;  ///< header + data
+  };
+
+  /// Serialises the exact header bytes (padded to whole pages) for
+  /// shard `s` under `input`.
+  static std::vector<std::byte> BuildHeader(const BuildInput& input, int s);
+  /// True iff the file at `path` exists and is byte-identical to
+  /// `header` over the header region with the expected total size;
+  /// fills `why` otherwise (empty when the file simply doesn't exist).
+  static bool ValidateExisting(const std::string& path,
+                               const std::vector<std::byte>& header,
+                               std::int64_t expected_bytes, std::string* why);
+  void WriteSegment(const BuildInput& input, int s,
+                    const std::vector<std::byte>& header,
+                    const std::string& path);
+
+  /// Shard whose region covers global index `i` (prefix-column
+  /// addressing included: i == row_count() maps to the last shard).
+  int ShardOf(std::int64_t i) const;
+
+  std::int64_t page_size_;
+  std::int64_t tuples_per_page_;
+  int num_dims_;
+  int num_columns_;
+  bool has_summaries_;
+  bool prefetch_;
+  std::string root_;
+  std::vector<std::int64_t> shard_row_begin_;
+  std::vector<ShardDir> dirs_;
+  std::vector<std::unique_ptr<PageFile>> files_;
+  std::unique_ptr<BufferPool> pool_;
+  bool reused_ = false;
+  std::string validation_error_;
+};
+
+}  // namespace mdw::storage
+
+#endif  // MDW_STORAGE_SEGMENT_STORE_H_

@@ -85,5 +85,20 @@ TEST(BufferManagerTest, HitRatioOnCyclicAccessSmallerThanPool) {
   EXPECT_EQ(pool.hits(), 45);
 }
 
+TEST(BufferManagerTest, ResetDropsContentsAndCounters) {
+  BufferManager pool(100);
+  const auto key = BufferManager::MakeKey(0, 0, 0);
+  pool.Insert(key, 8);
+  EXPECT_TRUE(pool.Lookup(key));
+  pool.Reset();
+  EXPECT_EQ(pool.used_pages(), 0);
+  EXPECT_EQ(pool.hits(), 0);
+  EXPECT_EQ(pool.misses(), 0);
+  EXPECT_EQ(pool.evictions(), 0);
+  EXPECT_FALSE(pool.Lookup(key));  // cold again, counted as a fresh miss
+  EXPECT_EQ(pool.misses(), 1);
+  EXPECT_EQ(pool.capacity_pages(), 100);  // capacity survives the reset
+}
+
 }  // namespace
 }  // namespace mdw

@@ -1,0 +1,251 @@
+// Buffer-pool tests: hit/miss/eviction accounting of the page-granular
+// LRU pool, pin semantics (pinned frames are never victims; releasing a
+// pin makes the frame evictable again), coalesced prefetch with its
+// pool-flush cap, Reset, data integrity across evictions, concurrent
+// pins of the same and different pages, and pread/mmap backend parity.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace mdw::storage {
+namespace {
+
+constexpr std::int64_t kPageSize = 4096;
+constexpr std::int64_t kValuesPerPage = kPageSize / 8;
+
+/// Value stamped at slot `i` of page `p` in the fixture files.
+std::int64_t ValueAt(std::int64_t page, std::int64_t i) {
+  return page * 1'000'000 + i;
+}
+
+/// A page file on disk, deleted when the fixture dies (also on test
+/// failure — gtest EXPECT/ASSERT unwind through destructors).
+class TempPageFile {
+ public:
+  explicit TempPageFile(std::int64_t pages) {
+    const char* base = std::getenv("TEST_TMPDIR");
+    path_ = std::string(base != nullptr ? base : "/tmp") +
+            "/mdw_buffer_pool_test_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".bin";
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    for (std::int64_t p = 0; p < pages; ++p) {
+      for (std::int64_t i = 0; i < kValuesPerPage; ++i) {
+        const std::int64_t v = ValueAt(p, i);
+        out.write(reinterpret_cast<const char*>(&v), sizeof v);
+      }
+    }
+  }
+  ~TempPageFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::int64_t ReadValue(const BufferPool::PageRef& ref, std::int64_t i) {
+  return reinterpret_cast<const std::int64_t*>(ref.data())[i];
+}
+
+TEST(BufferPoolTest, MissThenHitAccounting) {
+  TempPageFile tmp(4);
+  auto file = PageFile::Open(IoBackend::kPread, tmp.path(), kPageSize, 0);
+  BufferPool pool(4, kPageSize);
+  {
+    auto ref = pool.Pin(*file, 1);
+    EXPECT_FALSE(ref.hit());
+    EXPECT_EQ(ReadValue(ref, 3), ValueAt(1, 3));
+  }
+  {
+    auto ref = pool.Pin(*file, 1);
+    EXPECT_TRUE(ref.hit());
+  }
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.pages_read, 1);
+  EXPECT_EQ(stats.bytes_read, kPageSize);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsedWhenFull) {
+  TempPageFile tmp(8);
+  auto file = PageFile::Open(IoBackend::kPread, tmp.path(), kPageSize, 0);
+  BufferPool pool(2, kPageSize);
+  { auto r = pool.Pin(*file, 0); }
+  { auto r = pool.Pin(*file, 1); }
+  { auto r = pool.Pin(*file, 0); }  // page 0 now MRU, page 1 LRU
+  { auto r = pool.Pin(*file, 2); }  // must evict page 1
+  EXPECT_EQ(pool.stats().evictions, 1);
+  EXPECT_TRUE(pool.Pin(*file, 0).hit());
+  EXPECT_FALSE(pool.Pin(*file, 1).hit());  // was the victim
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNeverEvicted) {
+  TempPageFile tmp(8);
+  auto file = PageFile::Open(IoBackend::kPread, tmp.path(), kPageSize, 0);
+  BufferPool pool(2, kPageSize);
+  auto pinned = pool.Pin(*file, 0);  // held across the churn below
+  for (std::int64_t p = 1; p < 8; ++p) {
+    auto r = pool.Pin(*file, p);
+    EXPECT_EQ(ReadValue(r, 7), ValueAt(p, 7));
+  }
+  // Page 0 was the LRU candidate the whole time but stayed resident.
+  EXPECT_TRUE(pool.Pin(*file, 0).hit());
+  EXPECT_EQ(ReadValue(pinned, 0), ValueAt(0, 0));
+}
+
+TEST(BufferPoolTest, ReleasedPinMakesFrameEvictableAgain) {
+  TempPageFile tmp(8);
+  auto file = PageFile::Open(IoBackend::kPread, tmp.path(), kPageSize, 0);
+  BufferPool pool(2, kPageSize);
+  {
+    auto pinned = pool.Pin(*file, 0);
+  }  // released
+  { auto r = pool.Pin(*file, 1); }
+  { auto r = pool.Pin(*file, 2); }  // evicts page 0 now that it is unpinned
+  EXPECT_FALSE(pool.Pin(*file, 0).hit());
+}
+
+TEST(BufferPoolTest, DataSurvivesEvictionChurn) {
+  constexpr std::int64_t kPages = 32;
+  TempPageFile tmp(kPages);
+  auto file = PageFile::Open(IoBackend::kPread, tmp.path(), kPageSize, 0);
+  BufferPool pool(4, kPageSize);  // far smaller than the file
+  for (int round = 0; round < 3; ++round) {
+    for (std::int64_t p = 0; p < kPages; ++p) {
+      auto ref = pool.Pin(*file, p);
+      EXPECT_EQ(ReadValue(ref, 0), ValueAt(p, 0));
+      EXPECT_EQ(ReadValue(ref, kValuesPerPage - 1),
+                ValueAt(p, kValuesPerPage - 1));
+    }
+  }
+  // Cyclic sweep over a smaller pool: every access misses.
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 3 * kPages);
+  EXPECT_GT(stats.evictions, 0);
+}
+
+TEST(BufferPoolTest, PrefetchFaultsRunOnceAndPinsCountAsHits) {
+  TempPageFile tmp(32);
+  auto file = PageFile::Open(IoBackend::kPread, tmp.path(), kPageSize, 0);
+  BufferPool pool(64, kPageSize);
+  EXPECT_EQ(pool.Prefetch(*file, 0, 8), 8);
+  {
+    const PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.prefetched, 8);
+    EXPECT_EQ(stats.misses, 0);
+    EXPECT_EQ(stats.pages_read, 8);
+  }
+  for (std::int64_t p = 0; p < 8; ++p) {
+    auto ref = pool.Pin(*file, p);
+    EXPECT_TRUE(ref.hit());
+    EXPECT_EQ(ReadValue(ref, 5), ValueAt(p, 5));
+  }
+  // Already-resident pages are skipped by a second prefetch.
+  EXPECT_EQ(pool.Prefetch(*file, 0, 8), 0);
+  EXPECT_EQ(pool.stats().prefetched, 8);
+}
+
+TEST(BufferPoolTest, PrefetchRunIsCappedAgainstPoolFlush) {
+  TempPageFile tmp(32);
+  auto file = PageFile::Open(IoBackend::kPread, tmp.path(), kPageSize, 0);
+  BufferPool pool(16, kPageSize);
+  // Cap is min(64, capacity / 4) = 4 pages per call.
+  EXPECT_EQ(pool.Prefetch(*file, 0, 32), 4);
+}
+
+TEST(BufferPoolTest, ResetDropsPagesAndCounters) {
+  TempPageFile tmp(8);
+  auto file = PageFile::Open(IoBackend::kPread, tmp.path(), kPageSize, 0);
+  BufferPool pool(4, kPageSize);
+  { auto r = pool.Pin(*file, 0); }
+  { auto r = pool.Pin(*file, 0); }
+  pool.Reset();
+  const PoolStats zero = pool.stats();
+  EXPECT_EQ(zero.hits, 0);
+  EXPECT_EQ(zero.misses, 0);
+  EXPECT_EQ(zero.pages_read, 0);
+  EXPECT_FALSE(pool.Pin(*file, 0).hit());  // cold again
+}
+
+TEST(BufferPoolTest, ConcurrentPinsOfTheSamePageCoalesceTheRead) {
+  TempPageFile tmp(4);
+  auto file = PageFile::Open(IoBackend::kPread, tmp.path(), kPageSize, 0);
+  BufferPool pool(4, kPageSize);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::int64_t> got(kThreads, -1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto ref = pool.Pin(*file, 2);
+      got[static_cast<std::size_t>(t)] = ReadValue(ref, t);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[static_cast<std::size_t>(t)], ValueAt(2, t));
+  }
+  const PoolStats stats = pool.stats();
+  // Exactly one thread faulted the page; everyone else hit (resident or
+  // load-in-flight).
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+}
+
+TEST(BufferPoolTest, ConcurrentScansOverSmallPoolStayCorrect) {
+  constexpr std::int64_t kPages = 64;
+  TempPageFile tmp(kPages);
+  auto file = PageFile::Open(IoBackend::kPread, tmp.path(), kPageSize, 0);
+  BufferPool pool(8, kPageSize);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<bool> ok(kThreads, false);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      bool all_good = true;
+      for (std::int64_t p = 0; p < kPages; ++p) {
+        const std::int64_t page = (p + t * 16) % kPages;
+        auto ref = pool.Pin(*file, page);
+        all_good = all_good && ReadValue(ref, 9) == ValueAt(page, 9);
+      }
+      ok[static_cast<std::size_t>(t)] = all_good;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_TRUE(ok[static_cast<std::size_t>(t)]);
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kPages);
+}
+
+TEST(BufferPoolTest, MmapBackendReadsTheSameBytes) {
+  TempPageFile tmp(8);
+  auto pread_file =
+      PageFile::Open(IoBackend::kPread, tmp.path(), kPageSize, 0);
+  auto mmap_file = PageFile::Open(IoBackend::kMmap, tmp.path(), kPageSize, 1);
+  EXPECT_EQ(mmap_file->page_count(), pread_file->page_count());
+  BufferPool pool(8, kPageSize);
+  for (std::int64_t p = 0; p < 8; ++p) {
+    auto a = pool.Pin(*pread_file, p);
+    auto b = pool.Pin(*mmap_file, p);
+    for (std::int64_t i = 0; i < kValuesPerPage; i += 100) {
+      EXPECT_EQ(ReadValue(a, i), ReadValue(b, i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdw::storage

@@ -34,8 +34,9 @@ DEFAULT_TRACKED = [
     "BM_MdhfFragmentConfined",
     "BM_MdhfCoveredAggregate",
     "BM_MdhfShardedScan",
+    "BM_MdhfPagedScan",
 ]
-DEFAULT_COUNTERS = ["rows_scanned_per_query", "skew"]
+DEFAULT_COUNTERS = ["rows_scanned_per_query", "skew", "pages_read_per_query"]
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
