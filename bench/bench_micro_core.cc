@@ -23,8 +23,10 @@
 #include "fragment/plan_cache.h"
 #include "fragment/query_planner.h"
 #include "index/btree.h"
+#include "sched/query_scheduler.h"
 #include "schema/apb1.h"
 #include "schema/star_schema.h"
+#include "workload/arrival_generator.h"
 #include "workload/query_parser.h"
 
 namespace {
@@ -528,6 +530,65 @@ BENCHMARK(BM_MdhfParallelScan)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime();
+
+// Open-loop multi-user serving through the scheduler front end: a
+// Poisson/zipfian arrival trace (overloaded ~5x, so admission control and
+// the dispatch policy both bite) served at 4 workers with a bounded
+// queue. Args: streams {1, 16, 256} x policy {0 = FCFS, 1 = credit}.
+// Wall time covers the virtual-time schedule plus the real replay of the
+// served queries; the counters (p99 latency in virtual-time ticks,
+// unfairness = 1 - Jain index over per-stream work, rejected count) are
+// deterministic, so the CI perf gate tracks scheduling quality next to
+// speed. "unfairness" rather than "jain" because the gate fails on
+// counter GROWTH: fairness regressions must read as increases.
+void BM_MultiUserServe(benchmark::State& state) {
+  const int streams = static_cast<int>(state.range(0));
+  const auto policy = state.range(1) == 0 ? mdw::SchedPolicy::kFcfs
+                                          : mdw::SchedPolicy::kCredit;
+  const mdw::Warehouse wh(
+      {.schema = MakeCompactApb1Schema(),
+       .fragmentation = {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}},
+       .backend = mdw::BackendKind::kMaterialized,
+       .seed = 42,
+       .plan_cache_capacity = 4096,
+       .num_workers = 4});
+
+  mdw::ArrivalConfig gen;
+  gen.num_streams = streams;
+  gen.mean_interarrival_vt = 1000.0;
+  gen.stream_skew_theta = 0.5;
+  gen.mix = {mdw::QueryType::k1Month1Group, mdw::QueryType::k1Quarter};
+  gen.seed = 42;
+  const auto arrivals =
+      mdw::ArrivalGenerator(&wh.schema(), gen).Generate(512);
+
+  mdw::ServingConfig config;
+  config.policy = policy;
+  config.num_workers = 4;
+  config.queue_capacity = 256;
+
+  wh.Serve(arrivals, config);  // warm the plan cache; the loop measures
+  double p99 = 0, unfairness = 0, rejected = 0;
+  for (auto _ : state) {
+    const auto batch = wh.Serve(arrivals, config);
+    p99 = batch.serving->total.p99_response_vt;
+    unfairness = 1.0 - batch.serving->jain_fairness;
+    rejected = static_cast<double>(batch.serving->total.rejected);
+    benchmark::DoNotOptimize(batch.total_aggregate->rows);
+  }
+  state.counters["streams"] = static_cast<double>(streams);
+  state.counters["p99_response_vt"] = p99;
+  state.counters["unfairness"] = unfairness;
+  state.counters["rejected"] = rejected;
+  // Horizon 0 drains the queue, so served = submitted - rejected.
+  state.counters["queries_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          (static_cast<double>(arrivals.size()) - rejected),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MultiUserServe)
+    ->ArgsProduct({{1, 16, 256}, {0, 1}})
     ->UseRealTime();
 
 }  // namespace

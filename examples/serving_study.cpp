@@ -1,0 +1,179 @@
+// Multi-user serving study, real and simulated: the same open-loop
+// arrival trace (seeded Poisson arrivals, zipfian stream popularity) is
+// pushed through both engines at growing stream counts:
+//
+//  - REAL: the materialized warehouse serves the trace through the
+//    virtual-time QueryScheduler front end (Warehouse::Serve) — FCFS and
+//    credit/fair-share dispatch over 4 workers behind a bounded admission
+//    queue. The latency columns are the scheduler's deterministic
+//    virtual-time percentiles; wall milliseconds cover the real replay
+//    of the served queries on the thread pool.
+//  - SIMPAD: the discrete-event simulator runs the same queries in its
+//    multi-user mode (round-robin streams, each sequential), and the
+//    per-query attribution (SimResult::response_by_query_ms) yields
+//    percentiles in simulated milliseconds.
+//
+// Virtual-time ticks and simulated milliseconds are different units, so
+// both response curves are NORMALIZED to their own single-stream point
+// ("x1" columns): comparable shapes mean the cheap virtual-time model
+// and the device-level simulation agree on how contention scales.
+//
+// The fairness column is the Jain index over per-stream completed work
+// (1.0 = every active stream got its share); "rej" counts arrivals shed
+// by admission control (queue capacity 256).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/mdw.h"
+
+namespace {
+
+// The compact APB-1 shape also used by the micro benches (~170k fact
+// rows at density 0.25): big enough for contention, small enough to
+// materialise and simulate thousands of queries quickly.
+mdw::StarSchema MakeCompactApb1Schema() {
+  mdw::Dimension product("product",
+                         mdw::Hierarchy({{"division", 2},
+                                         {"line", 6},
+                                         {"family", 12},
+                                         {"group", 48},
+                                         {"class", 240},
+                                         {"code", 480}}),
+                         mdw::IndexKind::kEncoded);
+  mdw::Dimension customer("customer",
+                          mdw::Hierarchy({{"retailer", 6}, {"store", 60}}),
+                          mdw::IndexKind::kEncoded);
+  mdw::Dimension channel("channel", mdw::Hierarchy({{"channel", 2}}),
+                         mdw::IndexKind::kSimple);
+  mdw::Dimension time("time",
+                      mdw::Hierarchy(
+                          {{"year", 1}, {"quarter", 4}, {"month", 12}}),
+                      mdw::IndexKind::kSimple);
+  return mdw::StarSchema("compact_sales",
+                         {std::move(product), std::move(customer),
+                          std::move(channel), std::move(time)},
+                         /*density=*/0.25, mdw::PhysicalParams{});
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<mdw::FragAttr> month_group = {{mdw::kApb1Time, 2},
+                                                  {mdw::kApb1Product, 3}};
+  const mdw::Warehouse real({.schema = MakeCompactApb1Schema(),
+                             .fragmentation = month_group,
+                             .backend = mdw::BackendKind::kMaterialized,
+                             .seed = 42,
+                             .plan_cache_capacity = 4096,
+                             .num_workers = 4});
+  mdw::SimConfig sim_config;
+  sim_config.num_disks = 20;
+  sim_config.num_nodes = 2;
+  sim_config.tasks_per_node = 2;  // 4 simulated processors, like REAL
+  const mdw::Warehouse simulated({.schema = MakeCompactApb1Schema(),
+                                  .fragmentation = month_group,
+                                  .backend = mdw::BackendKind::kSimulated,
+                                  .sim = sim_config,
+                                  .plan_cache_capacity = 4096});
+
+  // Every stream submits at the same per-stream rate, so the arrival
+  // WINDOW stays constant across rows (64 arrivals x 40000 vt mean gap
+  // each) while the aggregate load grows linearly with the stream count:
+  // 1 stream runs far below the 4-worker capacity, 8 approach it, 64 and
+  // 256 overload it and engage admission control.
+  const int kArrivalsPerStream = 64;
+  const double kPerStreamGapVt = 40000.0;
+  const std::vector<int> stream_counts = {1, 8, 64, 256};
+
+  std::printf(
+      "Open-loop serving study under %s\n"
+      "REAL = Warehouse::Serve, 4 workers, queue capacity 256, "
+      "virtual-time latencies; SIM = SIMPAD multi-user, simulated ms.\n"
+      "Both p99 curves normalized to their single-stream point (x1).\n\n",
+      real.fragmentation().Label().c_str());
+
+  mdw::TablePrinter table({"streams", "policy", "p50 [vt]", "p99 [vt]",
+                           "p99 x1", "jain", "rej", "wall [ms]",
+                           "sim p99 [ms]", "sim p99 x1"});
+
+  double real_base_p99 = 0, sim_base_p99 = 0;
+  for (const int streams : stream_counts) {
+    mdw::ArrivalConfig gen;
+    gen.num_streams = streams;
+    gen.mean_interarrival_vt = kPerStreamGapVt / streams;
+    gen.stream_skew_theta = 0.5;
+    gen.mix = {mdw::QueryType::k1Month1Group, mdw::QueryType::k1Quarter,
+               mdw::QueryType::k1Group1Store};
+    gen.seed = 42;
+    const auto arrivals = mdw::ArrivalGenerator(&real.schema(), gen)
+                              .Generate(kArrivalsPerStream * streams);
+
+    // ---- SIMPAD: same queries, round-robin streams ----
+    std::vector<mdw::StarQuery> queries;
+    queries.reserve(arrivals.size());
+    for (const auto& a : arrivals) queries.push_back(a.query);
+    const auto sim_batch = simulated.ExecuteBatch(queries, streams);
+    const double sim_p99 = Percentile(sim_batch.sim->response_by_query_ms,
+                                      0.99);
+    if (streams == 1) sim_base_p99 = sim_p99;
+
+    for (const auto policy :
+         {mdw::SchedPolicy::kFcfs, mdw::SchedPolicy::kCredit}) {
+      mdw::ServingConfig config;
+      config.policy = policy;
+      config.num_workers = 4;
+      config.queue_capacity = 256;
+      // Measure inside the arrival window: under overload every stream
+      // is still backlogged at the horizon, so the Jain column shows WHO
+      // the served capacity went to rather than a drained steady state.
+      config.horizon_vt = arrivals.back().vt + 1;
+
+      const auto start = std::chrono::steady_clock::now();
+      const auto batch = real.Serve(arrivals, config);
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      const auto& m = *batch.serving;
+      if (streams == 1 && policy == mdw::SchedPolicy::kFcfs) {
+        real_base_p99 = m.total.p99_response_vt;
+      }
+      table.AddRow(
+          {std::to_string(streams), mdw::ToString(policy),
+           mdw::TablePrinter::Num(m.total.p50_response_vt, 0),
+           mdw::TablePrinter::Num(m.total.p99_response_vt, 0),
+           mdw::TablePrinter::Num(m.total.p99_response_vt / real_base_p99,
+                                  2),
+           mdw::TablePrinter::Num(m.jain_fairness, 3),
+           std::to_string(m.total.rejected),
+           mdw::TablePrinter::Num(wall_ms, 1),
+           mdw::TablePrinter::Num(sim_p99, 1),
+           mdw::TablePrinter::Num(sim_p99 / sim_base_p99, 2)});
+    }
+  }
+  table.Print(stdout);
+
+  std::printf(
+      "\nReading the table: both engines inflate their p99 as streams\n"
+      "add load — the scheduler's virtual-time model and the\n"
+      "device-level simulation agree on the shape of the contention\n"
+      "curve even though their units differ. Under overload, credit\n"
+      "dispatch spreads the served capacity evenly over the backlogged\n"
+      "streams (higher Jain) where FCFS hands it to whoever arrived\n"
+      "first — the zipfian heavy tenants. Open-loop arrivals never\n"
+      "back off, so the bounded queue sheds the excess (rej column)\n"
+      "instead of letting waiting time grow without bound.\n");
+  return 0;
+}

@@ -10,6 +10,7 @@
 
 #include "core/mini_warehouse.h"
 #include "fragment/query_planner.h"
+#include "sched/query_scheduler.h"
 #include "sim/metrics.h"
 #include "sim/sim_config.h"
 #include "sim/simulator.h"
@@ -88,6 +89,11 @@ struct QueryOutcome {
   // ---- timing and device metrics (kSimulated) ----
   std::optional<SimResult> sim;
   double response_ms = 0;  ///< convenience mirror of sim->avg_response_ms
+
+  /// Field-wise equality — the serving tests' "bit-identical to a direct
+  /// Execute" guarantee is checked through this.
+  friend bool operator==(const QueryOutcome& a,
+                         const QueryOutcome& b) = default;
 };
 
 /// Result of executing a batch of queries: per-query outcomes in input
@@ -104,19 +110,24 @@ struct QueryOutcome {
 ///   complete (possibly multi-stream) run, not any single query — and
 ///   `makespan_ms` mirrors sim->makespan_ms.
 ///
-/// Single-stream-only attribution caveat: `queries[i].response_ms` is
-/// filled IFF the simulated batch ran with streams == 1, where
-/// completion order provably equals submission order. With streams > 1
-/// the simulator reports sim->response_ms in COMPLETION order, which
-/// cannot be attributed back to individual submitted queries, so every
-/// queries[i].response_ms stays 0 there — read the distribution from
-/// sim->avg/min/max_response_ms instead.
+/// Per-query attribution: `queries[i].response_ms` is filled for EVERY
+/// stream count — the simulator attributes each response to its
+/// submitted query id (SimResult::response_by_query_ms), so multi-stream
+/// simulated latencies compare per-query against real executions. (The
+/// historical completion-order vector survives as sim->response_ms.)
+///
+/// Serving runs (Warehouse::Serve): `serving` is engaged with the
+/// deterministic virtual-time metrics — per-stream latency percentiles,
+/// queue wait vs service time, rejected counts, and the Jain fairness
+/// index — and `queries` holds the outcomes of the SERVED queries in
+/// admission order (rejected/unserved arrivals execute nothing).
 struct BatchOutcome {
   BackendKind backend = BackendKind::kSimulated;
   std::vector<QueryOutcome> queries;
 
   std::optional<MiniWarehouse::AggregateResult> total_aggregate;
   std::optional<SimResult> sim;
+  std::optional<ServeMetrics> serving;
   double makespan_ms = 0;
 
   double ThroughputPerSecond() const {
@@ -168,6 +179,19 @@ class MaterializedBackend : public ExecutionBackend {
   BatchOutcome ExecuteBatch(std::span<const StarQuery> queries,
                             std::span<const QueryPlan> plans,
                             int streams) const override;
+
+  /// Open-loop multi-user serving: schedules the arrival trace (one plan
+  /// per arrival) through a deterministic virtual-time QueryScheduler —
+  /// admission control, FCFS or credit dispatch — then executes the
+  /// served queries on the shared pool in dispatch order, each serially
+  /// within its task, so every outcome is bit-identical to a direct
+  /// Execute of the same query. `config.num_workers == 0` adopts this
+  /// backend's resolved degree. Returns the served queries' outcomes in
+  /// admission order with `serving` metrics engaged; `schedule_out`
+  /// (optional) receives the full virtual-time schedule.
+  BatchOutcome Serve(std::span<const Arrival> arrivals,
+                     std::span<const QueryPlan> plans, ServingConfig config,
+                     ServeSchedule* schedule_out = nullptr) const;
 
   const MiniWarehouse& warehouse() const { return *warehouse_; }
   /// The resolved parallel degree (>= 1).

@@ -51,10 +51,12 @@
 #include "fragment/star_query.h"
 #include "fragment/thresholds.h"
 #include "index/btree.h"
+#include "sched/query_scheduler.h"
 #include "schema/apb1.h"
 #include "schema/dimension_table.h"
 #include "schema/star_schema.h"
 #include "sim/simulator.h"
+#include "workload/arrival_generator.h"
 #include "workload/query_generator.h"
 #include "workload/query_parser.h"
 #include "workload/workload_driver.h"

@@ -78,6 +78,19 @@ BatchOutcome Warehouse::ExecuteBatch(std::span<const StarQuery> queries,
   return backend_->ExecuteBatch(queries, plans, streams);
 }
 
+BatchOutcome Warehouse::Serve(std::span<const Arrival> arrivals,
+                              const ServingConfig& config,
+                              ServeSchedule* schedule_out) const {
+  MDW_CHECK(backend_->kind() == BackendKind::kMaterialized,
+            "Serve() needs BackendKind::kMaterialized — the simulated "
+            "backend models multi-user streams via ExecuteBatch(streams)");
+  std::vector<QueryPlan> plans;
+  plans.reserve(arrivals.size());
+  for (const auto& a : arrivals) plans.push_back(*PlanShared(a.query));
+  return static_cast<const MaterializedBackend*>(backend_.get())
+      ->Serve(arrivals, plans, config, schedule_out);
+}
+
 const MiniWarehouse* Warehouse::materialized() const { return mini_.get(); }
 
 const SimConfig& Warehouse::sim_config() const {

@@ -138,6 +138,21 @@ class Warehouse {
   BatchOutcome ExecuteBatch(std::span<const StarQuery> queries,
                             int streams = 1) const;
 
+  /// Open-loop multi-user serving (materialized backend only): plans
+  /// every arrival (cache-first), admits the trace through a
+  /// deterministic virtual-time QueryScheduler under `config` (FCFS or
+  /// credit/fair-share, bounded-queue admission control), executes the
+  /// served queries on the backend's pool in dispatch order, and returns
+  /// their outcomes (admission order) with BatchOutcome::serving engaged
+  /// — per-stream p50/p95/p99 latency, queue wait vs service time,
+  /// rejected counts and the Jain fairness index, all in virtual time so
+  /// they reproduce bit-for-bit regardless of thread timing. Every
+  /// served query's QueryOutcome is bit-identical to Execute() of the
+  /// same query. `schedule_out` (optional) receives the full schedule.
+  BatchOutcome Serve(std::span<const Arrival> arrivals,
+                     const ServingConfig& config,
+                     ServeSchedule* schedule_out = nullptr) const;
+
   /// The materialised mini-warehouse backing kMaterialized, or nullptr —
   /// ground-truth checks (full scans, bitmap paths) go through this.
   const MiniWarehouse* materialized() const;

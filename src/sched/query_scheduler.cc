@@ -1,0 +1,342 @@
+#include "sched/query_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mdw {
+
+const char* ToString(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFcfs: return "fcfs";
+    case SchedPolicy::kCredit: return "credit";
+  }
+  return "?";
+}
+
+std::int64_t VirtualDemand(const QueryPlan& plan) {
+  const double fact_rows =
+      static_cast<double>(plan.fragmentation().schema().FactCount());
+  const auto expected_hits =
+      static_cast<std::int64_t>(std::llround(plan.selectivity() * fact_rows));
+  return std::max<std::int64_t>(1, plan.FragmentCount() + expected_hits);
+}
+
+QueryScheduler::QueryScheduler(ServingConfig config)
+    : config_(std::move(config)) {
+  MDW_CHECK(config_.num_workers >= 1,
+            "QueryScheduler needs a resolved num_workers (>= 1)");
+  MDW_CHECK(config_.queue_capacity >= 0, "queue_capacity must be >= 0");
+  MDW_CHECK(config_.horizon_vt >= 0, "horizon_vt must be >= 0");
+}
+
+namespace {
+
+/// Mutable per-stream scheduling state. `queue` holds indices into
+/// ServeSchedule::admitted, FIFO within the stream.
+struct StreamState {
+  std::deque<std::size_t> queue;
+  double credit = 0;
+};
+
+}  // namespace
+
+ServeSchedule QueryScheduler::Run(
+    std::span<const Arrival> arrivals,
+    std::span<const std::int64_t> demands) const {
+  MDW_CHECK(arrivals.size() == demands.size(), "one demand per arrival");
+  int num_streams = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    MDW_CHECK(arrivals[i].stream >= 0, "stream ids must be non-negative");
+    MDW_CHECK(demands[i] > 0, "demands must be positive");
+    MDW_CHECK(i == 0 || arrivals[i].vt >= arrivals[i - 1].vt,
+              "arrivals must be sorted by virtual time");
+    num_streams = std::max(num_streams, arrivals[i].stream + 1);
+  }
+
+  ServeSchedule out;
+  std::vector<StreamState> streams(static_cast<std::size_t>(num_streams));
+  std::vector<double> weight(static_cast<std::size_t>(num_streams), 1.0);
+  for (int s = 0; s < num_streams; ++s) {
+    weight[static_cast<std::size_t>(s)] = config_.WeightOf(s);
+  }
+
+  // In-service queries as a min-heap of (completion_vt, dispatch_seq);
+  // the dispatch_seq tie-break keeps equal-time completions in a fixed
+  // order, so the whole event sequence is deterministic.
+  using Completion = std::pair<std::int64_t, std::int64_t>;
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      running;
+
+  const int workers = config_.num_workers;
+  const std::int64_t capacity = config_.queue_capacity;
+  const std::int64_t horizon = config_.horizon_vt;
+  int free_servers = workers;
+  std::int64_t waiting = 0;
+  std::int64_t now = 0;
+  std::int64_t enqueue_seq = 0;
+  std::int64_t dispatch_seq = 0;
+  std::int64_t last_accrual_vt = 0;
+  double depth_integral = 0;
+  std::int64_t full_vt = 0;
+
+  // Credit accrual: the service capacity freed since the last accrual
+  // (elapsed vt x workers) is split over the BACKLOGGED streams in
+  // weight proportion. Idle streams accrue nothing — fairness meters
+  // demand that exists, it does not bank credit for later bursts.
+  const auto accrue = [&](std::int64_t to_vt) {
+    const std::int64_t dt = to_vt - last_accrual_vt;
+    last_accrual_vt = to_vt;
+    if (config_.policy != SchedPolicy::kCredit || dt <= 0) return;
+    double backlogged_weight = 0;
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (!streams[s].queue.empty()) backlogged_weight += weight[s];
+    }
+    if (backlogged_weight <= 0) return;
+    const double capacity_units = static_cast<double>(dt * workers);
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (!streams[s].queue.empty()) {
+        streams[s].credit += weight[s] / backlogged_weight * capacity_units;
+      }
+    }
+  };
+
+  // Picks the stream to serve next, or -1: FCFS takes the globally
+  // oldest admitted query; credit takes the highest balance. Ties break
+  // to the lower stream id (strict comparisons over ascending ids).
+  const auto pick_stream = [&]() -> int {
+    int best = -1;
+    for (int s = 0; s < num_streams; ++s) {
+      const auto u = static_cast<std::size_t>(s);
+      if (streams[u].queue.empty()) continue;
+      if (best < 0) {
+        best = s;
+        continue;
+      }
+      const auto b = static_cast<std::size_t>(best);
+      if (config_.policy == SchedPolicy::kFcfs) {
+        if (out.admitted[streams[u].queue.front()].enqueue_seq <
+            out.admitted[streams[b].queue.front()].enqueue_seq) {
+          best = s;
+        }
+      } else if (streams[u].credit > streams[b].credit) {
+        best = s;
+      }
+    }
+    return best;
+  };
+
+  const auto try_dispatch = [&]() {
+    accrue(now);
+    while (free_servers > 0 && waiting > 0 &&
+           (horizon == 0 || now < horizon)) {
+      const int s = pick_stream();
+      auto& stream = streams[static_cast<std::size_t>(s)];
+      const std::size_t slot = stream.queue.front();
+      stream.queue.pop_front();
+      ScheduledQuery& q = out.admitted[slot];
+      q.served = true;
+      q.dispatch_seq = dispatch_seq++;
+      q.dispatch_vt = now;
+      q.completion_vt = now + q.demand;
+      if (config_.policy == SchedPolicy::kCredit) {
+        stream.credit -= static_cast<double>(q.demand);
+      }
+      running.emplace(q.completion_vt, q.dispatch_seq);
+      out.makespan_vt = std::max(out.makespan_vt, q.completion_vt);
+      --waiting;
+      --free_servers;
+    }
+  };
+
+  // Advances virtual time to `to`, integrating the queue-depth signals
+  // and the (always-zero) idle-while-backlogged invariant counter over
+  // the elapsed interval.
+  const auto advance = [&](std::int64_t to) {
+    const std::int64_t dt = to - now;
+    if (dt > 0) {
+      depth_integral +=
+          static_cast<double>(waiting) * static_cast<double>(dt);
+      if (capacity > 0 && waiting >= capacity) full_vt += dt;
+      if (waiting > 0 && free_servers > 0 && (horizon == 0 || now < horizon)) {
+        out.idle_while_backlogged_vt += dt;
+      }
+    }
+    now = to;
+  };
+
+  std::size_t next_arrival = 0;
+  while (next_arrival < arrivals.size() || !running.empty()) {
+    // Next event time; completions at a tie are processed before
+    // arrivals so a freed server is visible to same-instant admissions.
+    std::int64_t t;
+    if (running.empty()) {
+      t = arrivals[next_arrival].vt;
+    } else if (next_arrival >= arrivals.size()) {
+      t = running.top().first;
+    } else {
+      t = std::min(arrivals[next_arrival].vt, running.top().first);
+    }
+    advance(t);
+
+    while (!running.empty() && running.top().first == now) {
+      running.pop();
+      ++free_servers;
+    }
+    try_dispatch();
+
+    // Admissions one at a time, each followed by a dispatch attempt, so
+    // an arrival that finds a free server starts immediately and never
+    // occupies (or overflows) the waiting queue.
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].vt == now) {
+      const auto ai = next_arrival++;
+      if (capacity > 0 && waiting >= capacity) {
+        out.rejected.push_back(static_cast<std::int64_t>(ai));
+        continue;
+      }
+      ScheduledQuery q;
+      q.arrival_index = static_cast<std::int64_t>(ai);
+      q.stream = arrivals[ai].stream;
+      q.enqueue_seq = enqueue_seq++;
+      q.arrival_vt = now;
+      q.demand = demands[ai];
+      out.admitted.push_back(q);
+      streams[static_cast<std::size_t>(q.stream)].queue.push_back(
+          out.admitted.size() - 1);
+      ++waiting;
+      out.queue_high_water = std::max(out.queue_high_water, waiting);
+      try_dispatch();
+    }
+  }
+
+  // Integrate over the full event horizon (the last arrival may trail
+  // the last completion when the horizon cut dispatching short).
+  const std::int64_t span = std::max(out.makespan_vt, now);
+  if (span > 0) {
+    out.mean_queue_depth = depth_integral / static_cast<double>(span);
+    out.backpressure_fraction =
+        static_cast<double>(full_vt) / static_cast<double>(span);
+  }
+  return out;
+}
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+ServeMetrics ComputeServeMetrics(const ServeSchedule& schedule,
+                                 std::span<const Arrival> arrivals,
+                                 const ServingConfig& config) {
+  int num_streams = 0;
+  for (const auto& a : arrivals) {
+    num_streams = std::max(num_streams, a.stream + 1);
+  }
+
+  ServeMetrics metrics;
+  metrics.streams.assign(static_cast<std::size_t>(num_streams), {});
+  metrics.makespan_vt = schedule.makespan_vt;
+  metrics.mean_queue_depth = schedule.mean_queue_depth;
+  metrics.queue_high_water = schedule.queue_high_water;
+  metrics.backpressure_fraction = schedule.backpressure_fraction;
+  metrics.idle_while_backlogged_vt = schedule.idle_while_backlogged_vt;
+
+  for (const auto& a : arrivals) {
+    ++metrics.streams[static_cast<std::size_t>(a.stream)].submitted;
+  }
+  for (const std::int64_t ai : schedule.rejected) {
+    const int s = arrivals[static_cast<std::size_t>(ai)].stream;
+    ++metrics.streams[static_cast<std::size_t>(s)].rejected;
+  }
+
+  std::vector<std::vector<double>> responses(
+      static_cast<std::size_t>(num_streams));
+  std::vector<double> all_responses;
+  std::vector<double> wait_sum(static_cast<std::size_t>(num_streams), 0);
+  std::vector<double> service_sum(static_cast<std::size_t>(num_streams), 0);
+  for (const auto& q : schedule.admitted) {
+    auto& stream = metrics.streams[static_cast<std::size_t>(q.stream)];
+    ++stream.admitted;
+    if (!q.served) continue;
+    ++stream.completed;
+    stream.work += q.demand;
+    const auto response = static_cast<double>(q.Response());
+    responses[static_cast<std::size_t>(q.stream)].push_back(response);
+    all_responses.push_back(response);
+    wait_sum[static_cast<std::size_t>(q.stream)] +=
+        static_cast<double>(q.QueueWait());
+    service_sum[static_cast<std::size_t>(q.stream)] +=
+        static_cast<double>(q.demand);
+  }
+
+  const auto finish = [&](StreamServeStats* stats,
+                          std::vector<double>* sample, double waits,
+                          double services) {
+    std::sort(sample->begin(), sample->end());
+    stats->p50_response_vt = Percentile(*sample, 0.50);
+    stats->p95_response_vt = Percentile(*sample, 0.95);
+    stats->p99_response_vt = Percentile(*sample, 0.99);
+    if (stats->completed > 0) {
+      stats->mean_queue_wait_vt =
+          waits / static_cast<double>(stats->completed);
+      stats->mean_service_vt =
+          services / static_cast<double>(stats->completed);
+    }
+    if (metrics.makespan_vt > 0) {
+      stats->throughput_per_kvt = static_cast<double>(stats->completed) *
+                                  1000.0 /
+                                  static_cast<double>(metrics.makespan_vt);
+    }
+  };
+
+  double total_waits = 0;
+  double total_services = 0;
+  for (std::size_t s = 0; s < metrics.streams.size(); ++s) {
+    auto& stream = metrics.streams[s];
+    finish(&stream, &responses[s], wait_sum[s], service_sum[s]);
+    metrics.total.submitted += stream.submitted;
+    metrics.total.admitted += stream.admitted;
+    metrics.total.rejected += stream.rejected;
+    metrics.total.completed += stream.completed;
+    metrics.total.work += stream.work;
+    total_waits += wait_sum[s];
+    total_services += service_sum[s];
+  }
+  finish(&metrics.total, &all_responses, total_waits, total_services);
+
+  // Jain over the weight-normalized completed work of the streams that
+  // submitted anything: (sum x)^2 / (n * sum x^2).
+  double sum = 0;
+  double sum_sq = 0;
+  std::int64_t active = 0;
+  for (std::size_t s = 0; s < metrics.streams.size(); ++s) {
+    if (metrics.streams[s].submitted == 0) continue;
+    ++active;
+    const double x = static_cast<double>(metrics.streams[s].work) /
+                     config.WeightOf(static_cast<int>(s));
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (active > 0 && sum_sq > 0) {
+    metrics.jain_fairness =
+        sum * sum / (static_cast<double>(active) * sum_sq);
+  }
+  return metrics;
+}
+
+}  // namespace mdw

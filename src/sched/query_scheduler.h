@@ -1,0 +1,199 @@
+#ifndef MDW_SCHED_QUERY_SCHEDULER_H_
+#define MDW_SCHED_QUERY_SCHEDULER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fragment/query_planner.h"
+#include "fragment/star_query.h"
+
+namespace mdw {
+
+/// Dispatch policy of the open-loop serving front end.
+enum class SchedPolicy {
+  /// Global first-come-first-served: queries dispatch in admission order
+  /// regardless of which stream submitted them. Simple and latency-fair
+  /// per query, but a stream may grab an arbitrary share of the service
+  /// capacity by submitting more (or heavier) queries.
+  kFcfs,
+  /// Credit/fair-share: every backlogged stream accrues credits in
+  /// proportion to its weight (idle streams accrue nothing, so there is
+  /// no hoarding), and the backlogged stream with the highest credit
+  /// balance is served next, its balance charged by the dispatched
+  /// query's demand. Work-conserving: a server never idles while any
+  /// stream has a waiting query, even when every balance is negative.
+  /// Under saturation per-stream completed work converges to the
+  /// configured weight ratios.
+  kCredit,
+};
+
+const char* ToString(SchedPolicy policy);
+
+/// One open-loop client request: stream `stream` submits `query` at
+/// virtual time `vt`. Traces are sorted by vt (ties keep trace order).
+struct Arrival {
+  std::int64_t vt = 0;
+  int stream = 0;
+  StarQuery query;
+};
+
+/// Settings of one serving run.
+struct ServingConfig {
+  SchedPolicy policy = SchedPolicy::kFcfs;
+
+  /// Virtual service lanes. The virtual-time model dispatches at most
+  /// this many queries concurrently — matching the real concurrency the
+  /// executing pool offers. 0 = take the warehouse backend's resolved
+  /// num_workers (Warehouse::Serve fills it in).
+  int num_workers = 0;
+
+  /// Admission bound: the maximum number of queries WAITING for a server
+  /// (in-service queries excluded) across all streams. An arrival that
+  /// finds the queue full is rejected (shed) and never executed.
+  /// 0 = unbounded.
+  std::int64_t queue_capacity = 0;
+
+  /// Per-stream weights for SchedPolicy::kCredit, indexed by stream id;
+  /// streams beyond the vector (or with a non-positive entry) weigh 1.0.
+  /// Ignored by kFcfs.
+  std::vector<double> weights;
+
+  /// Measurement horizon: no query is dispatched at or after this
+  /// virtual time, so under overload per-stream completed work measures
+  /// the policy's share while every stream is still backlogged (admitted
+  /// queries left waiting are reported as unserved). 0 = serve to drain.
+  std::int64_t horizon_vt = 0;
+
+  /// Weight of stream `s` under this config (>= the 1.0 default).
+  double WeightOf(int s) const {
+    const auto u = static_cast<std::size_t>(s);
+    return u < weights.size() && weights[u] > 0 ? weights[u] : 1.0;
+  }
+};
+
+/// The deterministic virtual-time record of one admitted query.
+struct ScheduledQuery {
+  std::int64_t arrival_index = 0;  ///< index into the arrival trace
+  int stream = 0;
+  std::int64_t enqueue_seq = 0;  ///< admission order (dense, 0-based)
+  std::int64_t arrival_vt = 0;
+  std::int64_t demand = 0;  ///< virtual service demand (work units)
+  /// Set iff the query was dispatched before the horizon.
+  bool served = false;
+  std::int64_t dispatch_seq = -1;  ///< dispatch order (dense, 0-based)
+  std::int64_t dispatch_vt = 0;
+  std::int64_t completion_vt = 0;
+
+  std::int64_t QueueWait() const { return dispatch_vt - arrival_vt; }
+  std::int64_t Response() const { return completion_vt - arrival_vt; }
+};
+
+/// Full schedule of one serving run, derived single-threadedly in virtual
+/// time — identical for a given (arrivals, demands, config) regardless of
+/// how many real threads later execute it.
+struct ServeSchedule {
+  /// Admitted queries in admission (enqueue_seq) order; a subsequence of
+  /// the arrival trace. Unserved entries (admitted but still waiting at
+  /// the horizon) have served == false.
+  std::vector<ScheduledQuery> admitted;
+  /// Arrival indices rejected by admission control, ascending.
+  std::vector<std::int64_t> rejected;
+  /// Completion time of the last served query (0 if nothing ran).
+  std::int64_t makespan_vt = 0;
+  /// Virtual time during which a server idled although a query waited,
+  /// before the horizon. 0 by construction — the dispatch loop is
+  /// work-conserving; exposed so tests can assert the invariant.
+  std::int64_t idle_while_backlogged_vt = 0;
+  /// Time-weighted mean depth of the waiting queue over the makespan,
+  /// and the deepest it ever got.
+  double mean_queue_depth = 0;
+  std::int64_t queue_high_water = 0;
+  /// Backpressure signal: fraction of the makespan the waiting queue sat
+  /// at capacity, i.e. every arrival in that window was shed. Always 0
+  /// with queue_capacity == 0.
+  double backpressure_fraction = 0;
+
+  std::int64_t ServedCount() const {
+    std::int64_t n = 0;
+    for (const auto& q : admitted) n += q.served ? 1 : 0;
+    return n;
+  }
+};
+
+/// Per-stream serving statistics; virtual-time units throughout, so every
+/// field is deterministic for a given trace and config.
+struct StreamServeStats {
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;  ///< dispatched before the horizon
+  /// Sum of the completed queries' virtual demands — the stream's share
+  /// of the service capacity (what the credit weights meter).
+  std::int64_t work = 0;
+  double p50_response_vt = 0;
+  double p95_response_vt = 0;
+  double p99_response_vt = 0;
+  double mean_queue_wait_vt = 0;
+  double mean_service_vt = 0;
+  /// Completed queries per 1000 virtual-time units.
+  double throughput_per_kvt = 0;
+};
+
+/// Run-level serving metrics: per-stream stats, their aggregate, and the
+/// fairness/queue signals of the schedule.
+struct ServeMetrics {
+  std::vector<StreamServeStats> streams;  ///< index = stream id
+  StreamServeStats total;
+  /// Jain fairness index over the streams' weight-normalized completed
+  /// work x_s = work_s / weight_s: (sum x)^2 / (n * sum x^2). 1.0 =
+  /// every stream got exactly its weighted share, 1/n = one stream took
+  /// everything. Streams that submitted nothing are excluded.
+  double jain_fairness = 1.0;
+  std::int64_t makespan_vt = 0;
+  double mean_queue_depth = 0;
+  std::int64_t queue_high_water = 0;
+  double backpressure_fraction = 0;
+  std::int64_t idle_while_backlogged_vt = 0;
+};
+
+/// Deterministic virtual service demand of a planned query: the expected
+/// hit rows under the uniformity assumption plus one unit per processed
+/// fragment (covered fragments still cost their O(1) summary lookup).
+/// Derived from the plan alone, so the scheduler's timeline never depends
+/// on execution timing.
+std::int64_t VirtualDemand(const QueryPlan& plan);
+
+/// The open-loop multi-user scheduler: admits an arrival trace into
+/// bounded per-stream queues and dispatches onto `num_workers` virtual
+/// servers under the configured policy. Run() is single-threaded and
+/// purely virtual-time — the returned schedule fixes admission, dispatch
+/// order and all latency metrics deterministically; real execution (see
+/// MaterializedBackend::Serve) only replays the dispatch order onto the
+/// thread pool.
+class QueryScheduler {
+ public:
+  /// `config.num_workers` must be resolved (>= 1) by the caller.
+  explicit QueryScheduler(ServingConfig config);
+
+  const ServingConfig& config() const { return config_; }
+
+  /// Schedules `arrivals` (sorted by vt) with `demands[i]` work units for
+  /// arrival i. Deterministic: same inputs, same schedule.
+  ServeSchedule Run(std::span<const Arrival> arrivals,
+                    std::span<const std::int64_t> demands) const;
+
+ private:
+  ServingConfig config_;
+};
+
+/// Derives the run metrics from a schedule; `arrivals` must be the trace
+/// the schedule was computed from (rejected/unserved attribution needs
+/// the stream of every arrival).
+ServeMetrics ComputeServeMetrics(const ServeSchedule& schedule,
+                                 std::span<const Arrival> arrivals,
+                                 const ServingConfig& config);
+
+}  // namespace mdw
+
+#endif  // MDW_SCHED_QUERY_SCHEDULER_H_

@@ -10,7 +10,7 @@ void NotifySlotFreed(SimContext* ctx) {
   waiters.swap(ctx->slot_waiters);
   for (auto* coordinator : waiters) {
     coordinator->waiting_for_slot_ = false;
-    coordinator->TryAssign();
+    coordinator->OnSlotFreed();
   }
 }
 
@@ -31,14 +31,47 @@ QueryCoordinator::QueryCoordinator(SimContext* ctx, const QueryPlan* plan,
 
 void QueryCoordinator::Submit() {
   submit_time_ = ctx_->queue->now();
+  TryStart();
+}
+
+void QueryCoordinator::TryStart() {
+  if (started_) return;
   // Coordination occupies one task slot on the coordinator node while the
   // query is active (Sec. 5: the coordinator processes only t-1
-  // subqueries).
-  ++ctx_->node_active[static_cast<std::size_t>(coordinator_node_)];
+  // subqueries) — so startup must find that slot free, AND leave at least
+  // one slot open somewhere for subqueries. Without the second condition,
+  // enough concurrent streams fill every slot with coordinators and the
+  // run deadlocks: no task can start, so no slot is ever released.
+  auto& active = ctx_->node_active;
+  const int per_node = ctx_->config->tasks_per_node;
+  const auto coord = static_cast<std::size_t>(coordinator_node_);
+  bool slot_remains = false;
+  if (active[coord] < per_node) {
+    for (std::size_t n = 0; n < active.size() && !slot_remains; ++n) {
+      slot_remains = active[n] + (n == coord ? 1 : 0) < per_node;
+    }
+  }
+  if (!slot_remains) {
+    if (!waiting_for_slot_) {
+      waiting_for_slot_ = true;
+      ctx_->slot_waiters.push_back(this);
+    }
+    return;
+  }
+  started_ = true;
+  ++active[coord];
   BuildTasks();
   ctx_->cpu(coordinator_node_)
       .Execute(static_cast<double>(ctx_->config->cpu.initiate_query),
                [this]() { TryAssign(); });
+}
+
+void QueryCoordinator::OnSlotFreed() {
+  if (started_) {
+    TryAssign();
+  } else {
+    TryStart();
+  }
 }
 
 void QueryCoordinator::BuildTasks() {

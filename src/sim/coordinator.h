@@ -30,10 +30,22 @@ class QueryCoordinator {
                    const SubqueryWork* work, int coordinator_node,
                    std::function<void(double)> done);
 
-  /// Submits the query at the current simulated time.
+  /// Submits the query at the current simulated time. Coordination needs
+  /// a task slot of its own; if the coordinator node is saturated (more
+  /// concurrent queries than slots — the open multi-user case), the query
+  /// waits for a freed slot before it starts, keeping the response clock
+  /// honest: queue-for-startup time counts toward the response.
   void Submit();
 
  private:
+  /// Claims the coordination slot and starts the query, or parks on the
+  /// slot-waiter list until a slot frees. Startup additionally requires
+  /// one slot to REMAIN free somewhere: if coordinators could fill every
+  /// slot of every node, no subquery could ever run and the whole
+  /// multi-user simulation would deadlock.
+  void TryStart();
+  /// Waiter dispatch: resume at startup or at task assignment.
+  void OnSlotFreed();
   void BuildTasks();
   void TryAssign();
   bool NodeAvailable(int node) const;
@@ -64,6 +76,7 @@ class QueryCoordinator {
   int rr_node_ = 0;
   bool assigning_ = false;
   bool waiting_for_slot_ = false;
+  bool started_ = false;
   bool finished_ = false;
 
   friend void NotifySlotFreed(SimContext* ctx);

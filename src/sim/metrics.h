@@ -8,11 +8,20 @@ namespace mdw {
 
 /// Aggregated outcome of one simulation run.
 struct SimResult {
-  /// Per-query response times, in COMPLETION order. Only a single-stream
-  /// run completes queries in submission order; with concurrent streams
-  /// the entries cannot be attributed to individual submitted queries
-  /// (see BatchOutcome in core/execution_backend.h).
+  /// Per-query response times, in COMPLETION order (the historical view;
+  /// kept for completion-sequence analyses). For per-query attribution
+  /// use `response_by_query_ms`, which is indexed by SUBMISSION position
+  /// and therefore valid at any stream count.
   std::vector<double> response_ms;
+
+  /// Response time of the i-th SUBMITTED query (same index as the query
+  /// list handed to the simulator), attributed by query id at completion
+  /// — so multi-stream runs compare apples-to-apples against real
+  /// per-query latencies. Same multiset of values as `response_ms`.
+  std::vector<double> response_by_query_ms;
+  /// Stream that ran the i-th submitted query (round-robin assignment,
+  /// i % streams); single-user runs are all stream 0.
+  std::vector<int> stream_of_query;
 
   double avg_response_ms = 0;
   double min_response_ms = 0;
@@ -43,6 +52,8 @@ struct SimResult {
                : static_cast<double>(response_ms.size()) * 1000.0 /
                      makespan_ms;
   }
+
+  friend bool operator==(const SimResult& a, const SimResult& b) = default;
 };
 
 /// Fills the avg/min/max response fields from `response_ms`.

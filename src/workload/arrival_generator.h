@@ -1,0 +1,59 @@
+#ifndef MDW_WORKLOAD_ARRIVAL_GENERATOR_H_
+#define MDW_WORKLOAD_ARRIVAL_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/query_scheduler.h"
+#include "workload/query_generator.h"
+
+namespace mdw {
+
+/// Settings of the open-loop arrival process.
+struct ArrivalConfig {
+  /// Concurrent client streams; every arrival is tagged with a stream id
+  /// in [0, num_streams).
+  int num_streams = 1;
+  /// Mean gap between consecutive arrivals of the GLOBAL Poisson process
+  /// (exponential interarrivals), in virtual-time ticks. Open loop: the
+  /// process never waits for completions.
+  double mean_interarrival_vt = 1000.0;
+  /// Zipf skew of stream popularity: 0 = arrivals spread uniformly over
+  /// the streams, larger values make low-numbered streams hotter (stream
+  /// 0 hottest) — the "few heavy tenants" shape of real serving traffic.
+  double stream_skew_theta = 0.0;
+  /// Query mix, drawn uniformly per arrival (parameters randomized by
+  /// QueryGenerator). Must be non-empty.
+  std::vector<QueryType> mix = {QueryType::k1Month1Group};
+  /// Zipf skew of the query parameter values (QueryGenerator's knob).
+  double query_skew_theta = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Seeded open-loop arrival source: produces a deterministic trace of
+/// (virtual time, stream, query) suitable for QueryScheduler::Run — the
+/// same (schema, config) always replays the exact same trace, so serving
+/// experiments are reproducible end to end.
+class ArrivalGenerator {
+ public:
+  ArrivalGenerator(const StarSchema* schema, ArrivalConfig config);
+
+  /// The next arrival; virtual times are non-decreasing across calls.
+  Arrival Next();
+
+  /// The next `count` arrivals as a ready-to-schedule trace.
+  std::vector<Arrival> Generate(int count);
+
+  const ArrivalConfig& config() const { return config_; }
+
+ private:
+  ArrivalConfig config_;
+  Rng rng_;
+  QueryGenerator generator_;
+  double clock_vt_ = 0;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_WORKLOAD_ARRIVAL_GENERATOR_H_

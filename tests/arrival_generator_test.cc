@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "schema/apb1.h"
+#include "workload/arrival_generator.h"
+
+namespace mdw {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+class ArrivalGeneratorTest : public ::testing::Test {
+ protected:
+  ArrivalGeneratorTest() : schema_(MakeTinyApb1Schema()) {}
+
+  StarSchema schema_;
+};
+
+/// Interarrival gaps of a trace, including the gap from virtual time 0 to
+/// the first arrival.
+std::vector<double> Gaps(const std::vector<Arrival>& arrivals) {
+  std::vector<double> gaps;
+  std::int64_t prev = 0;
+  for (const auto& a : arrivals) {
+    gaps.push_back(static_cast<double>(a.vt - prev));
+    prev = a.vt;
+  }
+  return gaps;
+}
+
+TEST_F(ArrivalGeneratorTest, PoissonInterarrivalMoments) {
+  ArrivalConfig config;
+  config.mean_interarrival_vt = 200.0;
+  config.seed = kSeed;
+  ArrivalGenerator generator(&schema_, config);
+  const auto arrivals = generator.Generate(40000);
+  const auto gaps = Gaps(arrivals);
+
+  const double mean =
+      std::accumulate(gaps.begin(), gaps.end(), 0.0) / gaps.size();
+  double var = 0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= gaps.size();
+
+  // Exponential interarrivals: mean == stddev == the configured gap.
+  EXPECT_NEAR(mean, 200.0, 200.0 * 0.03);
+  EXPECT_NEAR(var, 200.0 * 200.0, 200.0 * 200.0 * 0.10);
+  // Open loop: virtual times never go backwards.
+  for (double g : gaps) EXPECT_GE(g, 0.0);
+}
+
+TEST_F(ArrivalGeneratorTest, UniformStreamsWithoutSkew) {
+  ArrivalConfig config;
+  config.num_streams = 64;
+  config.stream_skew_theta = 0.0;
+  config.mean_interarrival_vt = 10.0;
+  config.seed = kSeed;
+  const auto arrivals = ArrivalGenerator(&schema_, config).Generate(50000);
+
+  std::vector<std::int64_t> counts(64, 0);
+  for (const auto& a : arrivals) {
+    ASSERT_GE(a.stream, 0);
+    ASSERT_LT(a.stream, 64);
+    ++counts[static_cast<std::size_t>(a.stream)];
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*min_it, 0);
+  EXPECT_LT(static_cast<double>(*max_it) / static_cast<double>(*min_it),
+            1.5);
+}
+
+TEST_F(ArrivalGeneratorTest, ZipfSkewMakesLowStreamsHot) {
+  ArrivalConfig config;
+  config.num_streams = 64;
+  config.stream_skew_theta = 0.6;
+  config.mean_interarrival_vt = 10.0;
+  config.seed = kSeed;
+  const auto arrivals = ArrivalGenerator(&schema_, config).Generate(50000);
+
+  std::vector<std::int64_t> counts(64, 0);
+  for (const auto& a : arrivals) {
+    ++counts[static_cast<std::size_t>(a.stream)];
+  }
+  // Stream 0 is the hottest tenant by a wide margin...
+  EXPECT_GT(counts[0], 5 * counts[63]);
+  // ...the head holds most of the traffic (theta 0.6 puts ~43% of the
+  // mass on the first 8 of 64 streams)...
+  const std::int64_t head =
+      std::accumulate(counts.begin(), counts.begin() + 8, std::int64_t{0});
+  EXPECT_GT(static_cast<double>(head) / arrivals.size(), 0.35);
+  // ...and the rank-frequency shape decays: each coarse rank bucket draws
+  // more than the next.
+  for (int b = 0; b + 1 < 4; ++b) {
+    const auto bucket = [&](int k) {
+      return std::accumulate(counts.begin() + k * 16,
+                             counts.begin() + (k + 1) * 16, std::int64_t{0});
+    };
+    EXPECT_GT(bucket(b), bucket(b + 1)) << "bucket " << b;
+  }
+}
+
+TEST_F(ArrivalGeneratorTest, ExactReplayForSameSeed) {
+  ArrivalConfig config;
+  config.num_streams = 16;
+  config.stream_skew_theta = 0.3;
+  config.query_skew_theta = 0.2;
+  config.mean_interarrival_vt = 50.0;
+  config.mix = {QueryType::k1Month, QueryType::k1Month1Group,
+                QueryType::k1Group1Store};
+  config.seed = kSeed;
+
+  ArrivalGenerator a(&schema_, config);
+  ArrivalGenerator b(&schema_, config);
+  const auto ta = a.Generate(500);
+  const auto tb = b.Generate(500);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].vt, tb[i].vt);
+    EXPECT_EQ(ta[i].stream, tb[i].stream);
+    EXPECT_EQ(ta[i].query.name(), tb[i].query.name());
+    ASSERT_EQ(ta[i].query.predicates().size(),
+              tb[i].query.predicates().size());
+    for (std::size_t p = 0; p < ta[i].query.predicates().size(); ++p) {
+      EXPECT_EQ(ta[i].query.predicates()[p].dim,
+                tb[i].query.predicates()[p].dim);
+      EXPECT_EQ(ta[i].query.predicates()[p].depth,
+                tb[i].query.predicates()[p].depth);
+      EXPECT_EQ(ta[i].query.predicates()[p].values,
+                tb[i].query.predicates()[p].values);
+    }
+  }
+
+  // A different seed diverges somewhere in the same window.
+  config.seed = kSeed + 1;
+  const auto tc = ArrivalGenerator(&schema_, config).Generate(500);
+  bool differs = false;
+  for (std::size_t i = 0; i < tc.size() && !differs; ++i) {
+    differs = tc[i].vt != ta[i].vt || tc[i].stream != ta[i].stream ||
+              tc[i].query.name() != ta[i].query.name();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(ArrivalGeneratorTest, NextAndGenerateAgree) {
+  ArrivalConfig config;
+  config.num_streams = 4;
+  config.mean_interarrival_vt = 30.0;
+  config.mix = {QueryType::k1Quarter, QueryType::k1Store};
+  config.seed = kSeed;
+
+  ArrivalGenerator batch(&schema_, config);
+  ArrivalGenerator stepwise(&schema_, config);
+  const auto trace = batch.Generate(100);
+  for (const auto& expected : trace) {
+    const Arrival got = stepwise.Next();
+    EXPECT_EQ(got.vt, expected.vt);
+    EXPECT_EQ(got.stream, expected.stream);
+    EXPECT_EQ(got.query.name(), expected.query.name());
+  }
+}
+
+TEST_F(ArrivalGeneratorTest, TraceIsSortedAndPartitionedByStream) {
+  ArrivalConfig config;
+  config.num_streams = 8;
+  config.stream_skew_theta = 0.4;
+  config.mean_interarrival_vt = 20.0;
+  config.mix = {QueryType::k1Month1Group, QueryType::k1Quarter};
+  config.seed = kSeed;
+  const auto arrivals = ArrivalGenerator(&schema_, config).Generate(2000);
+
+  std::int64_t prev = 0;
+  std::vector<std::int64_t> per_stream(8, 0);
+  for (const auto& a : arrivals) {
+    EXPECT_GE(a.vt, prev);  // ready for QueryScheduler::Run as-is
+    prev = a.vt;
+    ASSERT_GE(a.stream, 0);
+    ASSERT_LT(a.stream, 8);
+    ++per_stream[static_cast<std::size_t>(a.stream)];
+    // Only the configured mix is drawn.
+    EXPECT_TRUE(a.query.name() == "1MONTH1GROUP" ||
+                a.query.name() == "1QUARTER")
+        << a.query.name();
+  }
+  EXPECT_EQ(std::accumulate(per_stream.begin(), per_stream.end(),
+                            std::int64_t{0}),
+            2000);
+  // With mild skew every stream still gets traffic.
+  for (std::int64_t c : per_stream) EXPECT_GT(c, 0);
+}
+
+}  // namespace
+}  // namespace mdw

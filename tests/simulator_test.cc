@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "fragment/query_planner.h"
 #include "schema/apb1.h"
 #include "sim/simulator.h"
@@ -143,6 +145,49 @@ TEST_F(SimulatorTest, MultiUserThroughput) {
   EXPECT_LT(concurrent.makespan_ms, serial.makespan_ms);
   EXPECT_GT(concurrent.ThroughputPerSecond(),
             serial.ThroughputPerSecond());
+}
+
+TEST_F(SimulatorTest, MultiUserAttributesResponsesByQueryId) {
+  // An expensive query submitted FIRST completes last under concurrency:
+  // the completion-order vector starts with a cheap query, while the
+  // by-query vector keeps the expensive time at its submission index.
+  Simulator sim(&schema_, &month_group_, SmallConfig());
+  std::vector<StarQuery> queries = {apb1_queries::OneStore(5)};
+  for (int i = 0; i < 5; ++i) {
+    queries.push_back(apb1_queries::OneMonthOneGroup(i, 41 + i));
+  }
+  const auto result = sim.RunMultiUser(queries, 2);
+
+  ASSERT_EQ(result.response_by_query_ms.size(), queries.size());
+  ASSERT_EQ(result.stream_of_query.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_GT(result.response_by_query_ms[i], 0) << "query " << i;
+    EXPECT_EQ(result.stream_of_query[i], static_cast<int>(i % 2));
+  }
+  // Same multiset of times, different keying.
+  auto by_query = result.response_by_query_ms;
+  auto by_completion = result.response_ms;
+  std::sort(by_query.begin(), by_query.end());
+  std::sort(by_completion.begin(), by_completion.end());
+  EXPECT_EQ(by_query, by_completion);
+  // The attribution actually re-keys: the 1STORE scan at submission
+  // index 0 owns the slowest time, which is NOT the first completion.
+  EXPECT_EQ(result.response_by_query_ms[0], by_query.back());
+  EXPECT_LT(result.response_ms[0], result.response_by_query_ms[0]);
+}
+
+TEST_F(SimulatorTest, SingleStreamAttributionIsCompletionOrder) {
+  // One stream runs its list sequentially, so submission order IS
+  // completion order and the two vectors coincide elementwise.
+  Simulator sim(&schema_, &month_group_, SmallConfig());
+  std::vector<StarQuery> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(apb1_queries::OneMonthOneGroup(i, 41 + i));
+  }
+  const auto result = sim.RunMultiUser(queries, 1);
+  ASSERT_EQ(result.response_by_query_ms.size(), queries.size());
+  EXPECT_EQ(result.response_by_query_ms, result.response_ms);
+  for (int s : result.stream_of_query) EXPECT_EQ(s, 0);
 }
 
 TEST_F(SimulatorTest, UtilizationBounded) {

@@ -187,6 +187,13 @@ TEST(WarehouseSimulatedTest, BatchRunsMultiUserStreams) {
   ASSERT_TRUE(batch.sim.has_value());
   EXPECT_EQ(batch.sim->response_ms.size(), queries.size());
   EXPECT_EQ(batch.queries.size(), queries.size());
+  // Multi-stream batches attribute response times by submitted query id
+  // (not completion order), so per-query latency survives streams > 1.
+  for (std::size_t i = 0; i < batch.queries.size(); ++i) {
+    EXPECT_EQ(batch.queries[i].response_ms,
+              batch.sim->response_by_query_ms[i]);
+    EXPECT_GT(batch.queries[i].response_ms, 0);
+  }
   EXPECT_GT(batch.makespan_ms, 0);
   EXPECT_GT(batch.ThroughputPerSecond(), 0);
 

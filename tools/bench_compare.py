@@ -35,8 +35,18 @@ DEFAULT_TRACKED = [
     "BM_MdhfCoveredAggregate",
     "BM_MdhfShardedScan",
     "BM_MdhfPagedScan",
+    "BM_MultiUserServe",
 ]
-DEFAULT_COUNTERS = ["rows_scanned_per_query", "skew", "pages_read_per_query"]
+# Deterministic quality counters; the gate fails on GROWTH, so each one is
+# oriented so that bigger = worse (hence unfairness = 1 - Jain, not Jain).
+DEFAULT_COUNTERS = [
+    "rows_scanned_per_query",
+    "skew",
+    "pages_read_per_query",
+    "p99_response_vt",
+    "unfairness",
+    "rejected",
+]
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
