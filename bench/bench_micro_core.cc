@@ -503,6 +503,11 @@ void BM_MdhfPagedScan(benchmark::State& state) {
       static_cast<double>(exec.buffer_hits);
   state.counters["rows_scanned_per_query"] =
       static_cast<double>(exec.rows_scanned);
+  // Storage-health baseline: a healthy paged scan never retries a read
+  // and never fails a page checksum, so these gate at zero in CI.
+  state.counters["io_retries_per_query"] = static_cast<double>(exec.io_retries);
+  state.counters["checksum_failures_per_query"] =
+      static_cast<double>(exec.checksum_failures);
 }
 BENCHMARK(BM_MdhfPagedScan)->ArgsProduct({{25, 100, 400}, {1, 0}});
 

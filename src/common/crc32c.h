@@ -1,0 +1,21 @@
+#ifndef MDW_COMMON_CRC32C_H_
+#define MDW_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mdw {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected form 0x82F63B78)
+/// over `len` bytes starting at `data`, seeded by `crc` (pass 0 for a
+/// fresh checksum, or a previous return value to continue one). Pages
+/// are checksummed on every buffer-pool fault-in, so this is fast: the
+/// SSE4.2 crc32 instruction where the CPU has it (runtime dispatch),
+/// slicing-by-8 tables otherwise — never the latency-bound byte-at-a-
+/// time chain.
+std::uint32_t Crc32c(const void* data, std::size_t len,
+                     std::uint32_t crc = 0);
+
+}  // namespace mdw
+
+#endif  // MDW_COMMON_CRC32C_H_

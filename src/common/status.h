@@ -1,0 +1,117 @@
+#ifndef MDW_COMMON_STATUS_H_
+#define MDW_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mdw {
+
+/// Outcome class of a fallible storage/execution operation. The library
+/// stays exception-free: recoverable failures travel as Status values,
+/// while construction-time invariant violations keep aborting through
+/// MDW_CHECK (a store that cannot even be opened has no caller able to
+/// degrade gracefully).
+enum class StatusCode {
+  kOk = 0,
+  /// The underlying read failed (EIO, unexpected EOF, short file). A
+  /// retry may succeed — transient by assumption.
+  kIoError = 1,
+  /// The bytes arrived but fail their page checksum — the data cannot be
+  /// trusted. A retry may still succeed when the corruption happened in
+  /// flight rather than at rest.
+  kCorruption = 2,
+};
+
+inline const char* ToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kCorruption: return "corruption";
+  }
+  return "?";
+}
+
+/// A cheap value-type error: code + human-readable message. Default
+/// constructed = ok. Participates in defaulted operator== of the records
+/// that embed it (two ok statuses always compare equal — the message is
+/// empty).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    return ok() ? "ok" : std::string(mdw::ToString(code_)) + ": " + message_;
+  }
+
+  /// Keeps `*this` when already failed, else adopts `other` — the fixed
+  /// first-error-wins merge used when partials combine in deterministic
+  /// order.
+  void Update(const Status& other) {
+    if (ok() && !other.ok()) *this = other;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a non-ok Status. Minimal by design (no exceptions,
+/// supports move-only payloads like BufferPool::PageRef); value access on
+/// a failed StatusOr aborts via MDW_CHECK.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    MDW_CHECK(!status_.ok(), "StatusOr constructed from an ok Status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    MDW_CHECK(ok(), "value() on a failed StatusOr");
+    return *value_;
+  }
+  const T& value() const& {
+    MDW_CHECK(ok(), "value() on a failed StatusOr");
+    return *value_;
+  }
+  T&& value() && {
+    MDW_CHECK(ok(), "value() on a failed StatusOr");
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mdw
+
+#endif  // MDW_COMMON_STATUS_H_

@@ -69,15 +69,22 @@ QueryOutcome MaterializedBackend::ExecuteWith(
   outcome.io_class = mdhf.io_class;
   outcome.fragments_processed = mdhf.fragments_processed;
   outcome.bitmaps_per_fragment = mdhf.bitmaps_read;
-  outcome.aggregate = mdhf.result;
   outcome.rows_scanned = mdhf.rows_scanned;
   outcome.fragments_summarized = mdhf.fragments_summarized;
   outcome.rows_summarized = mdhf.rows_summarized;
   outcome.pages_read = mdhf.pages_read;
   outcome.buffer_hits = mdhf.buffer_hits;
   outcome.bytes_read = mdhf.bytes_read;
+  outcome.status = mdhf.status;
+  outcome.io_errors = mdhf.io_errors;
+  outcome.io_retries = mdhf.io_retries;
+  outcome.checksum_failures = mdhf.checksum_failures;
   outcome.shard_skew = mdhf.ShardSkew();
   outcome.shards = std::move(mdhf.shards);
+  // A failed execution ran its kernels over zero-filled stand-ins, so
+  // the sums are meaningless: surface the typed error with NO aggregate
+  // rather than a plausible-looking wrong answer.
+  if (mdhf.status.ok()) outcome.aggregate = mdhf.result;
   return outcome;
 }
 
@@ -120,6 +127,7 @@ BatchOutcome MaterializedBackend::ExecuteBatch(
   }
   MiniWarehouse::AggregateResult total;
   for (const auto& outcome : batch.queries) {
+    if (!outcome.aggregate.has_value()) continue;  // failed query: no sum
     const auto& agg = *outcome.aggregate;
     total.rows += agg.rows;
     total.units_sold += agg.units_sold;
@@ -168,8 +176,26 @@ BatchOutcome MaterializedBackend::Serve(std::span<const Arrival> arrivals,
                            MiniWarehouse::ExecScratch* scratch) {
     const ScheduledQuery& sq = schedule.admitted[slot];
     const auto ai = static_cast<std::size_t>(sq.arrival_index);
-    outcomes[outcome_slot_of[slot]] =
+    QueryOutcome out =
         ExecuteWith(arrivals[ai].query, plans[ai], nullptr, scratch);
+    // Requeue-on-error: re-execute in this query's own dispatch slot
+    // (the virtual-time schedule never moves) until the error clears or
+    // the budget runs out. Failure counters accumulate across attempts
+    // so the outcome accounts for the whole fight, not just the last
+    // round.
+    while (!out.status.ok() && out.requeues < config.max_requeues) {
+      QueryOutcome retry =
+          ExecuteWith(arrivals[ai].query, plans[ai], nullptr, scratch);
+      retry.io_errors += out.io_errors;
+      retry.io_retries += out.io_retries;
+      retry.checksum_failures += out.checksum_failures;
+      retry.pages_read += out.pages_read;
+      retry.buffer_hits += out.buffer_hits;
+      retry.bytes_read += out.bytes_read;
+      retry.requeues = out.requeues + 1;
+      out = std::move(retry);
+    }
+    outcomes[outcome_slot_of[slot]] = std::move(out);
   };
   if (const ThreadPool* serve_pool = pool();
       serve_pool != nullptr && dispatch_order.size() > 1) {
@@ -188,13 +214,29 @@ BatchOutcome MaterializedBackend::Serve(std::span<const Arrival> arrivals,
 
   MiniWarehouse::AggregateResult total;
   for (const auto& outcome : batch.queries) {
+    if (!outcome.aggregate.has_value()) continue;  // failed query: no sum
     const auto& agg = *outcome.aggregate;
     total.rows += agg.rows;
     total.units_sold += agg.units_sold;
     total.dollar_sales_cents += agg.dollar_sales_cents;
   }
   batch.total_aggregate = total;
-  batch.serving = ComputeServeMetrics(schedule, arrivals, config);
+  ServeMetrics metrics = ComputeServeMetrics(schedule, arrivals, config);
+  // Failure accounting by stream: outcome slot k is the k-th served query
+  // in admission order, so its schedule record (and stream) is
+  // served_slots[k].
+  for (std::size_t k = 0; k < served_slots.size(); ++k) {
+    const ScheduledQuery& sq = schedule.admitted[served_slots[k]];
+    const QueryOutcome& out = batch.queries[k];
+    auto& stream = metrics.streams[static_cast<std::size_t>(sq.stream)];
+    if (!out.status.ok()) {
+      ++stream.failed;
+      ++metrics.total.failed;
+    }
+    stream.requeued += out.requeues;
+    metrics.total.requeued += out.requeues;
+  }
+  batch.serving = std::move(metrics);
   if (schedule_out != nullptr) *schedule_out = std::move(schedule);
   return batch;
 }

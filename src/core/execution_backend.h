@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "core/mini_warehouse.h"
 #include "fragment/query_planner.h"
 #include "sched/query_scheduler.h"
@@ -85,6 +86,23 @@ struct QueryOutcome {
   std::int64_t pages_read = 0;
   std::int64_t buffer_hits = 0;
   std::int64_t bytes_read = 0;
+  /// Storage health of a materialized execution. `status` is ok on every
+  /// healthy run (RAM or file-backed); when a page read still fails
+  /// after the buffer pool's retry policy, `status` carries the typed
+  /// error (kIoError / kCorruption), `aggregate` is DISENGAGED (the
+  /// partial sums are not trustworthy), and the failure is confined to
+  /// this query — other queries of the same batch/serve run are
+  /// unaffected, and nothing poisoned stays in the buffer pool. The
+  /// counters attribute failed read attempts, retry attempts issued,
+  /// and CRC verification failures to this query. Always ok/zero on
+  /// kSimulated.
+  Status status;
+  std::int64_t io_errors = 0;
+  std::int64_t io_retries = 0;
+  std::int64_t checksum_failures = 0;
+  /// Re-executions the serving requeue policy issued for this query
+  /// (ServingConfig::max_requeues); 0 outside Warehouse::Serve.
+  int requeues = 0;
 
   // ---- timing and device metrics (kSimulated) ----
   std::optional<SimResult> sim;

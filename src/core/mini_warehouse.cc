@@ -53,9 +53,28 @@ void MergeScanPartial(const MiniWarehouse::MdhfExecution& p,
   exec->pages_read += p.pages_read;
   exec->buffer_hits += p.buffer_hits;
   exec->bytes_read += p.bytes_read;
+  exec->io_errors += p.io_errors;
+  exec->io_retries += p.io_retries;
+  exec->checksum_failures += p.checksum_failures;
+  // First-error-wins over the fixed merge order, so the surfaced error
+  // is deterministic at any worker count.
+  exec->status.Update(p.status);
   exec->result.rows += p.result.rows;
   exec->result.units_sold += p.result.units_sold;
   exec->result.dollar_sales_cents += p.result.dollar_sales_cents;
+}
+
+/// Adds one cursor set's I/O attribution into a partial execution
+/// record (cursor *statuses* are folded separately — they live on the
+/// cursors, not the counters).
+void FoldIo(const storage::SegmentStore::IoCounters& io,
+            MiniWarehouse::MdhfExecution* partial) {
+  partial->pages_read += io.pages_read;
+  partial->buffer_hits += io.buffer_hits;
+  partial->bytes_read += io.bytes_read;
+  partial->io_errors += io.io_errors;
+  partial->io_retries += io.io_retries;
+  partial->checksum_failures += io.checksum_failures;
 }
 
 /// Measure readers the scan kernels are templated on — RAM vectors or
@@ -548,7 +567,18 @@ MiniWarehouse::AggregateResult MiniWarehouse::ExecuteFullScan(
   };
   PagedMeasures m{store_->MakeCursor(store_->ColUnits(), nullptr),
                   store_->MakeCursor(store_->ColDollars(), nullptr)};
-  return FullScanRows(schema_, query, row_count(), leaf_of, m);
+  const AggregateResult result =
+      FullScanRows(schema_, query, row_count(), leaf_of, m);
+  // The reference paths are ground truth, not serving paths: a storage
+  // error here means the test substrate itself is broken, so fail fast
+  // instead of returning a silently-zeroed baseline.
+  for (auto& [dim, cursor] : dims) {
+    MDW_CHECK(cursor.status().ok(),
+              "reference full scan hit a storage error");
+  }
+  MDW_CHECK(m.units.status().ok() && m.dollars.status().ok(),
+            "reference full scan hit a storage error");
+  return result;
 }
 
 MiniWarehouse::AggregateResult MiniWarehouse::ExecuteWithBitmaps(
@@ -568,7 +598,10 @@ MiniWarehouse::AggregateResult MiniWarehouse::ExecuteWithBitmaps(
   }
   PagedMeasures m{store_->MakeCursor(store_->ColUnits(), nullptr),
                   store_->MakeCursor(store_->ColDollars(), nullptr)};
-  return SumSetBits(hits, m);
+  const AggregateResult result = SumSetBits(hits, m);
+  MDW_CHECK(m.units.status().ok() && m.dollars.status().ok(),
+            "bitmap reference execution hit a storage error");
+  return result;
 }
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithFragmentation(
@@ -661,9 +694,9 @@ void MiniWarehouse::ScanChunk(std::int64_t begin, std::int64_t end,
     m.dollars.PrefetchRun(begin, end);
   }
   ProcessRows(*indexes_, begin, end, accesses, m, partial);
-  partial->pages_read += io.pages_read;
-  partial->buffer_hits += io.buffer_hits;
-  partial->bytes_read += io.bytes_read;
+  FoldIo(io, partial);
+  partial->status.Update(m.units.status());
+  partial->status.Update(m.dollars.status());
 }
 
 void MiniWarehouse::FoldSummaryRun(const RowRange& run,
@@ -686,9 +719,9 @@ void MiniWarehouse::FoldSummaryRun(const RowRange& run,
   exec->result.units_sold += units.At(run.end) - units.At(run.begin);
   exec->result.dollar_sales_cents +=
       dollars.At(run.end) - dollars.At(run.begin);
-  exec->pages_read += io.pages_read;
-  exec->buffer_hits += io.buffer_hits;
-  exec->bytes_read += io.bytes_read;
+  FoldIo(io, exec);
+  exec->status.Update(units.status());
+  exec->status.Update(dollars.status());
 }
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
@@ -916,9 +949,10 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
                     store_->MakeCursor(store_->ColDollars(), &io)};
     UnclusteredChunk(chunk, probes, probe_leaf, frag_ids, all_fragments,
                      filter, m, partial);
-    partial->pages_read += io.pages_read;
-    partial->buffer_hits += io.buffer_hits;
-    partial->bytes_read += io.bytes_read;
+    FoldIo(io, partial);
+    for (auto& c : cursors) partial->status.Update(c.status());
+    partial->status.Update(m.units.status());
+    partial->status.Update(m.dollars.status());
   });
 }
 

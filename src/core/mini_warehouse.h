@@ -8,6 +8,7 @@
 
 #include "alloc/disk_allocation.h"
 #include "bitmap/index_set.h"
+#include "common/status.h"
 #include "fragment/query_planner.h"
 #include "fragment/shard_routing.h"
 #include "storage/segment_store.h"
@@ -228,6 +229,22 @@ class MiniWarehouse {
     std::int64_t pages_read = 0;
     std::int64_t buffer_hits = 0;
     std::int64_t bytes_read = 0;
+    /// First storage error this execution hit (ok for an in-RAM store and
+    /// for every fault-free file-backed run). When not ok, `result` is
+    /// NOT trustworthy — the failed cursor answered zeros so the kernels
+    /// could run to completion — and the caller must discard it (the
+    /// Warehouse layer nulls the aggregate). Partials merge in fixed
+    /// chunk order, so WHICH error surfaces is deterministic at any
+    /// worker count (first-error-wins over the merge sequence).
+    Status status;
+    /// Failure/retry accounting from the buffer pool, summed over this
+    /// execution's cursors: failed read attempts, extra attempts the
+    /// retry policy issued, and CRC verification failures. All zero on
+    /// a healthy store; like the I/O counters above they are exempt
+    /// from the bit-identical guarantee under parallel execution.
+    std::int64_t io_errors = 0;
+    std::int64_t io_retries = 0;
+    std::int64_t checksum_failures = 0;
     int bitmaps_read = 0;           ///< per fragment, from the plan
     QueryClass query_class = QueryClass::kUnsupported;
     IoClass io_class = IoClass::kIoc2NoSupp;

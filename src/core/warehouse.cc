@@ -20,6 +20,8 @@ Warehouse::Warehouse(WarehouseConfig config)
     store_options.pool_pages = config.storage_pool_pages;
     store_options.backend = config.storage_backend;
     store_options.prefetch = config.storage_prefetch;
+    store_options.retry = config.storage_retry;
+    store_options.fault_plan = std::move(config.storage_fault);
     mini_ = std::make_shared<const MiniWarehouse>(
         std::move(config.schema), seed_, config.fragmentation,
         config.enable_fragment_summaries, config.num_shards,

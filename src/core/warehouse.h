@@ -91,6 +91,14 @@ struct WarehouseConfig {
   storage::IoBackend storage_backend = storage::IoBackend::kPread;
   /// Read ahead over coalesced unfiltered scan runs (best-effort).
   bool storage_prefetch = true;
+  /// How many times the buffer pool retries a failed page load (read
+  /// error or checksum mismatch) before the query surfaces a typed error
+  /// in QueryOutcome::status. Default: fail on the first error.
+  storage::StorageRetryPolicy storage_retry = {};
+  /// Deterministic fault injection over the store's page reads — the
+  /// chaos-testing hook (see docs/ARCHITECTURE.md, "Failure model").
+  /// Disabled by default; file-backed mode only.
+  storage::FaultPlan storage_fault = {};
 };
 
 /// The single entry point over the paper's machinery: owns the schema,

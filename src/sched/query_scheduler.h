@@ -65,6 +65,14 @@ struct ServingConfig {
   /// queries left waiting are reported as unserved). 0 = serve to drain.
   std::int64_t horizon_vt = 0;
 
+  /// Failure requeue budget (materialized serving only): a served query
+  /// whose execution surfaces a storage error is re-executed in place up
+  /// to this many extra times before the error sticks in its outcome.
+  /// The virtual-time schedule is untouched — requeues re-run inside the
+  /// query's dispatch slot, so latency metrics stay deterministic.
+  /// 0 = fail on the first error.
+  int max_requeues = 0;
+
   /// Weight of stream `s` under this config (>= the 1.0 default).
   double WeightOf(int s) const {
     const auto u = static_cast<std::size_t>(s);
@@ -138,6 +146,13 @@ struct StreamServeStats {
   double mean_service_vt = 0;
   /// Completed queries per 1000 virtual-time units.
   double throughput_per_kvt = 0;
+  /// Served queries of this stream whose execution still surfaced a
+  /// storage error after the requeue budget (their outcomes carry the
+  /// typed status; no aggregate). Only materialized serving fills these.
+  std::int64_t failed = 0;
+  /// Re-executions the requeue policy issued for this stream's queries
+  /// (successful or not).
+  std::int64_t requeued = 0;
 };
 
 /// Run-level serving metrics: per-stream stats, their aggregate, and the

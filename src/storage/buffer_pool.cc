@@ -1,18 +1,24 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/check.h"
 
 namespace mdw::storage {
 
-BufferPool::BufferPool(std::int64_t capacity_pages, std::int64_t page_size)
+BufferPool::BufferPool(std::int64_t capacity_pages, std::int64_t page_size,
+                       StorageRetryPolicy retry)
     : capacity_pages_(capacity_pages),
       page_size_(page_size),
+      retry_(retry),
       cache_(capacity_pages) {
   MDW_CHECK(capacity_pages >= 1, "buffer pool needs at least one frame");
   MDW_CHECK(page_size >= 1, "buffer pool page size must be positive");
+  MDW_CHECK(retry_.max_attempts >= 1,
+            "retry policy needs at least one attempt");
   arena_.resize(static_cast<std::size_t>(capacity_pages * page_size));
   free_slots_.reserve(static_cast<std::size_t>(capacity_pages));
   for (std::int64_t s = capacity_pages - 1; s >= 0; --s) {
@@ -25,6 +31,8 @@ BufferPool::~BufferPool() = default;
 std::int32_t BufferPool::AcquireSlot() {
   if (free_slots_.empty()) {
     // Pool full: evict one unpinned, fully-loaded page to recycle its slot.
+    // Failed frames are never victims — they always hold at least one pin
+    // until the failure protocol erases them.
     cache_.EvictToFit(
         1, [](const Frame& fr) { return fr.pins == 0 && !fr.loading; },
         [this](std::uint64_t, const Frame& fr) {
@@ -37,34 +45,112 @@ std::int32_t BufferPool::AcquireSlot() {
   return slot;
 }
 
-BufferPool::PageRef BufferPool::Pin(const PageFile& file, std::int64_t page) {
+Status BufferPool::LoadWithRetry(const PageFile& file, std::int64_t page,
+                                 std::int32_t slot, PinIo* io) {
+  Status st;
+  std::int64_t backoff = retry_.backoff_us;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      ++io->io_retries;
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+        backoff = std::min<std::int64_t>(
+            static_cast<std::int64_t>(static_cast<double>(backoff) *
+                                      retry_.backoff_multiplier),
+            retry_.max_backoff_us);
+      }
+    }
+    st = file.ReadPages(page, 1, SlotData(slot));
+    if (st.ok()) {
+      st = file.VerifyPage(page, SlotData(slot));
+      if (!st.ok()) ++io->checksum_failures;
+    } else {
+      ++io->io_errors;
+    }
+    if (st.ok() || attempt + 1 >= retry_.max_attempts) return st;
+  }
+}
+
+void BufferPool::ReleaseFailedLocked(std::uint64_t key, Frame* f) {
+  --f->pins;
+  --pinned_;
+  if (f->pins == 0) {
+    free_slots_.push_back(f->slot);
+    cache_.Erase(key);
+  }
+}
+
+void BufferPool::MergeIoLocked(const PinIo& io, PinIo* out) {
+  io_errors_ += io.io_errors;
+  io_retries_ += io.io_retries;
+  checksum_failures_ += io.checksum_failures;
+  if (out != nullptr) {
+    out->io_errors += io.io_errors;
+    out->io_retries += io.io_retries;
+    out->checksum_failures += io.checksum_failures;
+  }
+}
+
+StatusOr<BufferPool::PageRef> BufferPool::Pin(const PageFile& file,
+                                              std::int64_t page, PinIo* io) {
   MDW_CHECK(page_size_ == file.page_size(), "page size mismatch with pool");
   const std::uint64_t key = MakeKey(file.file_id(), page);
   std::unique_lock<std::mutex> lk(mu_);
-  if (Frame* f = cache_.Get(key); f != nullptr) {
-    // Resident or being loaded by another thread: either way the caller
-    // avoids a demand fault, so it counts as a hit. Pin first so the
-    // frame cannot be evicted while we wait for the in-flight load.
-    ++f->pins;
-    ++pinned_;
-    if (f->loading) {
-      cv_.wait(lk, [&] { return !f->loading; });
+  for (;;) {
+    if (Frame* f = cache_.Get(key); f != nullptr) {
+      if (f->failed) {
+        // Another pinner's load failed and its waiters are draining; a
+        // failed frame is never served. Wait until the failure protocol
+        // erases it, then retry the pin with a fresh load (and a fresh
+        // retry budget — transient faults clear, sticky ones fail again).
+        cv_.wait(lk, [&] {
+          const Frame* cur = cache_.Peek(key);
+          return cur == nullptr || !cur->failed;
+        });
+        continue;
+      }
+      // Resident or being loaded by another thread: either way the caller
+      // avoids a demand fault, so it counts as a hit. Pin first so the
+      // frame cannot be evicted while we wait for the in-flight load.
+      ++f->pins;
+      ++pinned_;
+      if (f->loading) {
+        cv_.wait(lk, [&] { return !f->loading; });
+        if (f->failed) {
+          // The loader's error is this pin's error too; the last pin out
+          // erases the frame so nothing poisoned stays cached.
+          const Status st = f->error;
+          ReleaseFailedLocked(key, f);
+          cv_.notify_all();
+          return st;
+        }
+      }
+      return PageRef(this, key, SlotData(f->slot), /*hit=*/true);
     }
-    return PageRef(this, key, SlotData(f->slot), /*hit=*/true);
+    const std::int32_t slot = AcquireSlot();
+    MDW_CHECK(slot >= 0,
+              "buffer pool exhausted: every frame is pinned; "
+              "increase pool capacity");
+    Frame* f = cache_.Insert(
+        key, Frame{slot, /*pins=*/1, /*loading=*/true, /*failed=*/false, {}},
+        /*weight=*/1);
+    ++pinned_;
+    lk.unlock();
+    PinIo local;
+    const Status st = LoadWithRetry(file, page, slot, &local);
+    lk.lock();
+    MergeIoLocked(local, io);
+    f->loading = false;
+    if (!st.ok()) {
+      f->failed = true;
+      f->error = st;
+      ReleaseFailedLocked(key, f);
+      cv_.notify_all();
+      return st;
+    }
+    cv_.notify_all();
+    return PageRef(this, key, SlotData(slot), /*hit=*/false);
   }
-  const std::int32_t slot = AcquireSlot();
-  MDW_CHECK(slot >= 0,
-            "buffer pool exhausted: every frame is pinned; "
-            "increase pool capacity");
-  Frame* f = cache_.Insert(key, Frame{slot, /*pins=*/1, /*loading=*/true},
-                           /*weight=*/1);
-  ++pinned_;
-  lk.unlock();
-  file.ReadPages(page, 1, SlotData(slot));
-  lk.lock();
-  f->loading = false;
-  cv_.notify_all();
-  return PageRef(this, key, SlotData(slot), /*hit=*/false);
 }
 
 void BufferPool::Unpin(std::uint64_t key) {
@@ -76,7 +162,7 @@ void BufferPool::Unpin(std::uint64_t key) {
 }
 
 std::int64_t BufferPool::Prefetch(const PageFile& file, std::int64_t first,
-                                  std::int64_t count) {
+                                  std::int64_t count, PinIo* io) {
   MDW_CHECK(page_size_ == file.page_size(), "page size mismatch with pool");
   first = std::max<std::int64_t>(first, 0);
   count = std::min(count, file.page_count() - first);
@@ -95,44 +181,74 @@ std::int64_t BufferPool::Prefetch(const PageFile& file, std::int64_t first,
       if (cache_.Peek(key) != nullptr) continue;  // already resident
       const std::int32_t slot = AcquireSlot();
       if (slot < 0) break;  // best-effort: stop when frames run out
-      cache_.Insert(key, Frame{slot, /*pins=*/1, /*loading=*/true},
-                    /*weight=*/1);
+      cache_.Insert(
+          key, Frame{slot, /*pins=*/1, /*loading=*/true, /*failed=*/false, {}},
+          /*weight=*/1);
       ++pinned_;
       pages.push_back(p);
       slots.push_back(slot);
     }
-    prefetched_ += static_cast<std::int64_t>(pages.size());
   }
   if (pages.empty()) return 0;
 
   // Read each run of consecutive claimed pages in one call, landing in a
-  // scratch buffer (arena slots are scattered), then scatter to slots.
+  // scratch buffer (arena slots are scattered), then verify and scatter
+  // to slots. Prefetch never retries: a page whose run failed or whose
+  // checksum mismatches is simply dropped — the demand fault that later
+  // needs it retries under the pool's policy.
   std::vector<std::byte> scratch;
+  std::vector<Status> page_status(pages.size());
+  PinIo local;
   std::size_t i = 0;
   while (i < pages.size()) {
     std::size_t j = i + 1;
     while (j < pages.size() && pages[j] == pages[j - 1] + 1) ++j;
     const std::int64_t run_len = static_cast<std::int64_t>(j - i);
     scratch.resize(static_cast<std::size_t>(run_len * page_size_));
-    file.ReadPages(pages[i], run_len, scratch.data());
+    const Status run_st = file.ReadPages(pages[i], run_len, scratch.data());
+    if (!run_st.ok()) {
+      ++local.io_errors;
+      for (std::size_t k = i; k < j; ++k) page_status[k] = run_st;
+      i = j;
+      continue;
+    }
     for (std::size_t k = i; k < j; ++k) {
-      std::memcpy(SlotData(slots[k]),
-                  scratch.data() + (k - i) * static_cast<std::size_t>(page_size_),
+      const std::byte* img =
+          scratch.data() + (k - i) * static_cast<std::size_t>(page_size_);
+      page_status[k] = file.VerifyPage(pages[k], img);
+      if (!page_status[k].ok()) {
+        ++local.checksum_failures;
+        continue;
+      }
+      std::memcpy(SlotData(slots[k]), img,
                   static_cast<std::size_t>(page_size_));
     }
     i = j;
   }
 
+  std::int64_t kept = 0;
   std::lock_guard<std::mutex> lk(mu_);
+  MergeIoLocked(local, io);
   for (std::size_t k = 0; k < pages.size(); ++k) {
-    Frame* f = cache_.Peek(MakeKey(file.file_id(), pages[k]));
+    const std::uint64_t key = MakeKey(file.file_id(), pages[k]);
+    Frame* f = cache_.Peek(key);
     MDW_CHECK(f != nullptr, "prefetched frame vanished while pinned");
     f->loading = false;
-    --f->pins;
-    --pinned_;
+    if (page_status[k].ok()) {
+      ++kept;
+      --f->pins;
+      --pinned_;
+    } else {
+      // Same failure protocol as Pin: waiters (if any pinned while the
+      // load was in flight) observe the error and drain the frame.
+      f->failed = true;
+      f->error = page_status[k];
+      ReleaseFailedLocked(key, f);
+    }
   }
+  prefetched_ += kept;
   cv_.notify_all();
-  return static_cast<std::int64_t>(pages.size());
+  return kept;
 }
 
 void BufferPool::Reset() {
@@ -144,6 +260,9 @@ void BufferPool::Reset() {
     free_slots_.push_back(static_cast<std::int32_t>(s));
   }
   prefetched_ = 0;
+  io_errors_ = 0;
+  io_retries_ = 0;
+  checksum_failures_ = 0;
 }
 
 PoolStats BufferPool::stats() const {
@@ -155,6 +274,9 @@ PoolStats BufferPool::stats() const {
   s.prefetched = prefetched_;
   s.pages_read = s.misses + s.prefetched;
   s.bytes_read = s.pages_read * page_size_;
+  s.io_errors = io_errors_;
+  s.io_retries = io_retries_;
+  s.checksum_failures = checksum_failures_;
   return s;
 }
 

@@ -8,14 +8,33 @@
 #include <vector>
 
 #include "common/lru_cache.h"
+#include "common/status.h"
 #include "storage/page_file.h"
 
 namespace mdw::storage {
 
+/// How the buffer pool retries a failed page load before giving up and
+/// surfacing the error. Retries cover both read failures (kIoError) and
+/// checksum mismatches (kCorruption) — a bit flipped in flight re-reads
+/// clean; one flipped at rest keeps failing and the error propagates.
+struct StorageRetryPolicy {
+  /// Total read attempts per page load (1 = fail on the first error).
+  int max_attempts = 1;
+  /// Sleep before the first retry, microseconds; each further retry
+  /// multiplies by `backoff_multiplier`, capped at `max_backoff_us`.
+  /// 0 = retry immediately.
+  std::int64_t backoff_us = 0;
+  double backoff_multiplier = 2.0;
+  std::int64_t max_backoff_us = 10'000;
+};
+
 /// Counters a BufferPool accumulates over its lifetime (until Reset).
 /// `pages_read` counts pages actually faulted from the backing files —
 /// demand misses plus prefetched pages; `bytes_read` is the same in
-/// bytes.
+/// bytes. The failure counters: `io_errors` = read attempts that failed,
+/// `checksum_failures` = page images that failed CRC verification,
+/// `io_retries` = extra read attempts the retry policy issued (counted
+/// whether or not they succeeded).
 struct PoolStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
@@ -23,6 +42,9 @@ struct PoolStats {
   std::int64_t prefetched = 0;
   std::int64_t pages_read = 0;
   std::int64_t bytes_read = 0;
+  std::int64_t io_errors = 0;
+  std::int64_t io_retries = 0;
+  std::int64_t checksum_failures = 0;
 };
 
 /// A page-granular buffer pool over one or more PageFiles: a fixed arena
@@ -30,10 +52,17 @@ struct PoolStats {
 /// eviction core (pinned or in-flight frames are never victims). Thread
 /// safe; page I/O happens outside the pool lock, with concurrent misses
 /// on the same page coalesced (the waiters count hits).
+///
+/// Failure path: a load that still fails after the retry policy leaves
+/// NOTHING cached — the frame is marked failed, every waiter observes
+/// the error, and the last pin out erases the frame and recycles its
+/// slot — so a poisoned page can never be served from cache and a retry
+/// of the same page starts from a clean slate.
 class BufferPool {
  public:
   /// All registered files must share this page size.
-  BufferPool(std::int64_t capacity_pages, std::int64_t page_size);
+  BufferPool(std::int64_t capacity_pages, std::int64_t page_size,
+             StorageRetryPolicy retry = {});
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -41,19 +70,33 @@ class BufferPool {
 
   class PageRef;
 
+  /// Per-call failure attribution of one Pin/Prefetch (added into the
+  /// pool's lifetime counters as well).
+  struct PinIo {
+    std::int64_t io_errors = 0;
+    std::int64_t io_retries = 0;
+    std::int64_t checksum_failures = 0;
+  };
+
   /// Returns a pinned reference to `page` of `file`, faulting it in on a
-  /// miss. Aborts when every frame is pinned (the pool is sized too
-  /// small for the concurrent pin load).
-  PageRef Pin(const PageFile& file, std::int64_t page);
+  /// miss (verified against the file's attached checksums, retried under
+  /// the pool's StorageRetryPolicy). On failure returns the last error —
+  /// kIoError or kCorruption — and the frame is gone from the pool.
+  /// Aborts when every frame is pinned (the pool is sized too small for
+  /// the concurrent pin load).
+  StatusOr<PageRef> Pin(const PageFile& file, std::int64_t page,
+                        PinIo* io = nullptr);
 
   /// Best-effort read-ahead of pages [first, first + count): faults the
   /// uncached ones in one coalesced read per gap, without pinning them
   /// beyond the load. Skips silently when free frames are scarce. The
   /// run is capped at min(64, capacity/4) pages so a prefetch can never
-  /// flush a small pool. Returns the number of pages actually faulted,
-  /// so callers can attribute the I/O.
+  /// flush a small pool. Pages whose read fails or whose checksum does
+  /// not verify are dropped (not cached, no retry — the demand fault
+  /// will retry under the policy); failures land in `io`. Returns the
+  /// number of pages actually faulted AND kept.
   std::int64_t Prefetch(const PageFile& file, std::int64_t first,
-                        std::int64_t count);
+                        std::int64_t count, PinIo* io = nullptr);
 
   /// Drops every cached page and zeroes the counters; aborts if any page
   /// is still pinned. For cold-cache benchmarks and tests.
@@ -61,6 +104,7 @@ class BufferPool {
 
   std::int64_t capacity_pages() const { return capacity_pages_; }
   std::int64_t page_size() const { return page_size_; }
+  const StorageRetryPolicy& retry_policy() const { return retry_; }
 
   /// Snapshot of the counters (consistent across fields).
   PoolStats stats() const;
@@ -70,6 +114,8 @@ class BufferPool {
     std::int32_t slot = -1;    ///< index into the arena
     std::int32_t pins = 0;     ///< outstanding PageRefs
     bool loading = false;      ///< I/O in flight; wait on cv_
+    bool failed = false;       ///< load failed; error below, never served
+    Status error;              ///< set iff failed
   };
 
   static std::uint64_t MakeKey(std::uint32_t file_id, std::int64_t page) {
@@ -85,10 +131,22 @@ class BufferPool {
   /// Returns -1 when every frame is pinned or loading. Caller holds mu_.
   std::int32_t AcquireSlot();
 
+  /// Reads `page` into `slot` and CRC-verifies it, retrying under the
+  /// policy with bounded backoff. Called UNLOCKED; counts into `io`.
+  Status LoadWithRetry(const PageFile& file, std::int64_t page,
+                       std::int32_t slot, PinIo* io);
+
+  /// Drops one pin of a failed frame; the last pin out erases the frame
+  /// and recycles its slot. Caller holds mu_ and must notify cv_.
+  void ReleaseFailedLocked(std::uint64_t key, Frame* f);
+
+  void MergeIoLocked(const PinIo& io, PinIo* out);
+
   void Unpin(std::uint64_t key);
 
   const std::int64_t capacity_pages_;
   const std::int64_t page_size_;
+  const StorageRetryPolicy retry_;
   std::vector<std::byte> arena_;
 
   mutable std::mutex mu_;
@@ -97,6 +155,9 @@ class BufferPool {
   std::vector<std::int32_t> free_slots_;
   std::int64_t prefetched_ = 0;
   std::int64_t pinned_ = 0;  ///< total outstanding pins across all frames
+  std::int64_t io_errors_ = 0;
+  std::int64_t io_retries_ = 0;
+  std::int64_t checksum_failures_ = 0;
 
   friend class PageRef;
 };

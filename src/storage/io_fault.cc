@@ -1,0 +1,146 @@
+#include "storage/io_fault.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace mdw::storage {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEio: return "eio";
+    case FaultKind::kShortRead: return "short-read";
+    case FaultKind::kCorruption: return "corruption";
+    case FaultKind::kLatency: return "latency";
+  }
+  return "?";
+}
+
+namespace {
+
+/// SplitMix64: a full-period mixer, so every (seed, page, attempt, kind)
+/// tuple gets an independent uniform draw without shared RNG state.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from the tuple's hash.
+double Draw(std::uint64_t seed, std::uint64_t key, std::uint32_t attempt,
+            std::uint32_t salt) {
+  std::uint64_t h = Mix(seed ^ Mix(key ^ (static_cast<std::uint64_t>(attempt)
+                                          << 32 | salt)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultInjector::Decide(std::uint32_t file_id, std::int64_t page,
+                           FaultKind* kind) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(file_id) << 40) |
+                            static_cast<std::uint64_t>(page);
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint32_t attempt = attempts_[key]++;
+  ++stats_.page_reads;
+
+  // Scripted faults first: deterministic by construction.
+  for (std::size_t i = 0; i < plan_.scripted.size(); ++i) {
+    const FaultPlan::Scripted& s = plan_.scripted[i];
+    if (s.file_id >= 0 && static_cast<std::uint32_t>(s.file_id) != file_id) {
+      continue;
+    }
+    if (s.page >= 0 && s.page != page) continue;
+    if (s.count >= 0 && scripted_fired_[i] >= s.count) continue;
+    ++scripted_fired_[i];
+    *kind = s.kind;
+    switch (s.kind) {
+      case FaultKind::kEio: ++stats_.injected_eio; break;
+      case FaultKind::kShortRead: ++stats_.injected_short_reads; break;
+      case FaultKind::kCorruption: ++stats_.injected_corruptions; break;
+      case FaultKind::kLatency: ++stats_.injected_latency; break;
+    }
+    return true;
+  }
+
+  // Probabilistic faults: one independent draw per kind per attempt, so
+  // a retry of the same page re-rolls — transient faults clear.
+  if (plan_.eio_rate > 0 &&
+      Draw(plan_.seed, key, attempt, 0xE10) < plan_.eio_rate) {
+    ++stats_.injected_eio;
+    *kind = FaultKind::kEio;
+    return true;
+  }
+  if (plan_.short_read_rate > 0 &&
+      Draw(plan_.seed, key, attempt, 0x5047) < plan_.short_read_rate) {
+    ++stats_.injected_short_reads;
+    *kind = FaultKind::kShortRead;
+    return true;
+  }
+  if (plan_.corrupt_rate > 0 &&
+      Draw(plan_.seed, key, attempt, 0xC042) < plan_.corrupt_rate) {
+    ++stats_.injected_corruptions;
+    *kind = FaultKind::kCorruption;
+    return true;
+  }
+  if (plan_.latency_rate > 0 &&
+      Draw(plan_.seed, key, attempt, 0x1A7E) < plan_.latency_rate) {
+    ++stats_.injected_latency;
+    *kind = FaultKind::kLatency;
+    return true;
+  }
+  return false;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::unique_ptr<PageFile> FaultInjector::Wrap(
+    std::unique_ptr<PageFile> inner) {
+  return std::make_unique<FaultInjectingPageFile>(std::move(inner), this);
+}
+
+Status FaultInjectingPageFile::ReadPages(std::int64_t first,
+                                         std::int64_t count,
+                                         std::byte* dst) const {
+  // Real read first; an injected fault must never mask a genuine one.
+  Status real = inner_->ReadPages(first, count, dst);
+  if (!real.ok()) return real;
+
+  for (std::int64_t p = first; p < first + count; ++p) {
+    FaultKind kind;
+    if (!injector_->Decide(file_id(), p, &kind)) continue;
+    switch (kind) {
+      case FaultKind::kEio:
+        return Status::IoError("injected EIO on page " + std::to_string(p) +
+                               " of " + path());
+      case FaultKind::kShortRead:
+        return Status::IoError("injected short read at page " +
+                               std::to_string(p) + " of " + path());
+      case FaultKind::kCorruption: {
+        // Flip one deterministic bit of the page image: which one falls
+        // out of the same hash family as the fault decision itself.
+        std::byte* page_data = dst + (p - first) * page_size();
+        const std::uint64_t h =
+            Mix(injector_->plan().seed ^
+                Mix((static_cast<std::uint64_t>(file_id()) << 40) |
+                    static_cast<std::uint64_t>(p)));
+        const auto byte_idx = static_cast<std::size_t>(
+            h % static_cast<std::uint64_t>(page_size()));
+        page_data[byte_idx] ^= std::byte{static_cast<unsigned char>(
+            1u << ((h >> 32) % 8))};
+        break;
+      }
+      case FaultKind::kLatency:
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(injector_->plan().latency_us));
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mdw::storage

@@ -1,0 +1,126 @@
+#ifndef MDW_STORAGE_IO_FAULT_H_
+#define MDW_STORAGE_IO_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page_file.h"
+
+namespace mdw::storage {
+
+/// What a FaultInjector can do to one page read.
+enum class FaultKind {
+  kEio,        ///< the read fails with a typed I/O error
+  kShortRead,  ///< the read ends early (truncated-file shape of kEio)
+  kCorruption, ///< the read succeeds but one byte of the page is flipped
+  kLatency,    ///< the read succeeds after a delay (no error)
+};
+
+const char* ToString(FaultKind kind);
+
+/// A seeded, fully deterministic description of which reads fail and
+/// how. Probabilistic faults are decided by hashing (seed, file, page,
+/// per-page attempt number, kind) — no global RNG state — so a given
+/// plan produces exactly the same fault sequence for a given sequence
+/// of reads, and a retried page sees an independent (but reproducible)
+/// decision per attempt: transient faults really are transient.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Per-page-read probabilities in [0, 1], evaluated independently.
+  double eio_rate = 0;
+  double short_read_rate = 0;
+  double corrupt_rate = 0;
+  double latency_rate = 0;
+  /// Sleep injected per kLatency hit, microseconds.
+  int latency_us = 50;
+
+  /// A scripted fault: fires on reads matching (file_id, page), `count`
+  /// times (-1 = every matching read — a sticky fault, e.g. at-rest
+  /// corruption). -1 wildcards file_id/page. Scripted faults take
+  /// precedence over the probabilistic rates.
+  struct Scripted {
+    std::int32_t file_id = -1;
+    std::int64_t page = -1;
+    FaultKind kind = FaultKind::kEio;
+    int count = 1;
+  };
+  std::vector<Scripted> scripted;
+
+  bool enabled() const {
+    return eio_rate > 0 || short_read_rate > 0 || corrupt_rate > 0 ||
+           latency_rate > 0 || !scripted.empty();
+  }
+};
+
+/// Totals of what an injector actually did (not what the pool observed —
+/// a corrupted page surfaces as a pool checksum_failure, an injected EIO
+/// as an io_error).
+struct FaultStats {
+  std::int64_t page_reads = 0;  ///< page-read decisions evaluated
+  std::int64_t injected_eio = 0;
+  std::int64_t injected_short_reads = 0;
+  std::int64_t injected_corruptions = 0;
+  std::int64_t injected_latency = 0;
+};
+
+/// The shared decision engine behind every FaultInjectingPageFile of one
+/// store: owns the plan, the per-(file, page) attempt counters that make
+/// retries see fresh decisions, and the injection totals. Thread-safe.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  FaultStats stats() const;
+
+  /// Wraps `inner` so every page read consults this injector first.
+  /// Geometry and file_id pass through unchanged.
+  std::unique_ptr<PageFile> Wrap(std::unique_ptr<PageFile> inner);
+
+ private:
+  friend class FaultInjectingPageFile;
+
+  /// Decides the fault (if any) for the next read of `page` in file
+  /// `file_id`, bumping that page's attempt counter. kLatency reports
+  /// through the return value too but never fails the read.
+  /// Returns true and fills `kind` when a fault fires.
+  bool Decide(std::uint32_t file_id, std::int64_t page, FaultKind* kind);
+
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::uint32_t> attempts_;
+  std::unordered_map<std::size_t, int> scripted_fired_;
+  FaultStats stats_;
+};
+
+/// A PageFile decorator that injects the plan's faults into ReadPages:
+/// kEio/kShortRead turn into kIoError statuses, kCorruption flips one
+/// deterministic byte of the page image after the real read (the page
+/// checksum catches it downstream), kLatency sleeps. Reads the inner
+/// file exactly once per call either way.
+class FaultInjectingPageFile final : public PageFile {
+ public:
+  FaultInjectingPageFile(std::unique_ptr<PageFile> inner,
+                         FaultInjector* injector)
+      : PageFile(inner->path(), inner->page_size(), inner->page_count(),
+                 inner->file_id()),
+        inner_(std::move(inner)),
+        injector_(injector) {}
+
+  Status ReadPages(std::int64_t first, std::int64_t count,
+                   std::byte* dst) const override;
+
+ private:
+  std::unique_ptr<PageFile> inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace mdw::storage
+
+#endif  // MDW_STORAGE_IO_FAULT_H_

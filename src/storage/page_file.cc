@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/crc32c.h"
 
 namespace mdw::storage {
 
@@ -18,6 +19,20 @@ const char* ToString(IoBackend backend) {
     case IoBackend::kMmap: return "mmap";
   }
   return "?";
+}
+
+Status PageFile::VerifyPage(std::int64_t page, const std::byte* data) const {
+  const std::int64_t idx = page - checksum_first_page_;
+  if (idx < 0 || idx >= static_cast<std::int64_t>(checksums_.size())) {
+    return Status::Ok();
+  }
+  const std::uint32_t got =
+      Crc32c(data, static_cast<std::size_t>(page_size_));
+  if (got != checksums_[static_cast<std::size_t>(idx)]) {
+    return Status::Corruption("page " + std::to_string(page) + " of " +
+                              path_ + " fails its CRC-32C");
+  }
+  return Status::Ok();
 }
 
 namespace {
@@ -39,22 +54,34 @@ class PreadPageFile final : public PageFile {
 
   ~PreadPageFile() override { ::close(fd_); }
 
-  void ReadPages(std::int64_t first, std::int64_t count,
-                 std::byte* dst) const override {
+  Status ReadPages(std::int64_t first, std::int64_t count,
+                   std::byte* dst) const override {
     MDW_CHECK(first >= 0 && count >= 0 && first + count <= page_count(),
               "page read out of range");
     std::int64_t want = count * page_size();
     std::int64_t off = first * page_size();
     char* out = reinterpret_cast<char*>(dst);
+    // Loop over partial reads: pread may legally return fewer bytes than
+    // requested (and -1/EINTR on a signal) without anything being wrong.
+    // Only a hard error or an early EOF is a failure — and a typed one,
+    // so a transient EIO degrades the query instead of the process.
     while (want > 0) {
       const ssize_t got = ::pread(fd_, out, static_cast<std::size_t>(want),
                                   static_cast<off_t>(off));
-      if (got < 0 && errno == EINTR) continue;
-      MDW_CHECK(got > 0, "short read from segment file");
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("pread of " + path() + " failed: " +
+                               std::strerror(errno));
+      }
+      if (got == 0) {
+        return Status::IoError("unexpected EOF in " + path() +
+                               " (file truncated under the reader?)");
+      }
       want -= got;
       off += got;
       out += got;
     }
+    return Status::Ok();
   }
 
  private:
@@ -76,12 +103,13 @@ class MmapPageFile final : public PageFile {
     }
   }
 
-  void ReadPages(std::int64_t first, std::int64_t count,
-                 std::byte* dst) const override {
+  Status ReadPages(std::int64_t first, std::int64_t count,
+                   std::byte* dst) const override {
     MDW_CHECK(first >= 0 && count >= 0 && first + count <= page_count(),
               "page read out of range");
     std::memcpy(dst, map_ + first * page_size(),
                 static_cast<std::size_t>(count * page_size()));
+    return Status::Ok();
   }
 
  private:

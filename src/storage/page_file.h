@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "common/status.h"
 
 namespace mdw::storage {
 
@@ -21,6 +24,12 @@ const char* ToString(IoBackend backend);
 /// are safe for concurrent ReadPages calls — positional reads share no
 /// cursor — so the BufferPool can fault pages from several threads at
 /// once.
+///
+/// Failure semantics: Open aborts (a store that cannot open its own
+/// files has no graceful degradation), but ReadPages returns a Status —
+/// read failures after construction are survivable and flow up through
+/// the buffer pool as typed errors. Out-of-range reads stay fatal: they
+/// are caller bugs, not device faults.
 class PageFile {
  public:
   virtual ~PageFile() = default;
@@ -43,9 +52,26 @@ class PageFile {
   std::uint32_t file_id() const { return file_id_; }
 
   /// Copies pages [first, first + count) into `dst` (count * page_size
-  /// bytes). Aborts on short reads or out-of-range pages.
-  virtual void ReadPages(std::int64_t first, std::int64_t count,
-                         std::byte* dst) const = 0;
+  /// bytes). Returns kIoError when the device read fails or the file
+  /// ends early; aborts on out-of-range pages (caller bug).
+  virtual Status ReadPages(std::int64_t first, std::int64_t count,
+                           std::byte* dst) const = 0;
+
+  /// Registers the expected CRC-32C of pages [first_page, first_page +
+  /// checksums.size()): the buffer pool verifies these at fault-in time
+  /// through VerifyPage. Pages outside the range (the header and the
+  /// checksum block itself) have no checksum and always verify ok.
+  void AttachChecksums(std::int64_t first_page,
+                       std::vector<std::uint32_t> checksums) {
+    checksum_first_page_ = first_page;
+    checksums_ = std::move(checksums);
+  }
+  bool has_checksums() const { return !checksums_.empty(); }
+
+  /// Checks `data` (one page_size-byte page image) against the attached
+  /// checksum of `page`; kCorruption on mismatch, ok when it matches or
+  /// no checksum covers the page.
+  Status VerifyPage(std::int64_t page, const std::byte* data) const;
 
  protected:
   PageFile(std::string path, std::int64_t page_size, std::int64_t page_count,
@@ -60,6 +86,8 @@ class PageFile {
   std::int64_t page_size_;
   std::int64_t page_count_;
   std::uint32_t file_id_;
+  std::int64_t checksum_first_page_ = 0;
+  std::vector<std::uint32_t> checksums_;
 };
 
 }  // namespace mdw::storage

@@ -12,6 +12,7 @@
 #include <filesystem>
 
 #include "common/check.h"
+#include "common/crc32c.h"
 
 namespace mdw::storage {
 
@@ -23,13 +24,18 @@ static_assert(std::endian::native == std::endian::little,
 namespace {
 
 constexpr char kMagic[8] = {'M', 'D', 'W', 'S', 'E', 'G', '1', '\0'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 constexpr std::uint32_t kEndianTag = 0x01020304u;
 constexpr std::uint32_t kFlagHasSummaries = 1u << 0;
 
 /// Fixed-size prefix of the header, before the column and fragment
-/// directories.
-constexpr std::int64_t kFixedHeaderBytes = 96;
+/// directories. v2 extends the v1 prefix (96 bytes) with the checksum
+/// block and data page counts.
+constexpr std::int64_t kFixedHeaderBytes = 112;
+
+/// Offsets inside the fixed prefix used by version detection.
+constexpr std::int64_t kVersionOffset = 8;   ///< after the magic
+constexpr std::int64_t kPrefixProbeBytes = 16;  ///< magic + version + endian
 
 std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
   return (a + b - 1) / b;
@@ -64,6 +70,31 @@ void WriteAll(int fd, const std::byte* data, std::int64_t len,
   }
 }
 
+/// pread the exact byte range [off, off + len) of `fd`, retrying EINTR
+/// and partial reads. Returns false (with `why`) on error or early EOF.
+bool PreadExact(int fd, std::byte* dst, std::int64_t len, std::int64_t off,
+                const std::string& path, std::string* why) {
+  char* out = reinterpret_cast<char*>(dst);
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, out, static_cast<std::size_t>(len),
+                              static_cast<off_t>(off));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      *why = "cannot read existing segment " + path + ": " +
+             std::strerror(errno);
+      return false;
+    }
+    if (n == 0) {
+      *why = "existing segment " + path + " is truncated";
+      return false;
+    }
+    len -= n;
+    off += n;
+    out += n;
+  }
+  return true;
+}
+
 /// Local value count of column `c` in shard `s` (prefix columns carry
 /// one extra boundary value).
 std::int64_t ValueCount(const SegmentStore::BuildInput& input, int s, int c) {
@@ -77,19 +108,41 @@ int ColumnCount(const SegmentStore::BuildInput& input) {
   return input.num_dims + 2 + (input.has_summaries ? 2 : 0);
 }
 
+/// Page geometry of shard `s`'s segment: [header | checksums | data].
+struct ShardGeometry {
+  std::int64_t header_pages;
+  std::int64_t checksum_pages;
+  std::int64_t data_pages;
+};
+
+ShardGeometry GeometryOf(const SegmentStore::BuildInput& input, int s) {
+  const int cols = ColumnCount(input);
+  const auto& frags = input.shard_fragments[static_cast<std::size_t>(s)];
+  const std::int64_t raw_bytes =
+      kFixedHeaderBytes + 16 * cols +
+      24 * static_cast<std::int64_t>(frags.size());
+  ShardGeometry g;
+  g.header_pages = CeilDiv(raw_bytes, input.page_size);
+  g.data_pages = 0;
+  for (int c = 0; c < cols; ++c) {
+    g.data_pages += CeilDiv(ValueCount(input, s, c), input.tuples_per_page);
+  }
+  g.checksum_pages = CeilDiv(
+      g.data_pages * static_cast<std::int64_t>(sizeof(std::uint32_t)),
+      input.page_size);
+  return g;
+}
+
 }  // namespace
 
 std::vector<std::byte> SegmentStore::BuildHeader(const BuildInput& input,
                                                  int s) {
   const int cols = ColumnCount(input);
   const auto& frags = input.shard_fragments[static_cast<std::size_t>(s)];
-  const std::int64_t raw_bytes =
-      kFixedHeaderBytes + 16 * cols +
-      24 * static_cast<std::int64_t>(frags.size());
-  const std::int64_t header_pages = CeilDiv(raw_bytes, input.page_size);
+  const ShardGeometry g = GeometryOf(input, s);
 
   std::vector<std::byte> h;
-  h.reserve(static_cast<std::size_t>(header_pages * input.page_size));
+  h.reserve(static_cast<std::size_t>(g.header_pages * input.page_size));
   Append(&h, kMagic, sizeof kMagic);
   AppendU32(&h, kVersion);
   AppendU32(&h, kEndianTag);
@@ -105,11 +158,13 @@ std::vector<std::byte> SegmentStore::BuildHeader(const BuildInput& input,
   AppendU32(&h, input.has_summaries ? kFlagHasSummaries : 0u);
   AppendI64(&h, static_cast<std::int64_t>(frags.size()));
   AppendI64(&h, static_cast<std::int64_t>(cols));
-  AppendI64(&h, header_pages);
+  AppendI64(&h, g.header_pages);
+  AppendI64(&h, g.checksum_pages);
+  AppendI64(&h, g.data_pages);
   MDW_CHECK(static_cast<std::int64_t>(h.size()) == kFixedHeaderBytes,
             "segment header layout drifted from kFixedHeaderBytes");
 
-  std::int64_t next_page = header_pages;
+  std::int64_t next_page = g.header_pages + g.checksum_pages;
   for (int c = 0; c < cols; ++c) {
     const std::int64_t values = ValueCount(input, s, c);
     AppendI64(&h, next_page);
@@ -121,7 +176,7 @@ std::vector<std::byte> SegmentStore::BuildHeader(const BuildInput& input,
     AppendI64(&h, f.begin);
     AppendI64(&h, f.end);
   }
-  h.resize(static_cast<std::size_t>(header_pages * input.page_size));
+  h.resize(static_cast<std::size_t>(g.header_pages * input.page_size));
   return h;
 }
 
@@ -132,6 +187,28 @@ bool SegmentStore::ValidateExisting(const std::string& path,
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     why->clear();  // no prior file: not an error, just nothing to reuse
+    return false;
+  }
+  // Probe magic + version before anything size-shaped: a v1 segment is
+  // smaller than its v2 rewrite, and "stale format version" is the
+  // actionable message, not "unexpected size".
+  std::byte prefix[kPrefixProbeBytes];
+  if (!PreadExact(fd, prefix, kPrefixProbeBytes, 0, path, why)) {
+    ::close(fd);
+    return false;
+  }
+  if (std::memcmp(prefix, kMagic, sizeof kMagic) != 0) {
+    ::close(fd);
+    *why = "existing file " + path + " is not a segment (bad magic)";
+    return false;
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, prefix + kVersionOffset, sizeof version);
+  if (version != kVersion) {
+    ::close(fd);
+    *why = "existing segment " + path + " format version " +
+           std::to_string(version) + " is stale (current is " +
+           std::to_string(kVersion) + "); rewriting";
     return false;
   }
   struct stat st;
@@ -146,21 +223,10 @@ bool SegmentStore::ValidateExisting(const std::string& path,
     return false;
   }
   std::vector<std::byte> got(header.size());
-  std::int64_t want = static_cast<std::int64_t>(got.size());
-  char* out = reinterpret_cast<char*>(got.data());
-  std::int64_t off = 0;
-  while (want > 0) {
-    const ssize_t n = ::pread(fd, out, static_cast<std::size_t>(want),
-                              static_cast<off_t>(off));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      ::close(fd);
-      *why = "cannot read header of existing segment " + path;
-      return false;
-    }
-    want -= n;
-    off += n;
-    out += n;
+  if (!PreadExact(fd, got.data(), static_cast<std::int64_t>(got.size()), 0,
+                  path, why)) {
+    ::close(fd);
+    return false;
   }
   ::close(fd);
   if (std::memcmp(got.data(), header.data(), header.size()) != 0) {
@@ -174,6 +240,35 @@ bool SegmentStore::ValidateExisting(const std::string& path,
 void SegmentStore::WriteSegment(const BuildInput& input, int s,
                                 const std::vector<std::byte>& header,
                                 const std::string& path) {
+  const ShardGeometry g = GeometryOf(input, s);
+  const std::int64_t begin =
+      input.shard_row_begin[static_cast<std::size_t>(s)];
+  const int cols = ColumnCount(input);
+  std::vector<std::byte> page(static_cast<std::size_t>(page_size_));
+
+  // Pass 1: materialise each data page image (values + zero padding) to
+  // compute its CRC-32C; the checksum block precedes the data on disk,
+  // so knowing every CRC up front keeps the write purely sequential.
+  std::vector<std::uint32_t> crcs;
+  crcs.reserve(static_cast<std::size_t>(g.data_pages));
+  for (int c = 0; c < cols; ++c) {
+    // Prefix columns index the same global positions as row columns, so
+    // every column of this shard starts at global offset `begin`.
+    const std::int64_t* src =
+        input.columns[static_cast<std::size_t>(c)]->data() + begin;
+    std::int64_t remaining = ValueCount(input, s, c);
+    while (remaining > 0) {
+      const std::int64_t n = std::min(remaining, tuples_per_page_);
+      std::memset(page.data(), 0, page.size());
+      std::memcpy(page.data(), src, static_cast<std::size_t>(n) * 8);
+      crcs.push_back(Crc32c(page.data(), page.size()));
+      src += n;
+      remaining -= n;
+    }
+  }
+  MDW_CHECK(static_cast<std::int64_t>(crcs.size()) == g.data_pages,
+            "checksum count drifted from the data page count");
+
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                         0644);
@@ -181,13 +276,16 @@ void SegmentStore::WriteSegment(const BuildInput& input, int s,
   WriteAll(fd, header.data(), static_cast<std::int64_t>(header.size()),
            "cannot write segment header");
 
-  const std::int64_t begin =
-      input.shard_row_begin[static_cast<std::size_t>(s)];
-  std::vector<std::byte> page(static_cast<std::size_t>(page_size_));
-  const int cols = ColumnCount(input);
+  std::vector<std::byte> checksum_block(
+      static_cast<std::size_t>(g.checksum_pages * page_size_));
+  std::memcpy(checksum_block.data(), crcs.data(),
+              crcs.size() * sizeof(std::uint32_t));
+  WriteAll(fd, checksum_block.data(),
+           static_cast<std::int64_t>(checksum_block.size()),
+           "cannot write segment checksum block");
+
+  // Pass 2: the data pages themselves, same image construction.
   for (int c = 0; c < cols; ++c) {
-    // Prefix columns index the same global positions as row columns, so
-    // every column of this shard starts at global offset `begin`.
     const std::int64_t* src =
         input.columns[static_cast<std::size_t>(c)]->data() + begin;
     std::int64_t remaining = ValueCount(input, s, c);
@@ -200,9 +298,40 @@ void SegmentStore::WriteSegment(const BuildInput& input, int s,
       remaining -= n;
     }
   }
+
+  // Crash durability: the bytes reach stable storage before the rename
+  // publishes them, and the rename itself reaches the directory before
+  // the constructor returns. A crash anywhere leaves either the old
+  // segment or the new one — never a half-written file under the real
+  // name.
+  MDW_CHECK(::fsync(fd) == 0, "cannot fsync segment file");
   MDW_CHECK(::close(fd) == 0, "cannot close segment file");
   MDW_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
             "cannot move segment file into place");
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  const int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  MDW_CHECK(dfd >= 0, "cannot open segment directory for fsync");
+  MDW_CHECK(::fsync(dfd) == 0, "cannot fsync segment directory");
+  MDW_CHECK(::close(dfd) == 0, "cannot close segment directory");
+}
+
+void SegmentStore::LoadChecksums(int s, const std::string& path,
+                                 PageFile* file) const {
+  const ShardDir& dir = dirs_[static_cast<std::size_t>(s)];
+  std::vector<std::uint32_t> checksums(
+      static_cast<std::size_t>(dir.data_pages));
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  MDW_CHECK(fd >= 0, "cannot open segment file for its checksum block");
+  std::string why;
+  const bool ok = PreadExact(
+      fd, reinterpret_cast<std::byte*>(checksums.data()),
+      dir.data_pages * static_cast<std::int64_t>(sizeof(std::uint32_t)),
+      dir.header_pages * page_size_, path, &why);
+  ::close(fd);
+  MDW_CHECK(ok, "cannot read segment checksum block");
+  file->AttachChecksums(dir.header_pages + dir.checksum_pages,
+                        std::move(checksums));
 }
 
 SegmentStore::SegmentStore(const StoreOptions& options,
@@ -226,15 +355,21 @@ SegmentStore::SegmentStore(const StoreOptions& options,
   MDW_CHECK(static_cast<int>(input.columns.size()) == num_columns_,
             "column list does not match the declared layout");
 
+  if (options.fault_plan.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(options.fault_plan);
+  }
+
   dirs_.resize(static_cast<std::size_t>(num_shards));
   files_.resize(static_cast<std::size_t>(num_shards));
   bool all_reused = true;
   for (int s = 0; s < num_shards; ++s) {
     // Read-side directory (independent of whether the file is rewritten).
     ShardDir& dir = dirs_[static_cast<std::size_t>(s)];
-    const std::vector<std::byte> header = BuildHeader(input, s);
-    std::int64_t next_page =
-        static_cast<std::int64_t>(header.size()) / page_size_;
+    const ShardGeometry g = GeometryOf(input, s);
+    dir.header_pages = g.header_pages;
+    dir.checksum_pages = g.checksum_pages;
+    dir.data_pages = g.data_pages;
+    std::int64_t next_page = g.header_pages + g.checksum_pages;
     for (int c = 0; c < num_columns_; ++c) {
       const std::int64_t values = ValueCount(input, s, c);
       dir.col_first_page.push_back(next_page);
@@ -242,7 +377,11 @@ SegmentStore::SegmentStore(const StoreOptions& options,
       next_page += CeilDiv(values, tuples_per_page_);
     }
     dir.total_pages = next_page;
+    MDW_CHECK(dir.total_pages ==
+                  g.header_pages + g.checksum_pages + g.data_pages,
+              "segment directory drifted from its geometry");
 
+    const std::vector<std::byte> header = BuildHeader(input, s);
     char shard_dir[32];
     std::snprintf(shard_dir, sizeof shard_dir, "shard-%04d", s);
     const std::filesystem::path dir_path =
@@ -261,14 +400,19 @@ SegmentStore::SegmentStore(const StoreOptions& options,
       if (!why.empty() && validation_error_.empty()) validation_error_ = why;
       WriteSegment(input, s, header, path);
     }
-    files_[static_cast<std::size_t>(s)] = PageFile::Open(
+    std::unique_ptr<PageFile> file = PageFile::Open(
         options.backend, path, page_size_, static_cast<std::uint32_t>(s));
-    MDW_CHECK(files_[static_cast<std::size_t>(s)]->page_count() ==
-                  dir.total_pages,
+    MDW_CHECK(file->page_count() == dir.total_pages,
               "segment file page count does not match its directory");
+    if (injector_ != nullptr) file = injector_->Wrap(std::move(file));
+    // Checksums attach to the OUTERMOST file — the one the pool pins —
+    // so injected corruption lands before verification and is caught.
+    LoadChecksums(s, path, file.get());
+    files_[static_cast<std::size_t>(s)] = std::move(file);
   }
   reused_ = all_reused;
-  pool_ = std::make_unique<BufferPool>(options.pool_pages, page_size_);
+  pool_ = std::make_unique<BufferPool>(options.pool_pages, page_size_,
+                                       options.retry);
 }
 
 std::string SegmentStore::SegmentPath(int s) const {
@@ -279,6 +423,17 @@ std::string SegmentStore::SegmentPath(int s) const {
 std::int64_t SegmentStore::SegmentPages(int s) const {
   MDW_CHECK(s >= 0 && s < num_shards(), "shard out of range");
   return dirs_[static_cast<std::size_t>(s)].total_pages;
+}
+
+std::int64_t SegmentStore::ChecksumPages(int s) const {
+  MDW_CHECK(s >= 0 && s < num_shards(), "shard out of range");
+  return dirs_[static_cast<std::size_t>(s)].checksum_pages;
+}
+
+std::int64_t SegmentStore::FirstDataPage(int s) const {
+  MDW_CHECK(s >= 0 && s < num_shards(), "shard out of range");
+  const ShardDir& dir = dirs_[static_cast<std::size_t>(s)];
+  return dir.header_pages + dir.checksum_pages;
 }
 
 int SegmentStore::ShardOf(std::int64_t i) const {
@@ -292,6 +447,7 @@ int SegmentStore::ShardOf(std::int64_t i) const {
 }
 
 std::int64_t SegmentStore::Cursor::Fault(std::int64_t i) {
+  if (!status_.ok()) return 0;
   const SegmentStore& st = *store_;
   const int s = st.ShardOf(i);
   const ShardDir& dir = st.dirs_[static_cast<std::size_t>(s)];
@@ -305,29 +461,45 @@ std::int64_t SegmentStore::Cursor::Fault(std::int64_t i) {
   const std::int64_t file_page =
       dir.col_first_page[static_cast<std::size_t>(column_)] + page_in_col;
 
-  BufferPool::PageRef ref =
-      st.pool_->Pin(*st.files_[static_cast<std::size_t>(s)], file_page);
+  BufferPool::PinIo pin_io;
+  StatusOr<BufferPool::PageRef> ref =
+      st.pool_->Pin(*st.files_[static_cast<std::size_t>(s)], file_page,
+                    &pin_io);
   if (io_ != nullptr) {
-    if (ref.hit()) {
+    io_->io_errors += pin_io.io_errors;
+    io_->io_retries += pin_io.io_retries;
+    io_->checksum_failures += pin_io.checksum_failures;
+  }
+  if (!ref.ok()) {
+    // Latch the error; from here every At() answers 0 without touching
+    // the pool, and the caller discards the aggregate via status().
+    status_ = ref.status();
+    span_ = nullptr;
+    span_begin_ = span_end_ = 0;
+    page_.reset();
+    return 0;
+  }
+  if (io_ != nullptr) {
+    if (ref->hit()) {
       ++io_->buffer_hits;
     } else {
       ++io_->pages_read;
       io_->bytes_read += st.page_size_;
     }
   }
-  span_ = reinterpret_cast<const std::int64_t*>(ref.data());
+  span_ = reinterpret_cast<const std::int64_t*>(ref->data());
   span_begin_ = begin + page_in_col * st.tuples_per_page_;
   span_end_ =
       begin + std::min(page_in_col * st.tuples_per_page_ + st.tuples_per_page_,
                        values);
   shard_ = s;
-  page_ = std::make_unique<BufferPool::PageRef>(std::move(ref));
+  page_ = std::make_unique<BufferPool::PageRef>(std::move(ref).value());
   return span_[static_cast<std::size_t>(i - span_begin_)];
 }
 
 void SegmentStore::Cursor::PrefetchRun(std::int64_t begin, std::int64_t end) {
   const SegmentStore& st = *store_;
-  if (!st.prefetch_ || begin >= end) return;
+  if (!st.prefetch_ || begin >= end || !status_.ok()) return;
   std::int64_t i = begin;
   while (i < end) {
     const int s = st.ShardOf(i);
@@ -340,13 +512,17 @@ void SegmentStore::Cursor::PrefetchRun(std::int64_t begin, std::int64_t end) {
     if (run_end > i) {
       const std::int64_t first_page = (i - base) / st.tuples_per_page_;
       const std::int64_t last_page = (run_end - 1 - base) / st.tuples_per_page_;
+      BufferPool::PinIo pin_io;
       const std::int64_t fetched = st.pool_->Prefetch(
           *st.files_[static_cast<std::size_t>(s)],
           dir.col_first_page[static_cast<std::size_t>(column_)] + first_page,
-          last_page - first_page + 1);
+          last_page - first_page + 1, &pin_io);
       if (io_ != nullptr) {
         io_->pages_read += fetched;
         io_->bytes_read += fetched * st.page_size_;
+        io_->io_errors += pin_io.io_errors;
+        io_->io_retries += pin_io.io_retries;
+        io_->checksum_failures += pin_io.checksum_failures;
       }
     }
     // Advance past this shard's slice of the run (guaranteed progress

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/buffer_pool.h"
+#include "storage/io_fault.h"
 #include "storage/page_file.h"
 
 namespace mdw::storage {
@@ -22,8 +24,17 @@ struct StoreOptions {
   /// Read ahead over coalesced scan runs (best-effort).
   bool prefetch = true;
   /// Reuse an existing segment whose header matches exactly; any
-  /// mismatch (corruption, truncation, different dataset) rewrites it.
+  /// mismatch (corruption, truncation, stale format version, different
+  /// dataset) rewrites it.
   bool reuse_existing = true;
+  /// How the buffer pool retries failed page loads before surfacing a
+  /// typed error to the query.
+  StorageRetryPolicy retry;
+  /// Deterministic fault injection over every post-construction page
+  /// read (the chaos-test substrate); disabled by default. Segment
+  /// writes, header validation, and the checksum-block load are never
+  /// injected — construction-time invariants stay fatal.
+  FaultPlan fault_plan;
 };
 
 /// FNV-1a accumulator for the schema hash stamped into segment headers:
@@ -48,10 +59,19 @@ struct Fnv1a {
 /// The page-aligned on-disk form of one clustered, sharded warehouse:
 /// per shard a directory `shard-NNNN/` holding `segment.mdwseg` — a
 /// little-endian header (magic, version, schema hash, geometry, column
-/// and fragment directories) followed by the shard's columns, each
-/// column stored page-aligned with `tuples_per_page` values per page
-/// (the same page geometry PagedLayout and the paper's I/O-class math
-/// count, so page boundaries line up with the logical page model).
+/// and fragment directories), a checksum block (one CRC-32C per data
+/// page, page-padded), then the shard's columns, each column stored
+/// page-aligned with `tuples_per_page` values per page (the same page
+/// geometry PagedLayout and the paper's I/O-class math count, so page
+/// boundaries line up with the logical page model).
+///
+/// Format v2 (current): pages are [header | checksums | data]. Every
+/// data page's CRC-32C (computed over the full page image, zero padding
+/// included) is stored in the checksum block and verified by the buffer
+/// pool each time the page is faulted in, so at-rest or in-flight
+/// corruption surfaces as a typed kCorruption error instead of silently
+/// wrong aggregates. v1 files (no checksum block) fail validation with
+/// a "stale format version" message and are transparently rewritten.
 ///
 /// Column order: the `num_dims` dimension leaf columns, units_sold,
 /// dollar_sales_cents, then — when summaries are enabled — the two
@@ -60,11 +80,13 @@ struct Fnv1a {
 /// the shard's row region [B, E), so a covered run [b, e) inside the
 /// shard folds as P[e] - P[b] from at most two pages.
 ///
-/// Construction writes each shard's segment (write-to-temp + rename),
-/// or reuses a byte-identical existing one (see StoreOptions), then
-/// opens every segment behind one shared BufferPool. All row addressing
-/// on the read side is in *global* clustered row indices; the store
-/// maps them to (shard, local page, offset) internally.
+/// Construction writes each shard's segment crash-durably (write to
+/// temp, fsync the temp file, rename into place, fsync the parent
+/// directory), or reuses a byte-identical existing one (see
+/// StoreOptions), then opens every segment behind one shared
+/// BufferPool. All row addressing on the read side is in *global*
+/// clustered row indices; the store maps them to (shard, local page,
+/// offset) internally.
 class SegmentStore {
  public:
   /// One fragment's local row range inside its shard's segment.
@@ -102,12 +124,16 @@ class SegmentStore {
   /// reused as-is (no shard was written).
   bool reused() const { return reused_; }
   /// Why the first non-reusable existing segment was rejected (header
-  /// mismatch, truncation, short file, ...); empty when reused() or
-  /// when no prior file existed.
+  /// mismatch, truncation, short file, stale format version, ...);
+  /// empty when reused() or when no prior file existed.
   const std::string& validation_error() const { return validation_error_; }
 
   BufferPool& pool() { return *pool_; }
   const BufferPool& pool() const { return *pool_; }
+
+  /// The fault injector driving this store's FaultPlan, or nullptr when
+  /// injection is disabled. Exposes injection totals for tests.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
 
   std::int64_t page_size() const { return page_size_; }
   std::int64_t tuples_per_page() const { return tuples_per_page_; }
@@ -125,18 +151,28 @@ class SegmentStore {
 
   /// Path of shard `s`'s segment file (for tests and tooling).
   std::string SegmentPath(int s) const;
-  /// Pages in shard `s`'s segment file, header included.
+  /// Pages in shard `s`'s segment file, header and checksum block
+  /// included.
   std::int64_t SegmentPages(int s) const;
+  /// Pages of shard `s`'s checksum block (between header and data).
+  std::int64_t ChecksumPages(int s) const;
+  /// First data page of shard `s` (== header pages + checksum pages).
+  std::int64_t FirstDataPage(int s) const;
 
   /// I/O a reader attributed to one execution slice. `pages_read`
   /// counts pages faulted from disk (demand misses plus pages this
   /// reader prefetched); `buffer_hits` counts pins served from cache
   /// (prefetched pages pin as hits). Summed over a query's cursors,
-  /// these match the pool's own counter deltas.
+  /// these match the pool's own counter deltas. The failure counters
+  /// mirror BufferPool::PinIo: failed read attempts, retry attempts
+  /// issued, and checksum verification failures this slice observed.
   struct IoCounters {
     std::int64_t pages_read = 0;
     std::int64_t buffer_hits = 0;
     std::int64_t bytes_read = 0;
+    std::int64_t io_errors = 0;
+    std::int64_t io_retries = 0;
+    std::int64_t checksum_failures = 0;
   };
 
   /// A read cursor over one column, addressed by global clustered row
@@ -144,6 +180,14 @@ class SegmentStore {
   /// one pool pin per page. Cheap to construct (per scan chunk); NOT
   /// thread-safe — use one cursor per thread, and a non-null `io` must
   /// not be shared across concurrently-used cursors.
+  ///
+  /// Failure semantics: when a pin fails (after the pool's retries) the
+  /// cursor latches the error in status() and every subsequent At()
+  /// returns 0 without touching the pool again — the caller's kernel
+  /// runs to completion on zeros, and the execution layer discards the
+  /// poisoned aggregate because status() is not ok. This keeps the hot
+  /// path branch-free on the happy path (one status check per page
+  /// fault, none per row).
   class Cursor {
    public:
     Cursor(const SegmentStore* store, int column, IoCounters* io)
@@ -164,12 +208,17 @@ class SegmentStore {
     /// prefetch. Faulted pages count into `io` as pages_read.
     void PrefetchRun(std::int64_t begin, std::int64_t end);
 
+    /// First error any page fault of this cursor hit; ok while every
+    /// read succeeded. Once failed, At() returns 0 for every index.
+    const Status& status() const { return status_; }
+
    private:
     std::int64_t Fault(std::int64_t i);
 
     const SegmentStore* store_;
     int column_;
     IoCounters* io_;
+    Status status_;
     /// Global index span of the currently-pinned page ([begin, end)),
     /// empty initially.
     std::int64_t span_begin_ = 0;
@@ -188,7 +237,10 @@ class SegmentStore {
   struct ShardDir {
     std::vector<std::int64_t> col_first_page;  ///< per column
     std::vector<std::int64_t> col_value_count;
-    std::int64_t total_pages = 0;  ///< header + data
+    std::int64_t header_pages = 0;
+    std::int64_t checksum_pages = 0;
+    std::int64_t data_pages = 0;
+    std::int64_t total_pages = 0;  ///< header + checksums + data
   };
 
   /// Serialises the exact header bytes (padded to whole pages) for
@@ -197,12 +249,18 @@ class SegmentStore {
   /// True iff the file at `path` exists and is byte-identical to
   /// `header` over the header region with the expected total size;
   /// fills `why` otherwise (empty when the file simply doesn't exist).
+  /// A wrong magic or a non-current format version is reported
+  /// explicitly (that is how v1 segments are detected as stale).
   static bool ValidateExisting(const std::string& path,
                                const std::vector<std::byte>& header,
                                std::int64_t expected_bytes, std::string* why);
   void WriteSegment(const BuildInput& input, int s,
                     const std::vector<std::byte>& header,
                     const std::string& path);
+  /// Reads shard `s`'s checksum block (construction-time, raw pread —
+  /// fatal on failure) and attaches it to `file` for pin-time
+  /// verification.
+  void LoadChecksums(int s, const std::string& path, PageFile* file) const;
 
   /// Shard whose region covers global index `i` (prefix-column
   /// addressing included: i == row_count() maps to the last shard).
@@ -218,6 +276,7 @@ class SegmentStore {
   std::vector<std::int64_t> shard_row_begin_;
   std::vector<ShardDir> dirs_;
   std::vector<std::unique_ptr<PageFile>> files_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<BufferPool> pool_;
   bool reused_ = false;
   std::string validation_error_;

@@ -1,0 +1,57 @@
+// CRC-32C tests: the standard check vector, seeding/continuation, and
+// split-point consistency across the 8-byte fast path and its byte
+// tails (whichever implementation the runtime dispatch picked).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/crc32c.h"
+
+namespace mdw {
+namespace {
+
+TEST(Crc32cTest, StandardCheckVector) {
+  // The canonical CRC-32C check value: crc("123456789") = 0xE3069283.
+  const std::string msg = "123456789";
+  EXPECT_EQ(Crc32c(msg.data(), msg.size()), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(Crc32cTest, ContinuationMatchesOneShot) {
+  std::vector<std::uint8_t> buf(4096);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  const std::uint32_t whole = Crc32c(buf.data(), buf.size());
+  // Every split point must continue to the same value — including splits
+  // that land mid-way through the 8-byte blocks of the fast path.
+  for (const std::size_t split : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{8}, std::size_t{9},
+                                  std::size_t{1000}, std::size_t{4095}}) {
+    const std::uint32_t part = Crc32c(buf.data(), split);
+    EXPECT_EQ(Crc32c(buf.data() + split, buf.size() - split, part), whole)
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToEveryBitFlip) {
+  std::vector<std::uint8_t> buf(512, 0xA5);
+  const std::uint32_t base = Crc32c(buf.data(), buf.size());
+  for (const std::size_t at : {std::size_t{0}, std::size_t{255},
+                               std::size_t{511}}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[at] = static_cast<std::uint8_t>(0xA5 ^ (1u << bit));
+      EXPECT_NE(Crc32c(buf.data(), buf.size()), base)
+          << "byte " << at << " bit " << bit;
+      buf[at] = 0xA5;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdw

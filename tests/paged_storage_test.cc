@@ -305,8 +305,84 @@ TEST(SegmentFormatTest, HeadersAndGeometryMatchTheSpec) {
     std::uint32_t endian_tag = 0;
     in.read(reinterpret_cast<char*>(&version), 4);
     in.read(reinterpret_cast<char*>(&endian_tag), 4);
-    EXPECT_EQ(version, 1u);
+    EXPECT_EQ(version, 2u);
     EXPECT_EQ(endian_tag, 0x01020304u);
+
+    // v2 layout: [header | checksum block | data pages]. The checksum
+    // block holds one CRC-32C (4 bytes) per data page, page-padded.
+    const std::int64_t checksum_pages = store.ChecksumPages(s);
+    const std::int64_t first_data = store.FirstDataPage(s);
+    const std::int64_t data_pages = store.SegmentPages(s) - first_data;
+    EXPECT_GT(checksum_pages, 0);
+    EXPECT_GT(first_data, checksum_pages);  // header pages precede
+    EXPECT_EQ(checksum_pages,
+              (data_pages * 4 + store.page_size() - 1) / store.page_size());
+  }
+}
+
+TEST(SegmentFormatTest, V1SegmentsAreDetectedAsStaleAndRewritten) {
+  TempDir dir;
+  std::string segment;
+  {
+    const MiniWarehouse first = MakePaged(2, Opts(dir.path()));
+    segment = first.paged_store()->SegmentPath(0);
+  }
+  {
+    // Rewind the version field (offset 8) to 1: the file now claims the
+    // old checksum-less format. The probe must say so by name instead of
+    // complaining about the size, and rewrite the segment.
+    std::fstream f(segment, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    const std::uint32_t old_version = 1;
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&old_version), 4);
+  }
+  const MiniWarehouse second = MakePaged(2, Opts(dir.path()));
+  EXPECT_FALSE(second.paged_store()->reused());
+  EXPECT_NE(second.paged_store()->validation_error().find("stale"),
+            std::string::npos)
+      << second.paged_store()->validation_error();
+  const MiniWarehouse ram = MakeRam(2);
+  EXPECT_EQ(ram.ExecuteFullScan(apb1_queries::OneMonth(5)),
+            second.ExecuteFullScan(apb1_queries::OneMonth(5)));
+}
+
+TEST(SegmentFormatTest, OnDiskDataCorruptionIsCaughtByPageChecksums) {
+  // Damage every data page of one shard at rest. The header still
+  // validates, so the store reuses the segment — but the first query that
+  // pins a damaged page gets a typed kCorruption outcome instead of a
+  // silently wrong aggregate, and the process stays alive.
+  TempDir dir;
+  std::string segment;
+  std::int64_t first_data = 0, total = 0, page_size = 0;
+  {
+    const MiniWarehouse first = MakePaged(1, Opts(dir.path()));
+    segment = first.paged_store()->SegmentPath(0);
+    first_data = first.paged_store()->FirstDataPage(0);
+    total = first.paged_store()->SegmentPages(0);
+    page_size = first.paged_store()->page_size();
+  }
+  {
+    std::fstream f(segment, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    for (std::int64_t p = first_data; p < total; ++p) {
+      f.seekg(p * page_size);
+      char byte = 0;
+      f.read(&byte, 1);
+      byte = static_cast<char>(byte ^ 0x5a);
+      f.seekp(p * page_size);
+      f.write(&byte, 1);
+    }
+  }
+  const Warehouse damaged = MakeFacade(1, /*workers=*/1, dir.path());
+  ASSERT_TRUE(damaged.materialized()->paged_store()->reused());
+  for (const StarQuery& q : QuerySweep()) {
+    const QueryOutcome outcome = damaged.Execute(q);
+    ASSERT_FALSE(outcome.status.ok()) << q.name();
+    EXPECT_EQ(outcome.status.code(), StatusCode::kCorruption) << q.name();
+    EXPECT_FALSE(outcome.aggregate.has_value()) << q.name();
+    EXPECT_GT(outcome.checksum_failures, 0) << q.name();
+    EXPECT_EQ(outcome.io_errors, 0) << q.name();
   }
 }
 

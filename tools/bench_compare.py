@@ -46,6 +46,10 @@ DEFAULT_COUNTERS = [
     "p99_response_vt",
     "unfairness",
     "rejected",
+    # Storage-health counters: zero in every healthy benchmark run, so ANY
+    # retry or checksum failure on the paged-scan bench is a regression.
+    "io_retries_per_query",
+    "checksum_failures_per_query",
 ]
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
