@@ -575,17 +575,26 @@ void BM_MultiUserServe(benchmark::State& state) {
 
   wh.Serve(arrivals, config);  // warm the plan cache; the loop measures
   double p99 = 0, unfairness = 0, rejected = 0;
+  double deadline_missed = 0, degraded = 0, served = 1;
   for (auto _ : state) {
     const auto batch = wh.Serve(arrivals, config);
     p99 = batch.serving->total.p99_response_vt;
     unfairness = 1.0 - batch.serving->jain_fairness;
     rejected = static_cast<double>(batch.serving->total.rejected);
+    deadline_missed = static_cast<double>(batch.serving->total.deadline_missed);
+    degraded = static_cast<double>(batch.serving->total.degraded);
+    served = std::max(1.0, static_cast<double>(batch.queries.size()));
     benchmark::DoNotOptimize(batch.total_aggregate->rows);
   }
   state.counters["streams"] = static_cast<double>(streams);
   state.counters["p99_response_vt"] = p99;
   state.counters["unfairness"] = unfairness;
   state.counters["rejected"] = rejected;
+  // Zero-baseline tripwires: no deadline is configured here, so any
+  // nonzero value means the deadline machinery leaked into the default
+  // serving path (a correctness regression the perf gate should catch).
+  state.counters["deadline_missed_per_query"] = deadline_missed / served;
+  state.counters["degraded_per_query"] = degraded / served;
   // Horizon 0 drains the queue, so served = submitted - rejected.
   state.counters["queries_per_second"] = benchmark::Counter(
       static_cast<double>(state.iterations()) *

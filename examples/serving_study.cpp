@@ -175,5 +175,96 @@ int main() {
       "first — the zipfian heavy tenants. Open-loop arrivals never\n"
       "back off, so the bounded queue sheds the excess (rej column)\n"
       "instead of letting waiting time grow without bound.\n");
+
+  // ---- Deadline sweep: graceful degradation under growing overload ----
+  //
+  // Every query now carries a relative virtual-time deadline (4x the
+  // light-load mean service demand). Odd streams opt into degradation
+  // (covered-only answers from the fragment summaries) while even
+  // streams shed, so the same run shows both overload responses. SRPT
+  // joins FCFS and credit: under deadline pressure, serving the
+  // smallest demand first keeps far more queries inside their budget.
+  double mean_service_vt = 100.0;
+  {
+    mdw::ArrivalConfig gen;
+    gen.num_streams = 1;
+    gen.mean_interarrival_vt = kPerStreamGapVt;
+    gen.mix = {mdw::QueryType::k1Month1Group, mdw::QueryType::k1Quarter,
+               mdw::QueryType::k1Group1Store};
+    gen.seed = 42;
+    const auto probe = mdw::ArrivalGenerator(&real.schema(), gen)
+                           .Generate(kArrivalsPerStream);
+    mdw::ServingConfig config;
+    config.num_workers = 4;
+    const auto batch = real.Serve(probe, config);
+    mean_service_vt = batch.serving->total.mean_service_vt;
+  }
+  const auto deadline_vt =
+      static_cast<std::int64_t>(4.0 * mean_service_vt);
+
+  std::printf(
+      "\nDeadline sweep: relative deadline %lld vt (4x light-load mean\n"
+      "service demand), odd streams degrade to covered-only answers,\n"
+      "even streams shed. Fractions are per submitted arrival.\n\n",
+      static_cast<long long>(deadline_vt));
+
+  mdw::TablePrinter dtable({"streams", "policy", "p99 [vt]", "done",
+                            "miss", "degr", "shed", "rej"});
+  for (const int streams : {8, 32, 128}) {
+    mdw::ArrivalConfig gen;
+    gen.num_streams = streams;
+    gen.mean_interarrival_vt = kPerStreamGapVt / streams;
+    gen.stream_skew_theta = 0.5;
+    gen.mix = {mdw::QueryType::k1Month1Group, mdw::QueryType::k1Quarter,
+               mdw::QueryType::k1Group1Store};
+    gen.seed = 42;
+    const auto arrivals = mdw::ArrivalGenerator(&real.schema(), gen)
+                              .Generate(kArrivalsPerStream * streams);
+    const double n = static_cast<double>(arrivals.size());
+
+    for (const auto policy : {mdw::SchedPolicy::kFcfs,
+                              mdw::SchedPolicy::kCredit,
+                              mdw::SchedPolicy::kSrpt}) {
+      mdw::ServingConfig config;
+      config.policy = policy;
+      config.num_workers = 4;
+      config.queue_capacity = 256;
+      config.deadline_vt = deadline_vt;
+      config.stream_overload.resize(
+          static_cast<std::size_t>(streams));
+      for (int s = 0; s < streams; ++s) {
+        config.stream_overload[static_cast<std::size_t>(s)] =
+            s % 2 == 1 ? mdw::OverloadPolicy::kDegrade
+                       : mdw::OverloadPolicy::kShed;
+      }
+
+      const auto batch = real.Serve(arrivals, config);
+      const auto& t = batch.serving->total;
+      dtable.AddRow(
+          {std::to_string(streams), mdw::ToString(policy),
+           mdw::TablePrinter::Num(t.p99_response_vt, 0),
+           mdw::TablePrinter::Num(static_cast<double>(t.completed) / n, 3),
+           mdw::TablePrinter::Num(
+               static_cast<double>(t.deadline_missed) / n, 3),
+           mdw::TablePrinter::Num(static_cast<double>(t.degraded) / n, 3),
+           mdw::TablePrinter::Num(
+               static_cast<double>(t.shed_expired) / n, 3),
+           mdw::TablePrinter::Num(
+               static_cast<double>(t.rejected) / n, 3)});
+    }
+  }
+  dtable.Print(stdout);
+
+  std::printf(
+      "\nReading the deadline sweep: once the offered load passes the\n"
+      "4-worker capacity the backlog alone would push queue waits past\n"
+      "any fixed deadline. Admission control rejects what provably\n"
+      "cannot finish (rej), the queue-timeout pass sheds what expires\n"
+      "while waiting (shed, counted into miss), and streams that opted\n"
+      "into degradation trade exactness for latency instead (degr) —\n"
+      "answering from the covered fragments' summaries alone, which is\n"
+      "why their deadline-miss fraction stays near zero. SRPT keeps the\n"
+      "most queries inside their budget by never letting a long scan\n"
+      "block a queue of short ones.\n");
   return 0;
 }

@@ -1,0 +1,92 @@
+#include "common/cancellation.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace mdw {
+
+DeadlineClock DeadlineClock::Virtual() {
+  DeadlineClock clock;
+  clock.vnow_ = std::make_shared<std::atomic<std::int64_t>>(0);
+  return clock;
+}
+
+std::int64_t DeadlineClock::NowMicros() const {
+  if (vnow_ != nullptr) return vnow_->load(std::memory_order_acquire);
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void DeadlineClock::AdvanceMicros(std::int64_t delta_us) const {
+  MDW_CHECK(vnow_ != nullptr, "AdvanceMicros on a steady (non-virtual) clock");
+  MDW_CHECK(delta_us >= 0, "time cannot run backwards");
+  vnow_->fetch_add(delta_us, std::memory_order_acq_rel);
+}
+
+CancellationToken CancellationToken::Manual() {
+  return CancellationToken(std::make_shared<State>());
+}
+
+CancellationToken CancellationToken::WithDeadlineMicros(
+    std::int64_t deadline_us, DeadlineClock clock,
+    const CancellationToken& parent) {
+  auto state = std::make_shared<State>();
+  state->has_deadline = true;
+  state->deadline_us = deadline_us;
+  state->clock = std::move(clock);
+  state->parent = parent.state_;
+  return CancellationToken(std::move(state));
+}
+
+void CancellationToken::Cancel() const {
+  if (state_ == nullptr) return;
+  state_->cancelled.store(true, std::memory_order_release);
+}
+
+bool CancellationToken::ShouldStopSlow() const {
+  for (State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_relaxed)) return true;
+    if (!s->has_deadline) continue;
+    if (s->deadline_hit.load(std::memory_order_relaxed)) return true;
+    if (s->clock.NowMicros() >= s->deadline_us) {
+      // Latch so later polls skip the clock read and CancelStatus() is
+      // stable even if the (virtual) clock were ever rewound.
+      s->deadline_hit.store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+Status CancellationToken::CancelStatus() const {
+  // Explicit cancellation anywhere in the link chain wins over a
+  // concurrently expiring deadline.
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_acquire)) {
+      return Status::Cancelled("query cancelled");
+    }
+  }
+  if (ShouldStop()) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+std::int64_t CancellationToken::RemainingMicros() const {
+  auto left = std::numeric_limits<std::int64_t>::max();
+  for (State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    // An explicit Cancel() zeroes the budget even without a deadline so
+    // backoff loops stop sleeping.
+    if (s->cancelled.load(std::memory_order_relaxed)) return 0;
+    if (!s->has_deadline) continue;
+    if (s->deadline_hit.load(std::memory_order_relaxed)) return 0;
+    const std::int64_t mine = s->deadline_us - s->clock.NowMicros();
+    left = std::min(left, mine > 0 ? mine : 0);
+  }
+  return left;
+}
+
+}  // namespace mdw

@@ -23,6 +23,13 @@ enum class StatusCode {
   /// trusted. A retry may still succeed when the corruption happened in
   /// flight rather than at rest.
   kCorruption = 2,
+  /// The query's deadline expired before the work finished. The partial
+  /// work is abandoned — like kIoError/kCorruption, the aggregate is
+  /// disengaged so a late query can never surface a truncated sum.
+  kDeadlineExceeded = 3,
+  /// The caller cancelled the query explicitly (not via a deadline).
+  /// Same abandonment semantics as kDeadlineExceeded.
+  kCancelled = 4,
 };
 
 inline const char* ToString(StatusCode code) {
@@ -30,6 +37,8 @@ inline const char* ToString(StatusCode code) {
     case StatusCode::kOk: return "ok";
     case StatusCode::kIoError: return "io-error";
     case StatusCode::kCorruption: return "corruption";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -50,6 +59,12 @@ class Status {
   }
   static Status Corruption(std::string message) {
     return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

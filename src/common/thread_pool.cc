@@ -105,53 +105,81 @@ void ThreadPool::RunDrain(std::int64_t total,
 
 void ThreadPool::ParallelFor(
     std::int64_t n, const std::function<void(std::int64_t)>& fn) const {
-  if (n <= 0) return;
+  ParallelFor(n, fn, CancellationToken());
+}
+
+bool ThreadPool::ParallelFor(std::int64_t n,
+                             const std::function<void(std::int64_t)>& fn,
+                             const CancellationToken& cancel) const {
+  if (n <= 0) return true;
   if (n == 1 || tls_pool_worker) {
-    for (std::int64_t i = 0; i < n; ++i) fn(i);
-    return;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (cancel.ShouldStop()) return false;
+      fn(i);
+    }
+    return true;
   }
 
   // Shared claim/completion state; kept alive by the helper closures in
   // case stragglers dequeue after the caller has already returned.
   struct ForState {
     std::atomic<std::int64_t> next{0};
+    std::atomic<std::int64_t> skipped{0};
     const std::function<void(std::int64_t)>* fn;
+    CancellationToken cancel;
     Completion completion;
   };
   auto state = std::make_shared<ForState>();
   state->completion.total = n;
   state->fn = &fn;
+  state->cancel = cancel;
 
   RunDrain(n, [state] {
     ForState& s = *state;
     while (true) {
       const std::int64_t i = s.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= s.completion.total) break;
-      (*s.fn)(i);
+      // A tripped token abandons the index, but the claim still counts
+      // toward completion so the caller's AwaitAll terminates promptly:
+      // every lane races through the remaining claims without running fn.
+      if (s.cancel.ShouldStop()) {
+        s.skipped.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        (*s.fn)(i);
+      }
       s.completion.Mark();
     }
   });
   state->completion.AwaitAll();
+  return state->skipped.load(std::memory_order_acquire) == 0;
 }
 
 void ThreadPool::ParallelForQueues(
     const std::vector<std::int64_t>& queue_sizes,
     const std::function<void(int, std::int64_t)>& fn) const {
+  ParallelForQueues(queue_sizes, fn, CancellationToken());
+}
+
+bool ThreadPool::ParallelForQueues(
+    const std::vector<std::int64_t>& queue_sizes,
+    const std::function<void(int, std::int64_t)>& fn,
+    const CancellationToken& cancel) const {
   const int num_queues = static_cast<int>(queue_sizes.size());
   std::int64_t total = 0;
   for (const std::int64_t size : queue_sizes) {
     MDW_CHECK(size >= 0, "queue sizes must be non-negative");
     total += size;
   }
-  if (total <= 0) return;
+  if (total <= 0) return true;
   if (total == 1 || tls_pool_worker) {
     for (int q = 0; q < num_queues; ++q) {
       for (std::int64_t i = 0; i < queue_sizes[static_cast<std::size_t>(q)];
            ++i) {
+        if (cancel.ShouldStop()) return false;
         fn(q, i);
       }
     }
-    return;
+    return true;
   }
 
   // Shared claim/completion state; kept alive by the helper closures in
@@ -159,8 +187,10 @@ void ThreadPool::ParallelForQueues(
   struct QueuesState {
     std::unique_ptr<std::atomic<std::int64_t>[]> next;
     std::atomic<int> owner{0};
+    std::atomic<std::int64_t> skipped{0};
     std::vector<std::int64_t> sizes;
     const std::function<void(int, std::int64_t)>* fn;
+    CancellationToken cancel;
     Completion completion;
   };
   auto state = std::make_shared<QueuesState>();
@@ -171,6 +201,7 @@ void ThreadPool::ParallelForQueues(
   state->sizes = queue_sizes;
   state->completion.total = total;
   state->fn = &fn;
+  state->cancel = cancel;
 
   RunDrain(total, [state, num_queues] {
     // Affinity phase: claim the next unowned queue and drain it; once it
@@ -185,12 +216,19 @@ void ThreadPool::ParallelForQueues(
         const std::int64_t i =
             s.next[q].fetch_add(1, std::memory_order_relaxed);
         if (i >= s.sizes[static_cast<std::size_t>(q)]) break;
-        (*s.fn)(q, i);
+        // Same abandon-but-count protocol as the cancellable
+        // ParallelFor: claims keep draining so AwaitAll terminates.
+        if (s.cancel.ShouldStop()) {
+          s.skipped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          (*s.fn)(q, i);
+        }
         s.completion.Mark();
       }
     }
   });
   state->completion.AwaitAll();
+  return state->skipped.load(std::memory_order_acquire) == 0;
 }
 
 }  // namespace mdw

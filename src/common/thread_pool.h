@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
+
 namespace mdw {
 
 /// A small fixed-size worker pool for partition-parallel execution (the
@@ -48,6 +50,18 @@ class ThreadPool {
   void ParallelFor(std::int64_t n,
                    const std::function<void(std::int64_t)>& fn) const;
 
+  /// Cancellable ParallelFor: polls `cancel` before every index claim.
+  /// Once the token trips, no further fn invocations start (in-flight
+  /// ones run to completion — cancellation is cooperative). Returns true
+  /// iff every index in [0, n) actually ran; false means at least one
+  /// index was abandoned, so per-index partials are incomplete and the
+  /// caller must discard them (the determinism contract covers only
+  /// complete runs). An unarmed token never trips: behaviour and cost
+  /// match the plain overload up to one null check per index.
+  bool ParallelFor(std::int64_t n,
+                   const std::function<void(std::int64_t)>& fn,
+                   const CancellationToken& cancel) const;
+
   /// Affinity scheduling with idle-worker stealing: `queue_sizes[q]` items
   /// sit in queue q; fn(q, i) is invoked exactly once for every queue q and
   /// item i in [0, queue_sizes[q]). Each parallel lane first claims an
@@ -63,6 +77,13 @@ class ThreadPool {
   void ParallelForQueues(
       const std::vector<std::int64_t>& queue_sizes,
       const std::function<void(int, std::int64_t)>& fn) const;
+
+  /// Cancellable ParallelForQueues; same tripped-token semantics and
+  /// all-items-ran return value as the cancellable ParallelFor.
+  bool ParallelForQueues(
+      const std::vector<std::int64_t>& queue_sizes,
+      const std::function<void(int, std::int64_t)>& fn,
+      const CancellationToken& cancel) const;
 
  private:
   void WorkerLoop();

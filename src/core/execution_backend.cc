@@ -60,9 +60,10 @@ const ThreadPool* MaterializedBackend::pool() const {
 
 QueryOutcome MaterializedBackend::ExecuteWith(
     const StarQuery& query, const QueryPlan& plan, const ThreadPool* pool,
-    MiniWarehouse::ExecScratch* scratch) const {
+    MiniWarehouse::ExecScratch* scratch,
+    const MiniWarehouse::ExecOptions& options) const {
   QueryOutcome outcome = OutcomeFromPlan(BackendKind::kMaterialized, plan);
-  auto mdhf = warehouse_->ExecuteWithPlan(query, plan, pool, scratch);
+  auto mdhf = warehouse_->ExecuteWithPlan(query, plan, pool, scratch, options);
   // Prefer the execution's own record over the façade's plan where both
   // exist, so reported facts can never drift from what actually ran.
   outcome.query_class = mdhf.query_class;
@@ -81,6 +82,7 @@ QueryOutcome MaterializedBackend::ExecuteWith(
   outcome.checksum_failures = mdhf.checksum_failures;
   outcome.shard_skew = mdhf.ShardSkew();
   outcome.shards = std::move(mdhf.shards);
+  outcome.degraded = mdhf.degraded;
   // A failed execution ran its kernels over zero-filled stand-ins, so
   // the sums are meaningless: surface the typed error with NO aggregate
   // rather than a plausible-looking wrong answer.
@@ -148,8 +150,20 @@ BatchOutcome MaterializedBackend::Serve(std::span<const Arrival> arrivals,
   std::vector<std::int64_t> demands;
   demands.reserve(plans.size());
   for (const auto& plan : plans) demands.push_back(VirtualDemand(plan));
+  // Covered (degraded-mode) demands unlock OverloadPolicy::kDegrade,
+  // but only when this warehouse can actually answer covered-only
+  // queries (summaries over the matching clustered layout); otherwise
+  // expiring queries shed instead of degrading.
+  std::vector<std::int64_t> covered_demands;
+  if (warehouse_->summaries_enabled() &&
+      warehouse_->ClusteredFor(*fragmentation_)) {
+    covered_demands.reserve(plans.size());
+    for (const auto& plan : plans) {
+      covered_demands.push_back(CoveredDemand(plan));
+    }
+  }
   const QueryScheduler scheduler(config);
-  ServeSchedule schedule = scheduler.Run(arrivals, demands);
+  ServeSchedule schedule = scheduler.Run(arrivals, demands, covered_demands);
 
   // ---- real execution, replaying the dispatch order on the pool ----
   // Outcome slot k belongs to the k-th SERVED query in admission order;
@@ -172,20 +186,51 @@ BatchOutcome MaterializedBackend::Serve(std::span<const Arrival> arrivals,
   BatchOutcome batch;
   batch.backend = BackendKind::kMaterialized;
   std::vector<QueryOutcome> outcomes(served_slots.size());
+  const auto is_cancel_code = [](StatusCode code) {
+    return code == StatusCode::kCancelled ||
+           code == StatusCode::kDeadlineExceeded;
+  };
   const auto run_one = [&](std::size_t slot,
                            MiniWarehouse::ExecScratch* scratch) {
     const ScheduledQuery& sq = schedule.admitted[slot];
     const auto ai = static_cast<std::size_t>(sq.arrival_index);
-    QueryOutcome out =
-        ExecuteWith(arrivals[ai].query, plans[ai], nullptr, scratch);
+    // Degraded dispatches replay in covered-only mode; a per-query
+    // wall-clock budget (when configured) links under the serve-wide
+    // cancel token, so either tripping abandons this query — typed
+    // status, no aggregate — without touching its neighbours.
+    MiniWarehouse::ExecOptions options;
+    options.covered_only = sq.degraded;
+    options.cancel =
+        config.exec_deadline_us > 0
+            ? CancellationToken::WithTimeoutMicros(config.exec_deadline_us,
+                                                   {}, config.cancel)
+            : config.cancel;
+    QueryOutcome out;
+    if (options.cancel.ShouldStop()) {
+      // Tripped before this query even started: skip execution.
+      out = OutcomeFromPlan(BackendKind::kMaterialized, plans[ai]);
+      out.status = options.cancel.CancelStatus();
+    } else {
+      out = ExecuteWith(arrivals[ai].query, plans[ai], nullptr, scratch,
+                        options);
+    }
     // Requeue-on-error: re-execute in this query's own dispatch slot
     // (the virtual-time schedule never moves) until the error clears or
-    // the budget runs out. Failure counters accumulate across attempts
-    // so the outcome accounts for the whole fight, not just the last
-    // round.
-    while (!out.status.ok() && out.requeues < config.max_requeues) {
-      QueryOutcome retry =
-          ExecuteWith(arrivals[ai].query, plans[ai], nullptr, scratch);
+    // the budget runs out. Cancelled/expired queries are never retried,
+    // and a query whose deadline expires between attempts skips its
+    // re-execution — its storage error is replaced by the typed
+    // deadline status (counted deadline_missed, not failed). Failure
+    // counters accumulate across attempts so the outcome accounts for
+    // the whole fight, not just the last round.
+    while (!out.status.ok() && !is_cancel_code(out.status.code()) &&
+           out.requeues < config.max_requeues) {
+      if (options.cancel.ShouldStop()) {
+        out.status = options.cancel.CancelStatus();
+        out.aggregate.reset();
+        break;
+      }
+      QueryOutcome retry = ExecuteWith(arrivals[ai].query, plans[ai], nullptr,
+                                       scratch, options);
       retry.io_errors += out.io_errors;
       retry.io_retries += out.io_retries;
       retry.checksum_failures += out.checksum_failures;
@@ -230,8 +275,22 @@ BatchOutcome MaterializedBackend::Serve(std::span<const Arrival> arrivals,
     const QueryOutcome& out = batch.queries[k];
     auto& stream = metrics.streams[static_cast<std::size_t>(sq.stream)];
     if (!out.status.ok()) {
-      ++stream.failed;
-      ++metrics.total.failed;
+      // Typed cancellation is not a failure: kCancelled counts as
+      // cancelled, kDeadlineExceeded as a deadline miss; only genuine
+      // storage errors surviving the requeue budget count as failed.
+      switch (out.status.code()) {
+        case StatusCode::kCancelled:
+          ++stream.cancelled;
+          ++metrics.total.cancelled;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++stream.deadline_missed;
+          ++metrics.total.deadline_missed;
+          break;
+        default:
+          ++stream.failed;
+          ++metrics.total.failed;
+      }
     }
     stream.requeued += out.requeues;
     metrics.total.requeued += out.requeues;

@@ -103,6 +103,20 @@ struct QueryOutcome {
   /// Re-executions the serving requeue policy issued for this query
   /// (ServingConfig::max_requeues); 0 outside Warehouse::Serve.
   int requeues = 0;
+  /// Deadline/cancellation semantics reuse `status` and `aggregate`: a
+  /// query abandoned mid-execution (expired deadline, explicit cancel,
+  /// or a serving requeue skipped because the deadline had passed)
+  /// carries kDeadlineExceeded/kCancelled in `status` with `aggregate`
+  /// DISENGAGED — a tripped query never reports a partial sum. A query
+  /// that completed before its token tripped keeps its ok status and
+  /// exact aggregate.
+  ///
+  /// Set iff this query ran in degraded covered-only mode (overload
+  /// deadline rescue): `aggregate` is engaged but covers EXACTLY the
+  /// plan's fully-covered fragments, answered from the measure prefix
+  /// sums — an under-approximation of the full answer, never a partial
+  /// scan. rows_scanned is 0 on a degraded outcome.
+  bool degraded = false;
 
   // ---- timing and device metrics (kSimulated) ----
   std::optional<SimResult> sim;
@@ -200,13 +214,27 @@ class MaterializedBackend : public ExecutionBackend {
 
   /// Open-loop multi-user serving: schedules the arrival trace (one plan
   /// per arrival) through a deterministic virtual-time QueryScheduler —
-  /// admission control, FCFS or credit dispatch — then executes the
+  /// admission control, FCFS/credit/SRPT dispatch — then executes the
   /// served queries on the shared pool in dispatch order, each serially
   /// within its task, so every outcome is bit-identical to a direct
   /// Execute of the same query. `config.num_workers == 0` adopts this
-  /// backend's resolved degree. Returns the served queries' outcomes in
-  /// admission order with `serving` metrics engaged; `schedule_out`
-  /// (optional) receives the full virtual-time schedule.
+  /// backend's resolved degree.
+  ///
+  /// Deadlines: with `config.deadline_vt` (or per-stream overrides) set,
+  /// admission rejects provably-infeasible arrivals, expired waiting
+  /// queries are shed (or degraded to covered-only when their stream
+  /// opts in) before dispatch, and which queries complete / degrade /
+  /// shed is deterministic at any worker or shard count. With
+  /// `config.exec_deadline_us` set every execution additionally runs
+  /// under a wall-clock token (linked under `config.cancel`); a tripped
+  /// execution yields a typed kDeadlineExceeded/kCancelled outcome with
+  /// no aggregate, neighbours unaffected. The requeue policy never
+  /// re-executes a query whose wall deadline already expired — such
+  /// queries count as deadline_missed, not failed.
+  ///
+  /// Returns the served queries' outcomes in admission order with
+  /// `serving` metrics engaged; `schedule_out` (optional) receives the
+  /// full virtual-time schedule.
   BatchOutcome Serve(std::span<const Arrival> arrivals,
                      std::span<const QueryPlan> plans, ServingConfig config,
                      ServeSchedule* schedule_out = nullptr) const;
@@ -218,7 +246,8 @@ class MaterializedBackend : public ExecutionBackend {
  private:
   QueryOutcome ExecuteWith(const StarQuery& query, const QueryPlan& plan,
                            const ThreadPool* pool,
-                           MiniWarehouse::ExecScratch* scratch) const;
+                           MiniWarehouse::ExecScratch* scratch,
+                           const MiniWarehouse::ExecOptions& options = {}) const;
   /// The worker pool, spawned lazily on the first execution that can use
   /// it (so plan-only / serial warehouses never pay for threads); nullptr
   /// when num_workers_ == 1.

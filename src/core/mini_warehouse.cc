@@ -212,24 +212,43 @@ void UnclusteredChunk(const RowRange& chunk, const Probes& probes,
 /// partials in chunk order. The single merge point keeps serial and
 /// parallel runs (and both execution paths) bit-identical by
 /// construction.
+///
+/// `cancel` is polled at every chunk boundary: once tripped, the
+/// remaining chunks are abandoned and the merged record carries the
+/// token's typed status (so the caller discards the incomplete
+/// aggregate). A token that never trips — the unarmed default in
+/// particular — leaves the record bit-identical to an uncancellable run.
 MiniWarehouse::MdhfExecution RunChunks(
     const std::vector<RowRange>& ranges, const ThreadPool* pool,
+    const CancellationToken& cancel,
     const std::function<void(const RowRange&,
                              MiniWarehouse::MdhfExecution*)>& process) {
   const int lanes = pool == nullptr ? 1 : pool->size() + 1;
   const std::vector<RowRange> chunks = ChunkRanges(ranges, lanes);
   MiniWarehouse::MdhfExecution exec;
+  bool all_ran = true;
   if (pool == nullptr || chunks.size() < 2) {
-    for (const auto& c : chunks) process(c, &exec);
-    return exec;
+    for (const auto& c : chunks) {
+      if (cancel.ShouldStop()) {
+        all_ran = false;
+        break;
+      }
+      process(c, &exec);
+    }
+  } else {
+    std::vector<MiniWarehouse::MdhfExecution> partials(chunks.size());
+    all_ran = pool->ParallelFor(
+        static_cast<std::int64_t>(chunks.size()),
+        [&](std::int64_t i) {
+          process(chunks[static_cast<std::size_t>(i)],
+                  &partials[static_cast<std::size_t>(i)]);
+        },
+        cancel);
+    for (const auto& p : partials) MergeScanPartial(p, &exec);
   }
-  std::vector<MiniWarehouse::MdhfExecution> partials(chunks.size());
-  pool->ParallelFor(static_cast<std::int64_t>(chunks.size()),
-                    [&](std::int64_t i) {
-                      process(chunks[static_cast<std::size_t>(i)],
-                              &partials[static_cast<std::size_t>(i)]);
-                    });
-  for (const auto& p : partials) MergeScanPartial(p, &exec);
+  // Only an actually-abandoned chunk poisons the record: a token that
+  // trips after the last chunk finished changes nothing.
+  if (!all_ran) exec.status.Update(cancel.CancelStatus());
   return exec;
 }
 
@@ -626,17 +645,40 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
     const StarQuery& query, const QueryPlan& plan, const ThreadPool* pool,
     ExecScratch* scratch) const {
+  return ExecuteWithPlan(query, plan, pool, scratch, ExecOptions{});
+}
+
+MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
+    const StarQuery& query, const QueryPlan& plan, const ThreadPool* pool,
+    ExecScratch* scratch, const ExecOptions& options) const {
   const Fragmentation& fragmentation = plan.fragmentation();
   MDW_CHECK(&fragmentation.schema() == &schema_,
             "plan's fragmentation must belong to this warehouse's schema");
+  MDW_CHECK(!options.covered_only ||
+                (summaries_enabled_ && ClusteredFor(fragmentation)),
+            "covered-only degradation requires summaries over a matching "
+            "clustered layout");
+
+  // Entry checkpoint: a token tripped before execution starts must yield
+  // the typed status even when the query would be answered entirely from
+  // summaries (the covered path runs no cancellable scan chunks).
+  if (options.cancel.ShouldStop()) {
+    MdhfExecution exec;
+    exec.status = options.cancel.CancelStatus();
+    exec.query_class = plan.query_class();
+    exec.io_class = plan.io_class();
+    return exec;
+  }
 
   ExecScratch local;
   ExecScratch& s = scratch != nullptr ? *scratch : local;
   ResolveBitmapAccesses(query, plan, &s.accesses_);
   const std::vector<BitmapAccess>& accesses = s.accesses_;
-  MdhfExecution exec = ClusteredFor(fragmentation)
-                           ? ExecuteClustered(plan, accesses, pool)
-                           : ExecuteUnclustered(plan, accesses, pool);
+  MdhfExecution exec =
+      ClusteredFor(fragmentation)
+          ? ExecuteClustered(plan, accesses, pool, options)
+          : ExecuteUnclustered(plan, accesses, pool, options);
+  exec.degraded = options.covered_only;
   exec.query_class = plan.query_class();
   exec.io_class = plan.io_class();
   exec.bitmaps_read = plan.BitmapsPerFragment();
@@ -677,6 +719,7 @@ void MiniWarehouse::ResolveBitmapAccesses(
 
 void MiniWarehouse::ScanChunk(std::int64_t begin, std::int64_t end,
                               const std::vector<BitmapAccess>& accesses,
+                              const CancellationToken& cancel,
                               MdhfExecution* partial) const {
   if (store_ == nullptr) {
     RamMeasures m{&units_sold_, &dollar_sales_cents_};
@@ -684,8 +727,8 @@ void MiniWarehouse::ScanChunk(std::int64_t begin, std::int64_t end,
     return;
   }
   storage::SegmentStore::IoCounters io;
-  PagedMeasures m{store_->MakeCursor(store_->ColUnits(), &io),
-                  store_->MakeCursor(store_->ColDollars(), &io)};
+  PagedMeasures m{store_->MakeCursor(store_->ColUnits(), &io, cancel),
+                  store_->MakeCursor(store_->ColDollars(), &io, cancel)};
   if (accesses.empty()) {
     // Unfiltered range: every page will be touched, so read ahead in
     // coalesced runs. Filtered scans skip prefetch — they fault only the
@@ -700,6 +743,7 @@ void MiniWarehouse::ScanChunk(std::int64_t begin, std::int64_t end,
 }
 
 void MiniWarehouse::FoldSummaryRun(const RowRange& run,
+                                   const CancellationToken& cancel,
                                    MdhfExecution* exec) const {
   exec->result.rows += run.rows();
   exec->rows_summarized += run.rows();
@@ -714,8 +758,8 @@ void MiniWarehouse::FoldSummaryRun(const RowRange& run,
   // File-backed: the prefix-sum columns answer the covered run from at
   // most two pages per measure.
   storage::SegmentStore::IoCounters io;
-  auto units = store_->MakeCursor(store_->ColUnitsPrefix(), &io);
-  auto dollars = store_->MakeCursor(store_->ColDollarsPrefix(), &io);
+  auto units = store_->MakeCursor(store_->ColUnitsPrefix(), &io, cancel);
+  auto dollars = store_->MakeCursor(store_->ColDollarsPrefix(), &io, cancel);
   exec->result.units_sold += units.At(run.end) - units.At(run.begin);
   exec->result.dollar_sales_cents +=
       dollars.At(run.end) - dollars.At(run.begin);
@@ -726,7 +770,7 @@ void MiniWarehouse::FoldSummaryRun(const RowRange& run,
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
     const QueryPlan& plan, const std::vector<BitmapAccess>& accesses,
-    const ThreadPool* pool) const {
+    const ThreadPool* pool, const ExecOptions& options) const {
   // Single-fragment fast path (the paper's IOC1-opt shape): the one
   // fragment id falls out of the slices directly, skipping the odometer
   // enumeration and its std::function indirection — for a fully-covered
@@ -747,12 +791,13 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
     const std::int64_t end = frag_offsets_[rank + 1];
     MdhfExecution exec;
     if (summaries_enabled_ && covered) {
-      FoldSummaryRun({begin, end}, &exec);
+      FoldSummaryRun({begin, end}, options.cancel, &exec);
       exec.fragments_summarized = 1;
-    } else if (begin < end) {
-      exec = RunChunks({{begin, end}}, pool,
+    } else if (begin < end && !options.covered_only) {
+      exec = RunChunks({{begin, end}}, pool, options.cancel,
                        [&](const RowRange& c, MdhfExecution* partial) {
-                         ScanChunk(c.begin, c.end, accesses, partial);
+                         ScanChunk(c.begin, c.end, accesses, options.cancel,
+                                   partial);
                        });
     }
     AttributeWorkToFragmentShard(id, &exec);
@@ -775,7 +820,7 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
         return std::pair<std::int64_t, std::int64_t>{frag_offsets_[rank],
                                                      frag_offsets_[rank + 1]};
       });
-  return ExecuteSharded(selections, accesses, pool);
+  return ExecuteSharded(selections, accesses, pool, options);
 }
 
 void MiniWarehouse::AttributeWorkToFragmentShard(FragId id,
@@ -795,10 +840,13 @@ void MiniWarehouse::AttributeWorkToFragmentShard(FragId id,
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
     const std::vector<ShardSelection>& selections,
-    const std::vector<BitmapAccess>& accesses, const ThreadPool* pool) const {
+    const std::vector<BitmapAccess>& accesses, const ThreadPool* pool,
+    const ExecOptions& options) const {
   // Cut every shard's scan ranges with ONE global grain (a few chunks per
   // lane across all shards), so stealing has granularity even when one
-  // shard holds most of the work.
+  // shard holds most of the work. Covered-only degraded execution drops
+  // the scan side entirely — residual fragments are skipped, not
+  // partially scanned — leaving just the summary folds below.
   const int lanes = pool == nullptr ? 1 : pool->size() + 1;
   std::int64_t total_scan = 0;
   for (const auto& sel : selections) total_scan += sel.ScanRows();
@@ -808,7 +856,9 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
   std::vector<std::size_t> slot_base(selections.size(), 0);
   std::size_t total_chunks = 0;
   for (std::size_t s = 0; s < selections.size(); ++s) {
-    CutRanges(selections[s].scan, grain, &chunks[s]);
+    if (!options.covered_only) {
+      CutRanges(selections[s].scan, grain, &chunks[s]);
+    }
     queue_sizes[s] = static_cast<std::int64_t>(chunks[s].size());
     slot_base[s] = total_chunks;
     total_chunks += chunks[s].size();
@@ -819,19 +869,26 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
   // the only point that reads them — in fixed (shard, chunk) order, so
   // the record is bit-identical at any worker count.
   std::vector<MdhfExecution> partials(total_chunks);
+  bool all_ran = true;
   if (pool != nullptr && total_chunks >= 2) {
-    pool->ParallelForQueues(
-        queue_sizes, [&](int s, std::int64_t c) {
+    all_ran = pool->ParallelForQueues(
+        queue_sizes,
+        [&](int s, std::int64_t c) {
           const auto su = static_cast<std::size_t>(s);
           const RowRange& r = chunks[su][static_cast<std::size_t>(c)];
-          ScanChunk(r.begin, r.end, accesses,
+          ScanChunk(r.begin, r.end, accesses, options.cancel,
                     &partials[slot_base[su] + static_cast<std::size_t>(c)]);
-        });
+        },
+        options.cancel);
   } else {
-    for (std::size_t s = 0; s < chunks.size(); ++s) {
+    for (std::size_t s = 0; s < chunks.size() && all_ran; ++s) {
       for (std::size_t c = 0; c < chunks[s].size(); ++c) {
+        if (options.cancel.ShouldStop()) {
+          all_ran = false;
+          break;
+        }
         ScanChunk(chunks[s][c].begin, chunks[s][c].end, accesses,
-                  &partials[slot_base[s] + c]);
+                  options.cancel, &partials[slot_base[s] + c]);
       }
     }
   }
@@ -863,7 +920,13 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
     const std::int64_t hits0 = exec.buffer_hits;
     const std::int64_t bytes0 = exec.bytes_read;
     for (const auto& run : sel.summary) {
-      FoldSummaryRun(run, &exec);
+      // A tripped token abandons the remaining summary folds too — the
+      // typed status below tells the caller the record is incomplete.
+      if (!all_ran || options.cancel.ShouldStop()) {
+        all_ran = false;
+        break;
+      }
+      FoldSummaryRun(run, options.cancel, &exec);
       work.rows_summarized += run.rows();
     }
     work.pages_read += exec.pages_read - pages0;
@@ -872,12 +935,13 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
     exec.fragments_summarized += sel.fragments_covered;
     if (sharded) exec.shards[s] = work;
   }
+  if (!all_ran) exec.status.Update(options.cancel.CancelStatus());
   return exec;
 }
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
     const QueryPlan& plan, const std::vector<BitmapAccess>& accesses,
-    const ThreadPool* pool) const {
+    const ThreadPool* pool, const ExecOptions& options) const {
   const Fragmentation& fragmentation = plan.fragmentation();
 
   // Sorted fragment membership (ForEachFragment enumerates ascending ids);
@@ -924,8 +988,8 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
     probes.push_back({a.dim, h.LeavesPer(a.depth), fragmentation.CardOf(i)});
   }
 
-  return RunChunks({{0, row_count()}}, pool, [&](const RowRange& chunk,
-                                                 MdhfExecution* partial) {
+  return RunChunks({{0, row_count()}}, pool, options.cancel,
+                   [&](const RowRange& chunk, MdhfExecution* partial) {
     if (store_ == nullptr) {
       const auto probe_leaf = [&](std::size_t p, std::int64_t row) {
         return facts_.columns[static_cast<std::size_t>(probes[p].dim)]
@@ -940,13 +1004,15 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
     std::vector<storage::SegmentStore::Cursor> cursors;
     cursors.reserve(probes.size());
     for (const auto& p : probes) {
-      cursors.push_back(store_->MakeCursor(store_->ColDim(p.dim), &io));
+      cursors.push_back(
+          store_->MakeCursor(store_->ColDim(p.dim), &io, options.cancel));
     }
     const auto probe_leaf = [&](std::size_t p, std::int64_t row) {
       return cursors[p].At(row);
     };
-    PagedMeasures m{store_->MakeCursor(store_->ColUnits(), &io),
-                    store_->MakeCursor(store_->ColDollars(), &io)};
+    PagedMeasures m{
+        store_->MakeCursor(store_->ColUnits(), &io, options.cancel),
+        store_->MakeCursor(store_->ColDollars(), &io, options.cancel)};
     UnclusteredChunk(chunk, probes, probe_leaf, frag_ids, all_fragments,
                      filter, m, partial);
     FoldIo(io, partial);

@@ -8,6 +8,7 @@
 
 #include "alloc/disk_allocation.h"
 #include "bitmap/index_set.h"
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "fragment/query_planner.h"
 #include "fragment/shard_routing.h"
@@ -68,6 +69,24 @@ class MiniWarehouse {
    private:
     friend class MiniWarehouse;
     std::vector<BitmapAccess> accesses_;
+  };
+
+  /// Per-execution controls threaded through the MDHF paths.
+  struct ExecOptions {
+    /// Cooperative cancellation: polled at chunk boundaries (a tripped
+    /// token abandons the remaining chunks and the execution surfaces
+    /// the token's typed status) and passed to the buffer pool so retry
+    /// backoff never sleeps past the query's deadline. The
+    /// default-constructed (unarmed) token never trips and costs one
+    /// null check per chunk — results stay bit-identical to the
+    /// option-less overloads.
+    CancellationToken cancel;
+    /// Degraded covered-only execution: answer ONLY the fully-covered
+    /// fragments from the measure prefix sums and skip every residual
+    /// scan. The result is flagged `degraded` — a correct aggregate of
+    /// a *subset* of the query's fragments, never a partial scan of a
+    /// fragment. Requires summaries over a matching clustered layout.
+    bool covered_only = false;
   };
 
   /// Populates the fact table by sampling each possible dimension-value
@@ -245,6 +264,13 @@ class MiniWarehouse {
     std::int64_t io_errors = 0;
     std::int64_t io_retries = 0;
     std::int64_t checksum_failures = 0;
+    /// True iff this execution ran covered-only degraded mode
+    /// (ExecOptions::covered_only): the aggregate covers exactly the
+    /// plan's fully-covered fragments and the residual fragments were
+    /// never touched. A degraded result is correct for that subset —
+    /// callers must treat it as an under-approximation, not the full
+    /// answer.
+    bool degraded = false;
     int bitmaps_read = 0;           ///< per fragment, from the plan
     QueryClass query_class = QueryClass::kUnsupported;
     IoClass io_class = IoClass::kIoc2NoSupp;
@@ -293,6 +319,18 @@ class MiniWarehouse {
                                 const ThreadPool* pool,
                                 ExecScratch* scratch) const;
 
+  /// Full-control overload: additionally threads `options` (cooperative
+  /// cancellation, covered-only degradation) through the execution. With
+  /// default options this is exactly the overload above. When
+  /// options.cancel trips mid-execution the remaining chunks are
+  /// abandoned and the record's status carries the token's typed error
+  /// (kDeadlineExceeded/kCancelled) — the result must be discarded, as
+  /// for a storage error; a token that trips only after the last chunk
+  /// finished leaves the (complete, correct) record untouched.
+  MdhfExecution ExecuteWithPlan(const StarQuery& query, const QueryPlan& plan,
+                                const ThreadPool* pool, ExecScratch* scratch,
+                                const ExecOptions& options) const;
+
  private:
   void Populate(std::uint64_t seed);
   void ClusterByFragment(std::vector<FragAttr> cluster_attrs, int num_shards,
@@ -310,20 +348,25 @@ class MiniWarehouse {
   /// `partial`). One call per scan chunk; safe to run concurrently.
   void ScanChunk(std::int64_t begin, std::int64_t end,
                  const std::vector<BitmapAccess>& accesses,
+                 const CancellationToken& cancel,
                  MdhfExecution* partial) const;
   MdhfExecution ExecuteClustered(const QueryPlan& plan,
                                  const std::vector<BitmapAccess>& accesses,
-                                 const ThreadPool* pool) const;
+                                 const ThreadPool* pool,
+                                 const ExecOptions& options) const;
   /// Executes routed per-shard selections: affinity tasks + stealing on
   /// `pool` (serial in shard order without one), fixed-order merge.
   MdhfExecution ExecuteSharded(const std::vector<ShardSelection>& shards,
                                const std::vector<BitmapAccess>& accesses,
-                               const ThreadPool* pool) const;
+                               const ThreadPool* pool,
+                               const ExecOptions& options) const;
   MdhfExecution ExecuteUnclustered(const QueryPlan& plan,
                                    const std::vector<BitmapAccess>& accesses,
-                                   const ThreadPool* pool) const;
+                                   const ThreadPool* pool,
+                                   const ExecOptions& options) const;
   /// Folds a summary run [begin, end) into exec from the prefix sums.
-  void FoldSummaryRun(const RowRange& run, MdhfExecution* exec) const;
+  void FoldSummaryRun(const RowRange& run, const CancellationToken& cancel,
+                      MdhfExecution* exec) const;
   /// Fills exec->shards by attributing the record's entire work to the
   /// shard owning fragment `id` — the single-fragment counterpart of
   /// ExecuteSharded's per-shard merge. No-op when unsharded.

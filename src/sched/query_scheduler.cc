@@ -15,6 +15,15 @@ const char* ToString(SchedPolicy policy) {
   switch (policy) {
     case SchedPolicy::kFcfs: return "fcfs";
     case SchedPolicy::kCredit: return "credit";
+    case SchedPolicy::kSrpt: return "srpt";
+  }
+  return "?";
+}
+
+const char* ToString(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kShed: return "shed";
+    case OverloadPolicy::kDegrade: return "degrade";
   }
   return "?";
 }
@@ -27,12 +36,18 @@ std::int64_t VirtualDemand(const QueryPlan& plan) {
   return std::max<std::int64_t>(1, plan.FragmentCount() + expected_hits);
 }
 
+std::int64_t CoveredDemand(const QueryPlan& plan) {
+  return std::max<std::int64_t>(1, plan.CoveredFragmentCount());
+}
+
 QueryScheduler::QueryScheduler(ServingConfig config)
     : config_(std::move(config)) {
   MDW_CHECK(config_.num_workers >= 1,
             "QueryScheduler needs a resolved num_workers (>= 1)");
   MDW_CHECK(config_.queue_capacity >= 0, "queue_capacity must be >= 0");
   MDW_CHECK(config_.horizon_vt >= 0, "horizon_vt must be >= 0");
+  MDW_CHECK(config_.deadline_vt >= 0, "deadline_vt must be >= 0");
+  MDW_CHECK(config_.exec_deadline_us >= 0, "exec_deadline_us must be >= 0");
 }
 
 namespace {
@@ -48,12 +63,19 @@ struct StreamState {
 
 ServeSchedule QueryScheduler::Run(
     std::span<const Arrival> arrivals,
-    std::span<const std::int64_t> demands) const {
+    std::span<const std::int64_t> demands,
+    std::span<const std::int64_t> covered_demands) const {
   MDW_CHECK(arrivals.size() == demands.size(), "one demand per arrival");
+  MDW_CHECK(
+      covered_demands.empty() || covered_demands.size() == arrivals.size(),
+      "covered demands: none, or one per arrival");
   int num_streams = 0;
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     MDW_CHECK(arrivals[i].stream >= 0, "stream ids must be non-negative");
     MDW_CHECK(demands[i] > 0, "demands must be positive");
+    MDW_CHECK(covered_demands.empty() ||
+                  (covered_demands[i] > 0 && covered_demands[i] <= demands[i]),
+              "covered demands must be in [1, demand]");
     MDW_CHECK(i == 0 || arrivals[i].vt >= arrivals[i - 1].vt,
               "arrivals must be sorted by virtual time");
     num_streams = std::max(num_streams, arrivals[i].stream + 1);
@@ -65,14 +87,29 @@ ServeSchedule QueryScheduler::Run(
   for (int s = 0; s < num_streams; ++s) {
     weight[static_cast<std::size_t>(s)] = config_.WeightOf(s);
   }
+  const bool deadlines_armed =
+      config_.deadline_vt > 0 || !config_.stream_deadline_vt.empty();
+  // Covered (degraded-mode) demand of each admitted entry, parallel to
+  // out.admitted; 0 = unknown, degradation unavailable.
+  std::vector<std::int64_t> covered_of;
 
   // In-service queries as a min-heap of (completion_vt, dispatch_seq);
   // the dispatch_seq tie-break keeps equal-time completions in a fixed
-  // order, so the whole event sequence is deterministic.
+  // order, so the whole event sequence is deterministic. Kept as a raw
+  // vector heap so the FCFS admission bound can read the completion
+  // times without draining it.
   using Completion = std::pair<std::int64_t, std::int64_t>;
-  std::priority_queue<Completion, std::vector<Completion>,
-                      std::greater<Completion>>
-      running;
+  std::vector<Completion> running;
+  const auto completion_greater = std::greater<Completion>();
+
+  // SRPT pick structure: min-heap of (demand, enqueue_seq, slot) over
+  // the waiting entries, with lazy deletion — dispatched/shed slots and
+  // entries whose demand was rewritten by degradation are dropped when
+  // popped (the degrade pass pushes a fresh entry with the new demand).
+  using SrptEntry = std::tuple<std::int64_t, std::int64_t, std::size_t>;
+  std::priority_queue<SrptEntry, std::vector<SrptEntry>,
+                      std::greater<SrptEntry>>
+      srpt_heap;
 
   const int workers = config_.num_workers;
   const std::int64_t capacity = config_.queue_capacity;
@@ -132,27 +169,142 @@ ServeSchedule QueryScheduler::Run(
     return best;
   };
 
+  // SRPT pick: the live heap minimum. While `waiting > 0` a valid entry
+  // always exists (every waiting slot keeps one heap entry whose demand
+  // matches its current demand).
+  const auto pick_srpt = [&]() -> std::size_t {
+    for (;;) {
+      const auto [d, seq, slot] = srpt_heap.top();
+      const ScheduledQuery& q = out.admitted[slot];
+      if (q.served || q.shed_expired || q.demand != d) {
+        srpt_heap.pop();  // stale: dispatched, shed, or degraded
+        continue;
+      }
+      return slot;
+    }
+  };
+
+  // Queue-timeout pass, run at every event boundary: a WAITING entry
+  // whose deadline can no longer be met even if dispatched right now is
+  // shed — or, when its stream opts into degradation and the covered
+  // demand still fits, downgraded in place to covered-only execution.
+  // Dispatches only ever see entries that meet their deadline, so in
+  // virtual time a dispatched query never misses.
+  const auto shed_or_degrade = [&]() {
+    if (!deadlines_armed) return;
+    for (auto& stream : streams) {
+      if (stream.queue.empty()) continue;
+      std::deque<std::size_t> keep;
+      for (const std::size_t slot : stream.queue) {
+        ScheduledQuery& q = out.admitted[slot];
+        if (q.deadline_vt == 0 || now + q.demand <= q.deadline_vt) {
+          keep.push_back(slot);
+          continue;
+        }
+        const std::int64_t covered = covered_of[slot];
+        if (config_.OverloadOf(q.stream) == OverloadPolicy::kDegrade &&
+            !q.degraded && covered > 0 && covered < q.demand &&
+            now + covered <= q.deadline_vt) {
+          q.demand = covered;
+          q.degraded = true;
+          if (config_.policy == SchedPolicy::kSrpt) {
+            srpt_heap.emplace(q.demand, q.enqueue_seq, slot);
+          }
+          keep.push_back(slot);
+          continue;
+        }
+        q.shed_expired = true;
+        --waiting;
+      }
+      stream.queue.swap(keep);
+    }
+  };
+
   const auto try_dispatch = [&]() {
     accrue(now);
+    shed_or_degrade();
     while (free_servers > 0 && waiting > 0 &&
            (horizon == 0 || now < horizon)) {
-      const int s = pick_stream();
-      auto& stream = streams[static_cast<std::size_t>(s)];
-      const std::size_t slot = stream.queue.front();
-      stream.queue.pop_front();
+      std::size_t slot;
+      if (config_.policy == SchedPolicy::kSrpt) {
+        slot = pick_srpt();
+        srpt_heap.pop();
+        auto& dq = streams[static_cast<std::size_t>(
+                               out.admitted[slot].stream)]
+                       .queue;
+        dq.erase(std::find(dq.begin(), dq.end(), slot));
+      } else {
+        const int s = pick_stream();
+        auto& dq = streams[static_cast<std::size_t>(s)].queue;
+        slot = dq.front();
+        dq.pop_front();
+      }
       ScheduledQuery& q = out.admitted[slot];
       q.served = true;
       q.dispatch_seq = dispatch_seq++;
       q.dispatch_vt = now;
       q.completion_vt = now + q.demand;
       if (config_.policy == SchedPolicy::kCredit) {
-        stream.credit -= static_cast<double>(q.demand);
+        streams[static_cast<std::size_t>(q.stream)].credit -=
+            static_cast<double>(q.demand);
       }
-      running.emplace(q.completion_vt, q.dispatch_seq);
+      running.emplace_back(q.completion_vt, q.dispatch_seq);
+      std::push_heap(running.begin(), running.end(), completion_greater);
       out.makespan_vt = std::max(out.makespan_vt, q.completion_vt);
       --waiting;
       --free_servers;
     }
+  };
+
+  // Exact FCFS start-time bound of a would-be arrival: under FCFS
+  // nothing admitted later can overtake the committed backlog, so
+  // forward-simulating the in-service completions plus the waiting
+  // queue (mirroring the shed/degrade rule at each dispatch instant)
+  // yields the precise virtual time the next admission would start.
+  // This is what makes deadline rejection at admission *provable*
+  // rather than heuristic; for kCredit/kSrpt later arrivals can
+  // overtake, so only the backlog-free bound (`now`) is safe.
+  const auto fcfs_start_bound = [&]() -> std::int64_t {
+    std::vector<std::int64_t> busy;
+    busy.reserve(running.size() + 1);
+    for (const auto& c : running) busy.push_back(c.first);
+    std::make_heap(busy.begin(), busy.end(), std::greater<>());
+    const auto take_server = [&](std::int64_t t) {
+      std::pop_heap(busy.begin(), busy.end(), std::greater<>());
+      const std::int64_t freed = busy.back();
+      busy.pop_back();
+      return std::max(t, freed);
+    };
+    int free = free_servers;
+    std::int64_t t = now;
+    // Waiting slots in admission order (slot index == admission order).
+    std::vector<std::size_t> fifo;
+    for (const auto& stream : streams) {
+      fifo.insert(fifo.end(), stream.queue.begin(), stream.queue.end());
+    }
+    std::sort(fifo.begin(), fifo.end());
+    for (const std::size_t slot : fifo) {
+      if (free == 0) {
+        t = take_server(t);
+        ++free;
+      }
+      const ScheduledQuery& q = out.admitted[slot];
+      std::int64_t d = q.demand;
+      if (q.deadline_vt > 0 && t + d > q.deadline_vt) {
+        const std::int64_t covered = covered_of[slot];
+        const bool degrades =
+            config_.OverloadOf(q.stream) == OverloadPolicy::kDegrade &&
+            !q.degraded && covered > 0 && covered < d &&
+            t + covered <= q.deadline_vt;
+        if (!degrades) continue;  // shed before its dispatch
+        d = covered;
+      }
+      busy.push_back(t + d);
+      std::push_heap(busy.begin(), busy.end(), std::greater<>());
+      --free;
+    }
+    if (free == 0) t = take_server(t);
+    return t;
   };
 
   // Advances virtual time to `to`, integrating the queue-depth signals
@@ -179,14 +331,15 @@ ServeSchedule QueryScheduler::Run(
     if (running.empty()) {
       t = arrivals[next_arrival].vt;
     } else if (next_arrival >= arrivals.size()) {
-      t = running.top().first;
+      t = running.front().first;
     } else {
-      t = std::min(arrivals[next_arrival].vt, running.top().first);
+      t = std::min(arrivals[next_arrival].vt, running.front().first);
     }
     advance(t);
 
-    while (!running.empty() && running.top().first == now) {
-      running.pop();
+    while (!running.empty() && running.front().first == now) {
+      std::pop_heap(running.begin(), running.end(), completion_greater);
+      running.pop_back();
       ++free_servers;
     }
     try_dispatch();
@@ -201,15 +354,50 @@ ServeSchedule QueryScheduler::Run(
         out.rejected.push_back(static_cast<std::int64_t>(ai));
         continue;
       }
+      const int astream = arrivals[ai].stream;
+      const std::int64_t rel_deadline = config_.DeadlineOf(astream);
+      const std::int64_t deadline = rel_deadline > 0 ? now + rel_deadline : 0;
+      std::int64_t demand = demands[ai];
+      const std::int64_t covered =
+          covered_demands.empty() ? 0 : covered_demands[ai];
+      bool degraded = false;
+      if (deadline > 0) {
+        // Deadline-aware admission: reject an arrival that provably
+        // cannot complete in time. For every policy its own demand must
+        // fit from `now`; under FCFS the committed backlog additionally
+        // fixes the exact start time (nothing overtakes), so rejection
+        // extends to backlog-induced misses. Degrading streams fall
+        // back to the covered demand before giving up.
+        const std::int64_t start = config_.policy == SchedPolicy::kFcfs
+                                       ? fcfs_start_bound()
+                                       : now;
+        if (start + demand > deadline) {
+          if (config_.OverloadOf(astream) == OverloadPolicy::kDegrade &&
+              covered > 0 && covered < demand &&
+              start + covered <= deadline) {
+            demand = covered;
+            degraded = true;
+          } else {
+            out.rejected.push_back(static_cast<std::int64_t>(ai));
+            continue;
+          }
+        }
+      }
       ScheduledQuery q;
       q.arrival_index = static_cast<std::int64_t>(ai);
-      q.stream = arrivals[ai].stream;
+      q.stream = astream;
       q.enqueue_seq = enqueue_seq++;
       q.arrival_vt = now;
-      q.demand = demands[ai];
+      q.demand = demand;
+      q.deadline_vt = deadline;
+      q.degraded = degraded;
       out.admitted.push_back(q);
-      streams[static_cast<std::size_t>(q.stream)].queue.push_back(
-          out.admitted.size() - 1);
+      covered_of.push_back(covered);
+      const std::size_t slot = out.admitted.size() - 1;
+      streams[static_cast<std::size_t>(q.stream)].queue.push_back(slot);
+      if (config_.policy == SchedPolicy::kSrpt) {
+        srpt_heap.emplace(q.demand, q.enqueue_seq, slot);
+      }
       ++waiting;
       out.queue_high_water = std::max(out.queue_high_water, waiting);
       try_dispatch();
@@ -272,7 +460,14 @@ ServeMetrics ComputeServeMetrics(const ServeSchedule& schedule,
   for (const auto& q : schedule.admitted) {
     auto& stream = metrics.streams[static_cast<std::size_t>(q.stream)];
     ++stream.admitted;
+    if (q.shed_expired) {
+      // Expired in the queue: dropped without execution, and by
+      // definition its deadline was missed.
+      ++stream.shed_expired;
+      ++stream.deadline_missed;
+    }
     if (!q.served) continue;
+    if (q.degraded) ++stream.degraded;
     ++stream.completed;
     stream.work += q.demand;
     const auto response = static_cast<double>(q.Response());
@@ -314,6 +509,10 @@ ServeMetrics ComputeServeMetrics(const ServeSchedule& schedule,
     metrics.total.rejected += stream.rejected;
     metrics.total.completed += stream.completed;
     metrics.total.work += stream.work;
+    metrics.total.shed_expired += stream.shed_expired;
+    metrics.total.degraded += stream.degraded;
+    metrics.total.deadline_missed += stream.deadline_missed;
+    metrics.total.cancelled += stream.cancelled;
     total_waits += wait_sum[s];
     total_services += service_sum[s];
   }

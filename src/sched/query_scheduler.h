@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "fragment/query_planner.h"
 #include "fragment/star_query.h"
 
@@ -26,9 +27,33 @@ enum class SchedPolicy {
   /// Under saturation per-stream completed work converges to the
   /// configured weight ratios.
   kCredit,
+  /// Shortest-remaining-processing-time (here: shortest demand first,
+  /// since virtual service is non-preemptive): the waiting query with
+  /// the globally smallest demand dispatches next, ties to the older
+  /// admission. Minimizes mean response time under skewed demands at
+  /// the cost of starving heavy queries while light ones keep arriving
+  /// — pair with deadlines/shedding to bound that starvation.
+  kSrpt,
 };
 
 const char* ToString(SchedPolicy policy);
+
+/// What to do with a query that can no longer meet its deadline while
+/// still waiting (see ServingConfig::overload).
+enum class OverloadPolicy {
+  /// Drop it: the query is removed from the queue, never executed, and
+  /// counted as shed_expired (its outcome carries kDeadlineExceeded).
+  kShed,
+  /// Downgrade it to covered-only degraded execution: its demand is
+  /// replaced by the (much smaller) covered demand — the fully-covered
+  /// fragments answered from prefix-sum summaries, residual scans
+  /// skipped — and the outcome is flagged `degraded`. Falls back to
+  /// shedding when even the degraded demand cannot meet the deadline
+  /// (or when no covered demand was provided).
+  kDegrade,
+};
+
+const char* ToString(OverloadPolicy policy);
 
 /// One open-loop client request: stream `stream` submits `query` at
 /// virtual time `vt`. Traces are sorted by vt (ties keep trace order).
@@ -73,10 +98,60 @@ struct ServingConfig {
   /// 0 = fail on the first error.
   int max_requeues = 0;
 
+  /// Per-query completion deadline in virtual time: an admitted query
+  /// must complete by arrival_vt + deadline_vt. Deadline-aware admission
+  /// rejects an arrival on the spot when it provably cannot meet its
+  /// deadline (its own demand doesn't fit; under kFcfs additionally when
+  /// the committed backlog — which nothing can overtake — pushes its
+  /// start too late). Queries that become infeasible while WAITING are
+  /// shed (or degraded, see `overload`) at the next event boundary, so a
+  /// dispatched query always meets its deadline in virtual time.
+  /// 0 = no deadline.
+  std::int64_t deadline_vt = 0;
+  /// Per-stream deadline override, indexed by stream id; streams beyond
+  /// the vector (or with a non-positive entry) use `deadline_vt`.
+  std::vector<std::int64_t> stream_deadline_vt;
+
+  /// What happens to a waiting query that can no longer meet its
+  /// deadline; `stream_overload` overrides per stream (streams beyond
+  /// the vector use `overload`). kDegrade needs covered demands passed
+  /// to Run() and falls back to shedding when even the covered demand
+  /// misses the deadline.
+  OverloadPolicy overload = OverloadPolicy::kShed;
+  std::vector<OverloadPolicy> stream_overload;
+
+  /// Wall-clock execution budget per dispatched query in microseconds
+  /// (materialized serving only): each execution runs under a
+  /// steady-clock CancellationToken with this timeout, so a query stuck
+  /// on slow/faulty storage returns a typed kDeadlineExceeded outcome
+  /// instead of holding its worker. 0 = no wall-clock budget.
+  std::int64_t exec_deadline_us = 0;
+
+  /// Serve-wide cancellation (materialized serving only): tripping this
+  /// token cancels the queries still executing — each returns a typed
+  /// kCancelled outcome — while already-completed outcomes are kept.
+  /// Default-constructed = unarmed (never trips, costs one null check).
+  CancellationToken cancel;
+
   /// Weight of stream `s` under this config (>= the 1.0 default).
   double WeightOf(int s) const {
     const auto u = static_cast<std::size_t>(s);
     return u < weights.size() && weights[u] > 0 ? weights[u] : 1.0;
+  }
+
+  /// Relative deadline of stream `s` (0 = none).
+  std::int64_t DeadlineOf(int s) const {
+    const auto u = static_cast<std::size_t>(s);
+    if (u < stream_deadline_vt.size() && stream_deadline_vt[u] > 0) {
+      return stream_deadline_vt[u];
+    }
+    return deadline_vt;
+  }
+
+  /// Overload policy of stream `s`.
+  OverloadPolicy OverloadOf(int s) const {
+    const auto u = static_cast<std::size_t>(s);
+    return u < stream_overload.size() ? stream_overload[u] : overload;
   }
 };
 
@@ -92,6 +167,15 @@ struct ScheduledQuery {
   std::int64_t dispatch_seq = -1;  ///< dispatch order (dense, 0-based)
   std::int64_t dispatch_vt = 0;
   std::int64_t completion_vt = 0;
+  /// Absolute completion deadline (arrival_vt + the stream's relative
+  /// deadline); 0 = none.
+  std::int64_t deadline_vt = 0;
+  /// Set iff the query expired while waiting and was dropped without
+  /// dispatching (it still appears in `admitted`, with served == false).
+  bool shed_expired = false;
+  /// Set iff the query was downgraded to covered-only execution to meet
+  /// its deadline; `demand` then holds the covered demand it ran with.
+  bool degraded = false;
 
   std::int64_t QueueWait() const { return dispatch_vt - arrival_vt; }
   std::int64_t Response() const { return completion_vt - arrival_vt; }
@@ -127,6 +211,18 @@ struct ServeSchedule {
     for (const auto& q : admitted) n += q.served ? 1 : 0;
     return n;
   }
+
+  std::int64_t ShedExpiredCount() const {
+    std::int64_t n = 0;
+    for (const auto& q : admitted) n += q.shed_expired ? 1 : 0;
+    return n;
+  }
+
+  std::int64_t DegradedCount() const {
+    std::int64_t n = 0;
+    for (const auto& q : admitted) n += q.degraded && q.served ? 1 : 0;
+    return n;
+  }
 };
 
 /// Per-stream serving statistics; virtual-time units throughout, so every
@@ -153,6 +249,19 @@ struct StreamServeStats {
   /// Re-executions the requeue policy issued for this stream's queries
   /// (successful or not).
   std::int64_t requeued = 0;
+  /// Admitted queries of this stream dropped from the queue because
+  /// their deadline expired before dispatch (never executed).
+  std::int64_t shed_expired = 0;
+  /// Served queries of this stream that ran in degraded covered-only
+  /// mode to meet their deadline.
+  std::int64_t degraded = 0;
+  /// Queries whose final outcome missed its deadline: shed while
+  /// waiting, skipped by the requeue policy because the deadline had
+  /// already passed, or tripped by the wall-clock execution budget.
+  std::int64_t deadline_missed = 0;
+  /// Executions the serve-wide cancellation token aborted (materialized
+  /// serving only; outcomes carry kCancelled).
+  std::int64_t cancelled = 0;
 };
 
 /// Run-level serving metrics: per-stream stats, their aggregate, and the
@@ -179,6 +288,12 @@ struct ServeMetrics {
 /// on execution timing.
 std::int64_t VirtualDemand(const QueryPlan& plan);
 
+/// Virtual service demand of the same plan executed in degraded
+/// covered-only mode: one summary-lookup unit per fully-covered
+/// fragment, residual scans skipped entirely. Always <= VirtualDemand
+/// and >= 1, so degradation strictly shrinks a query's footprint.
+std::int64_t CoveredDemand(const QueryPlan& plan);
+
 /// The open-loop multi-user scheduler: admits an arrival trace into
 /// bounded per-stream queues and dispatches onto `num_workers` virtual
 /// servers under the configured policy. Run() is single-threaded and
@@ -194,9 +309,13 @@ class QueryScheduler {
   const ServingConfig& config() const { return config_; }
 
   /// Schedules `arrivals` (sorted by vt) with `demands[i]` work units for
-  /// arrival i. Deterministic: same inputs, same schedule.
+  /// arrival i. `covered_demands` (empty, or one entry per arrival) gives
+  /// each query's degraded covered-only demand — required for
+  /// OverloadPolicy::kDegrade to rescue an expiring query; without it
+  /// every expiry sheds. Deterministic: same inputs, same schedule.
   ServeSchedule Run(std::span<const Arrival> arrivals,
-                    std::span<const std::int64_t> demands) const;
+                    std::span<const std::int64_t> demands,
+                    std::span<const std::int64_t> covered_demands = {}) const;
 
  private:
   ServingConfig config_;

@@ -46,14 +46,24 @@ std::int32_t BufferPool::AcquireSlot() {
 }
 
 Status BufferPool::LoadWithRetry(const PageFile& file, std::int64_t page,
-                                 std::int32_t slot, PinIo* io) {
+                                 std::int32_t slot, PinIo* io,
+                                 const CancellationToken& cancel) {
   Status st;
   std::int64_t backoff = retry_.backoff_us;
   for (int attempt = 0;; ++attempt) {
     if (attempt > 0) {
+      // A tripped token abandons the remaining retry budget: the
+      // query's typed status replaces the (transient) I/O error it
+      // would otherwise keep retrying.
+      if (cancel.ShouldStop()) return cancel.CancelStatus();
       ++io->io_retries;
       if (backoff > 0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+        // Never sleep past the query's own deadline.
+        const std::int64_t sleep_us =
+            std::min(backoff, cancel.RemainingMicros());
+        if (sleep_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+        }
         backoff = std::min<std::int64_t>(
             static_cast<std::int64_t>(static_cast<double>(backoff) *
                                       retry_.backoff_multiplier),
@@ -92,7 +102,8 @@ void BufferPool::MergeIoLocked(const PinIo& io, PinIo* out) {
 }
 
 StatusOr<BufferPool::PageRef> BufferPool::Pin(const PageFile& file,
-                                              std::int64_t page, PinIo* io) {
+                                              std::int64_t page, PinIo* io,
+                                              const CancellationToken& cancel) {
   MDW_CHECK(page_size_ == file.page_size(), "page size mismatch with pool");
   const std::uint64_t key = MakeKey(file.file_id(), page);
   std::unique_lock<std::mutex> lk(mu_);
@@ -117,11 +128,20 @@ StatusOr<BufferPool::PageRef> BufferPool::Pin(const PageFile& file,
       if (f->loading) {
         cv_.wait(lk, [&] { return !f->loading; });
         if (f->failed) {
-          // The loader's error is this pin's error too; the last pin out
-          // erases the frame so nothing poisoned stays cached.
           const Status st = f->error;
           ReleaseFailedLocked(key, f);
           cv_.notify_all();
+          if (st.code() == StatusCode::kCancelled ||
+              st.code() == StatusCode::kDeadlineExceeded) {
+            // The loader gave up because ITS query was cancelled or
+            // deadlined — that says nothing about this pin's query.
+            // Retry the load under this caller's own token and a fresh
+            // retry budget instead of inheriting a neighbour's fate.
+            continue;
+          }
+          // An I/O or corruption error is this pin's error too; the
+          // last pin out erased the frame so nothing poisoned stays
+          // cached.
           return st;
         }
       }
@@ -137,7 +157,7 @@ StatusOr<BufferPool::PageRef> BufferPool::Pin(const PageFile& file,
     ++pinned_;
     lk.unlock();
     PinIo local;
-    const Status st = LoadWithRetry(file, page, slot, &local);
+    const Status st = LoadWithRetry(file, page, slot, &local, cancel);
     lk.lock();
     MergeIoLocked(local, io);
     f->loading = false;

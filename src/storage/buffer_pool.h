@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/lru_cache.h"
 #include "common/status.h"
 #include "storage/page_file.h"
@@ -84,8 +85,18 @@ class BufferPool {
   /// kIoError or kCorruption — and the frame is gone from the pool.
   /// Aborts when every frame is pinned (the pool is sized too small for
   /// the concurrent pin load).
+  ///
+  /// `cancel` bounds the retry budget: backoff sleeps are capped by the
+  /// token's RemainingMicros() and a tripped token abandons the
+  /// remaining attempts, returning the token's typed status
+  /// (kDeadlineExceeded/kCancelled) instead of sleeping past the
+  /// query's own deadline. One query's cancellation never leaks into a
+  /// coalesced neighbour: a waiter that finds the frame failed with a
+  /// cancellation-typed error retries the load itself, under its own
+  /// token and a fresh retry budget.
   StatusOr<PageRef> Pin(const PageFile& file, std::int64_t page,
-                        PinIo* io = nullptr);
+                        PinIo* io = nullptr,
+                        const CancellationToken& cancel = {});
 
   /// Best-effort read-ahead of pages [first, first + count): faults the
   /// uncached ones in one coalesced read per gap, without pinning them
@@ -132,9 +143,12 @@ class BufferPool {
   std::int32_t AcquireSlot();
 
   /// Reads `page` into `slot` and CRC-verifies it, retrying under the
-  /// policy with bounded backoff. Called UNLOCKED; counts into `io`.
+  /// policy with bounded backoff — sleeps capped by `cancel`'s remaining
+  /// deadline, a tripped token returning its typed status. Called
+  /// UNLOCKED; counts into `io`.
   Status LoadWithRetry(const PageFile& file, std::int64_t page,
-                       std::int32_t slot, PinIo* io);
+                       std::int32_t slot, PinIo* io,
+                       const CancellationToken& cancel);
 
   /// Drops one pin of a failed frame; the last pin out erases the frame
   /// and recycles its slot. Caller holds mu_ and must notify cv_.

@@ -464,7 +464,7 @@ std::int64_t SegmentStore::Cursor::Fault(std::int64_t i) {
   BufferPool::PinIo pin_io;
   StatusOr<BufferPool::PageRef> ref =
       st.pool_->Pin(*st.files_[static_cast<std::size_t>(s)], file_page,
-                    &pin_io);
+                    &pin_io, cancel_);
   if (io_ != nullptr) {
     io_->io_errors += pin_io.io_errors;
     io_->io_retries += pin_io.io_retries;

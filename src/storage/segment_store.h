@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_fault.h"
@@ -190,8 +192,10 @@ class SegmentStore {
   /// fault, none per row).
   class Cursor {
    public:
-    Cursor(const SegmentStore* store, int column, IoCounters* io)
-        : store_(store), column_(column), io_(io) {}
+    Cursor(const SegmentStore* store, int column, IoCounters* io,
+           CancellationToken cancel = {})
+        : store_(store), column_(column), io_(io),
+          cancel_(std::move(cancel)) {}
 
     /// Value at global index `i`. For prefix columns `i` ranges over
     /// [0, row_count()]; for all others [0, row_count()).
@@ -218,6 +222,7 @@ class SegmentStore {
     const SegmentStore* store_;
     int column_;
     IoCounters* io_;
+    CancellationToken cancel_;  ///< caps pin retry budgets; unarmed = free
     Status status_;
     /// Global index span of the currently-pinned page ([begin, end)),
     /// empty initially.
@@ -228,8 +233,9 @@ class SegmentStore {
     std::unique_ptr<BufferPool::PageRef> page_;
   };
 
-  Cursor MakeCursor(int column, IoCounters* io) const {
-    return Cursor(this, column, io);
+  Cursor MakeCursor(int column, IoCounters* io,
+                    CancellationToken cancel = {}) const {
+    return Cursor(this, column, io, std::move(cancel));
   }
 
  private:

@@ -50,6 +50,11 @@ DEFAULT_COUNTERS = [
     # retry or checksum failure on the paged-scan bench is a regression.
     "io_retries_per_query",
     "checksum_failures_per_query",
+    # Deadline-health counters: the serving bench configures no deadline,
+    # so any miss or degraded execution means the deadline machinery
+    # leaked into the default path.
+    "deadline_missed_per_query",
+    "degraded_per_query",
 ]
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
