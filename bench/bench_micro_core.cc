@@ -364,6 +364,73 @@ void BM_MdhfCoveredAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_MdhfCoveredAggregate)->Arg(0)->Arg(1)->Arg(2);
 
+// Grouped aggregation vs the fragmentation: the same one-quarter
+// selection grouped at the time fragmentation level (arg 0: aligned,
+// per-group answers straight from the prefix sums), above it (arg 1:
+// aligned rollup), below the product fragmentation level (arg 2:
+// per-row grouping, summaries bypassed), and aligned with summaries
+// disabled (arg 3: the scan floor). rows_scanned_per_query separates
+// the covered-group fast path from the scan path.
+void BM_GroupByRollup(benchmark::State& state) {
+  static const auto* without_summaries = new mdw::Warehouse(
+      {.schema = MakeMediumApb1Schema(),
+       .fragmentation = {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}},
+       .backend = mdw::BackendKind::kMaterialized,
+       .seed = 42,
+       .num_workers = 1,
+       .enable_fragment_summaries = false});
+  const bool summaries_off = state.range(0) == 3;
+  const auto& wh = summaries_off ? *without_summaries : MediumWarehouse();
+  const mdw::GroupBy group_by = [&] {
+    switch (state.range(0)) {
+      case 1: return mdw::GroupBy{mdw::kApb1Time, 1};     // quarter
+      case 2: return mdw::GroupBy{mdw::kApb1Product, 4};  // class
+      default: return mdw::GroupBy{mdw::kApb1Time, 2};    // month
+    }
+  }();
+  const auto query = mdw::apb1_queries::OneQuarter(2).WithGroupBy(group_by);
+  mdw::QueryOutcome outcome;
+  for (auto _ : state) {
+    outcome = wh.Execute(query);
+    benchmark::DoNotOptimize(outcome.table->rows.size());
+  }
+  state.SetLabel(std::string("group_d") + std::to_string(group_by.depth) +
+                 "_dim" + std::to_string(group_by.dim) +
+                 (summaries_off ? "/summaries_off" : ""));
+  state.counters["groups"] =
+      static_cast<double>(outcome.table->rows.size());
+  state.counters["rows_scanned_per_query"] =
+      static_cast<double>(outcome.rows_scanned);
+  state.counters["rows_summarized_per_query"] =
+      static_cast<double>(outcome.rows_summarized);
+}
+BENCHMARK(BM_GroupByRollup)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// Deterministic top-k on top of grouped aggregation: ORDER BY
+// SUM(DollarSales) DESC LIMIT k over the 96 product groups (arg = k,
+// 0 = full sort). The sort is post-aggregation, so the spread between
+// arg values is the partial-sort cost alone.
+void BM_TopK(benchmark::State& state) {
+  const auto& wh = MediumWarehouse();
+  const auto query =
+      mdw::StarQuery("ALL", {})
+          .WithGroupBy({mdw::kApb1Product, 3})
+          .WithOrderBy({/*item=*/1, /*descending=*/true,
+                        /*limit=*/state.range(0)});
+  mdw::QueryOutcome outcome;
+  for (auto _ : state) {
+    outcome = wh.Execute(query);
+    benchmark::DoNotOptimize(outcome.table->rows.size());
+  }
+  state.counters["groups"] =
+      static_cast<double>(outcome.table->rows.size());
+  state.counters["rows_scanned_per_query"] =
+      static_cast<double>(outcome.rows_scanned);
+  state.counters["rows_summarized_per_query"] =
+      static_cast<double>(outcome.rows_summarized);
+}
+BENCHMARK(BM_TopK)->Arg(0)->Arg(1)->Arg(10);
+
 // A compact APB-1-shaped schema (~170k fact rows at density 0.25), cheap
 // enough to materialise once per benchmark instance — the sharded-scan
 // benchmark needs a separate store per (shards, round_gap) point.

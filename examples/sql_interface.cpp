@@ -1,6 +1,8 @@
-// End-to-end SQL pipeline: parse the paper's star queries from SQL text,
-// plan them against an MDHF fragmentation, estimate their I/O, and
-// simulate them — the workflow a warehouse administrator would script.
+// End-to-end SQL over the Warehouse façade: one ExecuteSql() call parses
+// a statement, plans it cache-first against the MDHF fragmentation, and
+// executes it on the materialized backend — grouped aggregation, rollup,
+// and top-k included. Malformed statements come back as a typed
+// kInvalidArgument Status instead of an outcome.
 
 #include <cstdio>
 #include <string>
@@ -9,52 +11,59 @@
 #include "core/mdw.h"
 
 int main() {
-  const auto schema = mdw::MakeApb1Schema();
-  const mdw::Fragmentation frag(
-      &schema, {{mdw::kApb1Time, 2}, {mdw::kApb1Product, 3}});
-  const mdw::QueryPlanner planner(&schema, &frag);
-  const mdw::IoCostModel cost(&schema);
-
-  mdw::SimConfig hw;
-  hw.num_disks = 100;
-  hw.num_nodes = 20;
-  hw.tasks_per_node = 5;
-  mdw::Simulator sim(&schema, &frag, hw);
+  const mdw::Warehouse wh({.schema = mdw::MakeTinyApb1Schema(),
+                           .fragmentation = {{mdw::kApb1Time, 2},
+                                             {mdw::kApb1Product, 3}},
+                           .backend = mdw::BackendKind::kMaterialized,
+                           .num_shards = 4});
 
   const std::vector<std::string> statements = {
-      // The paper's 1MONTH1GROUP (Sec. 3.1), values made explicit.
-      "SELECT SUM(UnitsSold), SUM(DollarSales) FROM sales "
-      "WHERE time.month = 3 AND product.group = 41",
-      // 1CODE1QUARTER of experiment 3.
-      "SELECT SUM(UnitsSold) FROM sales "
-      "WHERE product.code = 35 AND time.quarter = 2",
-      // An IN-list variant.
-      "SELECT SUM(Cost) FROM sales WHERE product.group IN (41, 99) "
-      "AND time.year = 1",
-      // A malformed query, to show diagnostics.
-      "SELECT SUM(Cost) FROM sales WHERE warehouse.region = 1",
+      // The paper's 1MONTH1GROUP (Sec. 3.1): a scalar aggregate.
+      "SELECT SUM(UnitsSold), SUM(DollarSales) FROM tiny_sales "
+      "WHERE time.month = 3 AND product.group = 7",
+      // Grouped: per-month sales of one quarter. The grouping is aligned
+      // with the time fragmentation level, so with summaries enabled the
+      // whole answer comes from prefix sums (rows_scanned stays 0).
+      "SELECT SUM(UnitsSold), SUM(DollarSales) FROM tiny_sales "
+      "WHERE time.quarter = 2 GROUP BY time.month",
+      // Rollup of the same data one level up the hierarchy.
+      "SELECT SUM(UnitsSold), SUM(DollarSales) FROM tiny_sales "
+      "GROUP BY time.quarter",
+      // Top-k: the 5 best-selling product groups, deterministic ties.
+      "SELECT COUNT(*), SUM(DollarSales) FROM tiny_sales "
+      "GROUP BY product.group ORDER BY 2 DESC LIMIT 5",
+      // A malformed statement, to show the typed diagnostic.
+      "SELECT SUM(Cost) FROM tiny_sales WHERE warehouse.region = 1",
   };
 
   for (const auto& sql : statements) {
     std::printf("SQL> %s\n", sql.c_str());
-    std::string error;
-    const auto query = mdw::ParseStarQuery(schema, sql, &error);
-    if (!query.has_value()) {
-      std::printf("  parse error: %s\n\n", error.c_str());
+    const auto outcome = wh.ExecuteSql(sql);
+    if (!outcome.ok()) {
+      std::printf("  error [%s]: %s\n\n", mdw::ToString(outcome.status().code()),
+                  outcome.status().message().c_str());
       continue;
     }
-    const auto plan = planner.Plan(*query);
-    const auto io = cost.Estimate(plan);
-    const auto result = sim.RunSingleUser({*query});
-    std::printf(
-        "  class %s/%s | %lld fragment(s), %d bitmap reads/fragment\n"
-        "  estimated I/O %.1f MiB | simulated response %.2f s "
-        "(%lld disk I/Os)\n\n",
-        mdw::ToString(plan.query_class()), mdw::ToString(plan.io_class()),
-        static_cast<long long>(plan.FragmentCount()),
-        plan.BitmapsPerFragment(), io.total_io_mib,
-        result.avg_response_ms / 1000,
-        static_cast<long long>(result.disk_ios));
+    std::printf("  class %s/%s | %lld scanned, %lld summarized rows\n",
+                mdw::ToString(outcome->query_class),
+                mdw::ToString(outcome->io_class),
+                static_cast<long long>(outcome->rows_scanned),
+                static_cast<long long>(outcome->rows_summarized));
+    const mdw::ResultTable& table = *outcome->table;
+    for (std::size_t i = 0; i < table.rows.size(); ++i) {
+      if (table.group_by.has_value()) {
+        std::printf("  key %3lld |",
+                    static_cast<long long>(table.rows[i].key));
+      } else {
+        std::printf("  total   |");
+      }
+      for (int item = 0; item < static_cast<int>(table.spec.items.size());
+           ++item) {
+        std::printf(" %14.2f", table.Value(static_cast<int>(i), item));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
   }
   return 0;
 }

@@ -30,6 +30,10 @@ enum class StatusCode {
   /// The caller cancelled the query explicitly (not via a deadline).
   /// Same abandonment semantics as kDeadlineExceeded.
   kCancelled = 4,
+  /// The request itself is malformed (unparsable SQL, unknown dimension
+  /// or level, out-of-range literal). Retrying the identical request can
+  /// never succeed; the message carries the parser/planner diagnostic.
+  kInvalidArgument = 5,
 };
 
 inline const char* ToString(StatusCode code) {
@@ -39,6 +43,7 @@ inline const char* ToString(StatusCode code) {
     case StatusCode::kCorruption: return "corruption";
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
   }
   return "?";
 }
@@ -65,6 +70,9 @@ class Status {
   }
   static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

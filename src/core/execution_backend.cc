@@ -85,8 +85,22 @@ QueryOutcome MaterializedBackend::ExecuteWith(
   outcome.degraded = mdhf.degraded;
   // A failed execution ran its kernels over zero-filled stand-ins, so
   // the sums are meaningless: surface the typed error with NO aggregate
-  // rather than a plausible-looking wrong answer.
-  if (mdhf.status.ok()) outcome.aggregate = mdhf.result;
+  // (and no table) rather than a plausible-looking wrong answer.
+  if (mdhf.status.ok()) {
+    outcome.aggregate = mdhf.result;
+    std::vector<GroupRow> rows;
+    if (query.grouped()) {
+      rows = std::move(mdhf.groups);
+    } else {
+      // Degenerate zero-group case: one row totalling every matching
+      // fact row (present even when nothing matched, as SQL does for an
+      // ungrouped aggregate).
+      rows.push_back({0, mdhf.result.rows, mdhf.result.units_sold,
+                      mdhf.result.dollar_sales_cents, mdhf.rows_summarized});
+    }
+    outcome.table = MakeResultTable(query.aggregates(), query.group_by(),
+                                    query.order_by(), std::move(rows));
+  }
   return outcome;
 }
 
@@ -158,8 +172,15 @@ BatchOutcome MaterializedBackend::Serve(std::span<const Arrival> arrivals,
   if (warehouse_->summaries_enabled() &&
       warehouse_->ClusteredFor(*fragmentation_)) {
     covered_demands.reserve(plans.size());
-    for (const auto& plan : plans) {
-      covered_demands.push_back(CoveredDemand(plan));
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      // A plan grouped below the fragmentation level cannot run
+      // covered-only (prefix sums can't split a fragment across groups):
+      // advertising its full demand as the covered demand makes the
+      // scheduler shed it on overload instead of degrading it.
+      const bool degradable =
+          !plans[i].grouped() || plans[i].AlignedGrouping();
+      covered_demands.push_back(degradable ? CoveredDemand(plans[i])
+                                           : demands[i]);
     }
   }
   const QueryScheduler scheduler(config);

@@ -37,10 +37,21 @@ const char* ToString(BackendKind kind);
 ///   from the QueryPlan the façade derived (plan-first pipeline; see
 ///   docs/ARCHITECTURE.md). On kMaterialized they are overwritten with
 ///   the execution's own record, so they can never drift from what ran.
+/// - `table` is the primary functional result, engaged IFF
+///   backend == kMaterialized AND `status` is ok. It carries the
+///   query's AggregateSpec/GroupBy/OrderBy and one GroupRow per
+///   non-empty group in ORDER BY order (key-ascending without one,
+///   truncated to LIMIT). An ungrouped query yields the degenerate
+///   zero-group table: exactly one row with key 0 summing every
+///   matching fact row — even when no row matched (SQL semantics for an
+///   ungrouped aggregate).
 /// - `aggregate` and `rows_scanned` are populated IFF
 ///   backend == kMaterialized (`aggregate` engaged, exact SUMs over the
-///   matching rows). On kSimulated `aggregate` is nullopt — the fact
-///   data is never materialised, so there is nothing to sum.
+///   matching rows). `aggregate` survives as the deprecated scalar
+///   mirror of the zero-group case: it always holds the grand total
+///   over all groups (equal to the ungrouped table's only row); new
+///   code should read `table`. On kSimulated both are nullopt — the
+///   fact data is never materialised, so there is nothing to sum.
 /// - `sim` and `response_ms` are populated IFF backend == kSimulated:
 ///   `sim` holds the full device/timing metrics of a single-query run
 ///   and `response_ms` mirrors sim->avg_response_ms. On kMaterialized
@@ -57,6 +68,10 @@ struct QueryOutcome {
   double selectivity = 0;
 
   // ---- functional result (kMaterialized) ----
+  /// The result table (see the population rules above). On a degraded
+  /// outcome its rows cover exactly the plan's fully-covered fragments,
+  /// like `aggregate`.
+  std::optional<ResultTable> table;
   std::optional<MiniWarehouse::AggregateResult> aggregate;
   /// Rows of the *residual* fragments actually scanned; with fragment
   /// summaries disabled (WarehouseConfig::enable_fragment_summaries =

@@ -37,6 +37,7 @@
 #include "core/execution_backend.h"
 #include "core/mini_warehouse.h"
 #include "core/paged_layout.h"
+#include "core/result_table.h"
 #include "core/warehouse.h"
 #include "cost/cost_report.h"
 #include "cost/io_cost_model.h"

@@ -98,12 +98,39 @@ struct PagedMeasures {
   std::int64_t Dollars(std::int64_t row) { return dollars.At(row); }
 };
 
+/// Group sinks the scan kernels are templated on: NoGrouping compiles the
+/// per-hit group tally away entirely, so the ungrouped hot loops are
+/// byte-for-byte the pre-grouping kernels.
+struct NoGrouping {
+  void Add(std::int64_t /*row*/, std::int64_t /*units*/,
+           std::int64_t /*dollars*/) {}
+};
+
+/// Per-row grouping: reads the group dimension's leaf through `leaf` and
+/// tallies the hit into its dense group slot. Used for every grouped scan
+/// (aligned or not — on an aligned fragment all rows share the key, and
+/// the division is cheaper than threading the fragment key through the
+/// chunk cutter).
+template <typename LeafOf>
+struct RowGrouping {
+  LeafOf leaf;
+  std::int64_t leaves_per;
+  MiniWarehouse::GroupAccum* acc;
+
+  void Add(std::int64_t row, std::int64_t units, std::int64_t dollars) {
+    const auto k = static_cast<std::size_t>(leaf(row) / leaves_per);
+    ++acc->rows[k];
+    acc->units[k] += units;
+    acc->dollars[k] += dollars;
+  }
+};
+
 /// The residual-scan kernel: aggregates rows [begin, end) under the
 /// accesses' bitmap filters (evaluated over the range only, O(range)).
-template <typename Accesses, typename Measures>
+template <typename Accesses, typename Measures, typename Grouping>
 void ProcessRows(const IndexSet& indexes, std::int64_t begin,
                  std::int64_t end, const Accesses& accesses, Measures& m,
-                 MiniWarehouse::MdhfExecution* partial) {
+                 Grouping& g, MiniWarehouse::MdhfExecution* partial) {
   partial->rows_scanned += end - begin;
   auto& agg = partial->result;
   if (accesses.empty()) {
@@ -111,8 +138,11 @@ void ProcessRows(const IndexSet& indexes, std::int64_t begin,
     // of the range is a hit.
     for (std::int64_t row = begin; row < end; ++row) {
       ++agg.rows;
-      agg.units_sold += m.Units(row);
-      agg.dollar_sales_cents += m.Dollars(row);
+      const std::int64_t units = m.Units(row);
+      const std::int64_t dollars = m.Dollars(row);
+      agg.units_sold += units;
+      agg.dollar_sales_cents += dollars;
+      g.Add(row, units, dollars);
     }
     return;
   }
@@ -135,8 +165,11 @@ void ProcessRows(const IndexSet& indexes, std::int64_t begin,
   filter.ForEachSetBit([&](std::int64_t i) {
     const std::int64_t row = begin + i;
     ++agg.rows;
-    agg.units_sold += m.Units(row);
-    agg.dollar_sales_cents += m.Dollars(row);
+    const std::int64_t units = m.Units(row);
+    const std::int64_t dollars = m.Dollars(row);
+    agg.units_sold += units;
+    agg.dollar_sales_cents += dollars;
+    g.Add(row, units, dollars);
   });
 }
 
@@ -182,11 +215,12 @@ MiniWarehouse::AggregateResult FullScanRows(const StarSchema& schema,
 
 /// The unclustered fallback kernel: per-row fragment membership through
 /// `probe_leaf` (probe index, row) plus the prebuilt full-width filter.
-template <typename Probes, typename ProbeLeaf, typename Measures>
+template <typename Probes, typename ProbeLeaf, typename Measures,
+          typename Grouping>
 void UnclusteredChunk(const RowRange& chunk, const Probes& probes,
                       ProbeLeaf&& probe_leaf,
                       const std::vector<FragId>& frag_ids, bool all_fragments,
-                      const BitVector& filter, Measures& m,
+                      const BitVector& filter, Measures& m, Grouping& g,
                       MiniWarehouse::MdhfExecution* partial) {
   auto& agg = partial->result;
   for (std::int64_t row = chunk.begin; row < chunk.end; ++row) {
@@ -202,8 +236,11 @@ void UnclusteredChunk(const RowRange& chunk, const Probes& probes,
     ++partial->rows_scanned;
     if (!filter.Get(row)) continue;
     ++agg.rows;
-    agg.units_sold += m.Units(row);
-    agg.dollar_sales_cents += m.Dollars(row);
+    const std::int64_t units = m.Units(row);
+    const std::int64_t dollars = m.Dollars(row);
+    agg.units_sold += units;
+    agg.dollar_sales_cents += dollars;
+    g.Add(row, units, dollars);
   }
 }
 
@@ -218,11 +255,16 @@ void UnclusteredChunk(const RowRange& chunk, const Probes& probes,
 /// token's typed status (so the caller discards the incomplete
 /// aggregate). A token that never trips — the unarmed default in
 /// particular — leaves the record bit-identical to an uncancellable run.
+/// When `groups` is non-null, serial chunks tally straight into it while
+/// parallel chunks fill private per-chunk accumulators merged after the
+/// barrier — element-wise integer addition, so the grouped partials are
+/// order-independent and bit-identical either way.
 MiniWarehouse::MdhfExecution RunChunks(
     const std::vector<RowRange>& ranges, const ThreadPool* pool,
-    const CancellationToken& cancel,
-    const std::function<void(const RowRange&,
-                             MiniWarehouse::MdhfExecution*)>& process) {
+    const CancellationToken& cancel, std::int64_t group_card,
+    MiniWarehouse::GroupAccum* groups,
+    const std::function<void(const RowRange&, MiniWarehouse::MdhfExecution*,
+                             MiniWarehouse::GroupAccum*)>& process) {
   const int lanes = pool == nullptr ? 1 : pool->size() + 1;
   const std::vector<RowRange> chunks = ChunkRanges(ranges, lanes);
   MiniWarehouse::MdhfExecution exec;
@@ -233,18 +275,25 @@ MiniWarehouse::MdhfExecution RunChunks(
         all_ran = false;
         break;
       }
-      process(c, &exec);
+      process(c, &exec, groups);
     }
   } else {
     std::vector<MiniWarehouse::MdhfExecution> partials(chunks.size());
+    std::vector<MiniWarehouse::GroupAccum> gpartials;
+    if (groups != nullptr) {
+      gpartials.resize(chunks.size());
+      for (auto& g : gpartials) g.Reset(group_card);
+    }
     all_ran = pool->ParallelFor(
         static_cast<std::int64_t>(chunks.size()),
         [&](std::int64_t i) {
-          process(chunks[static_cast<std::size_t>(i)],
-                  &partials[static_cast<std::size_t>(i)]);
+          const auto u = static_cast<std::size_t>(i);
+          process(chunks[u], &partials[u],
+                  groups == nullptr ? nullptr : &gpartials[u]);
         },
         cancel);
     for (const auto& p : partials) MergeScanPartial(p, &exec);
+    for (const auto& g : gpartials) groups->Merge(g);
   }
   // Only an actually-abandoned chunk poisons the record: a token that
   // trips after the last chunk finished changes nothing.
@@ -253,6 +302,35 @@ MiniWarehouse::MdhfExecution RunChunks(
 }
 
 }  // namespace
+
+void MiniWarehouse::GroupAccum::Reset(std::int64_t card) {
+  const auto n = static_cast<std::size_t>(card);
+  rows.assign(n, 0);
+  units.assign(n, 0);
+  dollars.assign(n, 0);
+  summarized.assign(n, 0);
+}
+
+void MiniWarehouse::GroupAccum::Merge(const GroupAccum& other) {
+  MDW_CHECK(other.rows.size() == rows.size(),
+            "group accumulators cover different key domains");
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    rows[k] += other.rows[k];
+    units[k] += other.units[k];
+    dollars[k] += other.dollars[k];
+    summarized[k] += other.summarized[k];
+  }
+}
+
+std::vector<GroupRow> MiniWarehouse::GroupAccum::Compact() const {
+  std::vector<GroupRow> out;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    if (rows[k] == 0) continue;
+    out.push_back({static_cast<std::int64_t>(k), rows[k], units[k], dollars[k],
+                   summarized[k]});
+  }
+  return out;
+}
 
 MiniWarehouse::MiniWarehouse(StarSchema schema, std::uint64_t seed)
     : schema_(std::move(schema)) {
@@ -600,6 +678,80 @@ MiniWarehouse::AggregateResult MiniWarehouse::ExecuteFullScan(
   return result;
 }
 
+std::vector<GroupRow> MiniWarehouse::ExecuteFullScanGrouped(
+    const StarQuery& query) const {
+  MDW_CHECK(query.grouped(), "ExecuteFullScanGrouped needs a GROUP BY");
+  const GroupBy gb = *query.group_by();
+  MDW_CHECK(gb.dim >= 0 && gb.dim < schema_.num_dimensions(),
+            "GROUP BY dimension out of range");
+  const auto& gh = schema_.dimension(gb.dim).hierarchy();
+  MDW_CHECK(gb.depth >= 0 && gb.depth < gh.num_levels(),
+            "GROUP BY level out of range");
+  GroupAccum acc;
+  acc.Reset(gh.Cardinality(gb.depth));
+  const std::int64_t leaves_per = gh.LeavesPer(gb.depth);
+
+  const auto scan = [&](auto&& leaf_of, auto& m) {
+    for (std::int64_t row = 0; row < row_count(); ++row) {
+      bool match = true;
+      for (const auto& pred : query.predicates()) {
+        const auto& h = schema_.dimension(pred.dim).hierarchy();
+        const std::int64_t value =
+            h.AncestorOfLeaf(leaf_of(pred.dim, row), pred.depth);
+        if (std::find(pred.values.begin(), pred.values.end(), value) ==
+            pred.values.end()) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      acc.Tally(leaf_of(gb.dim, row) / leaves_per, m.Units(row),
+                m.Dollars(row));
+    }
+  };
+
+  if (store_ == nullptr) {
+    RamMeasures m{&units_sold_, &dollar_sales_cents_};
+    const auto leaf_of = [&](DimId d, std::int64_t row) {
+      return facts_.columns[static_cast<std::size_t>(d)]
+                           [static_cast<std::size_t>(row)];
+    };
+    scan(leaf_of, m);
+    return acc.Compact();
+  }
+  // File-backed: cursors for the predicate dimensions plus (if distinct)
+  // the group dimension.
+  std::vector<std::pair<DimId, storage::SegmentStore::Cursor>> dims;
+  for (const auto& pred : query.predicates()) {
+    dims.emplace_back(pred.dim,
+                      store_->MakeCursor(store_->ColDim(pred.dim), nullptr));
+  }
+  bool have_group_dim = false;
+  for (const auto& [dim, cursor] : dims) have_group_dim |= dim == gb.dim;
+  if (!have_group_dim) {
+    dims.emplace_back(gb.dim,
+                      store_->MakeCursor(store_->ColDim(gb.dim), nullptr));
+  }
+  const auto leaf_of = [&](DimId d, std::int64_t row) {
+    for (auto& [dim, cursor] : dims) {
+      if (dim == d) return cursor.At(row);
+    }
+    MDW_CHECK(false, "dimension without a cursor");
+    return std::int64_t{0};
+  };
+  PagedMeasures m{store_->MakeCursor(store_->ColUnits(), nullptr),
+                  store_->MakeCursor(store_->ColDollars(), nullptr)};
+  scan(leaf_of, m);
+  // Ground truth, not a serving path: fail fast on storage errors.
+  for (auto& [dim, cursor] : dims) {
+    MDW_CHECK(cursor.status().ok(),
+              "grouped reference scan hit a storage error");
+  }
+  MDW_CHECK(m.units.status().ok() && m.dollars.status().ok(),
+            "grouped reference scan hit a storage error");
+  return acc.Compact();
+}
+
 MiniWarehouse::AggregateResult MiniWarehouse::ExecuteWithBitmaps(
     const StarQuery& query) const {
   BitVector hits(row_count());
@@ -655,9 +807,10 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
   MDW_CHECK(&fragmentation.schema() == &schema_,
             "plan's fragmentation must belong to this warehouse's schema");
   MDW_CHECK(!options.covered_only ||
-                (summaries_enabled_ && ClusteredFor(fragmentation)),
+                (summaries_enabled_ && ClusteredFor(fragmentation) &&
+                 (!plan.grouped() || plan.AlignedGrouping())),
             "covered-only degradation requires summaries over a matching "
-            "clustered layout");
+            "clustered layout (and fragmentation-aligned grouping)");
 
   // Entry checkpoint: a token tripped before execution starts must yield
   // the typed status even when the query would be answered entirely from
@@ -674,10 +827,22 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteWithPlan(
   ExecScratch& s = scratch != nullptr ? *scratch : local;
   ResolveBitmapAccesses(query, plan, &s.accesses_);
   const std::vector<BitmapAccess>& accesses = s.accesses_;
+  GroupContext gctx;
+  GroupAccum group_accum;
+  GroupAccum* groups = nullptr;
+  if (plan.grouped()) {
+    gctx.grouped = true;
+    gctx.dim = plan.group_by()->dim;
+    gctx.leaves_per = plan.group_leaves_per();
+    gctx.card = plan.group_card();
+    group_accum.Reset(gctx.card);
+    groups = &group_accum;
+  }
   MdhfExecution exec =
       ClusteredFor(fragmentation)
-          ? ExecuteClustered(plan, accesses, pool, options)
-          : ExecuteUnclustered(plan, accesses, pool, options);
+          ? ExecuteClustered(plan, accesses, gctx, pool, options, groups)
+          : ExecuteUnclustered(plan, accesses, gctx, pool, options, groups);
+  if (groups != nullptr) exec.groups = groups->Compact();
   exec.degraded = options.covered_only;
   exec.query_class = plan.query_class();
   exec.io_class = plan.io_class();
@@ -719,11 +884,24 @@ void MiniWarehouse::ResolveBitmapAccesses(
 
 void MiniWarehouse::ScanChunk(std::int64_t begin, std::int64_t end,
                               const std::vector<BitmapAccess>& accesses,
+                              const GroupContext& group,
                               const CancellationToken& cancel,
-                              MdhfExecution* partial) const {
+                              MdhfExecution* partial,
+                              GroupAccum* groups) const {
   if (store_ == nullptr) {
     RamMeasures m{&units_sold_, &dollar_sales_cents_};
-    ProcessRows(*indexes_, begin, end, accesses, m, partial);
+    if (groups == nullptr) {
+      NoGrouping g;
+      ProcessRows(*indexes_, begin, end, accesses, m, g, partial);
+      return;
+    }
+    const std::vector<std::int64_t>& keys =
+        facts_.columns[static_cast<std::size_t>(group.dim)];
+    const auto leaf = [&keys](std::int64_t row) {
+      return keys[static_cast<std::size_t>(row)];
+    };
+    RowGrouping<decltype(leaf)> g{leaf, group.leaves_per, groups};
+    ProcessRows(*indexes_, begin, end, accesses, m, g, partial);
     return;
   }
   storage::SegmentStore::IoCounters io;
@@ -736,7 +914,22 @@ void MiniWarehouse::ScanChunk(std::int64_t begin, std::int64_t end,
     m.units.PrefetchRun(begin, end);
     m.dollars.PrefetchRun(begin, end);
   }
-  ProcessRows(*indexes_, begin, end, accesses, m, partial);
+  if (groups == nullptr) {
+    NoGrouping g;
+    ProcessRows(*indexes_, begin, end, accesses, m, g, partial);
+  } else {
+    // Grouped scans read the group dimension's leaf column through its
+    // own cursor (its I/O and status fold into the same partial).
+    auto key_cursor =
+        store_->MakeCursor(store_->ColDim(group.dim), &io, cancel);
+    if (accesses.empty()) key_cursor.PrefetchRun(begin, end);
+    const auto leaf = [&key_cursor](std::int64_t row) {
+      return key_cursor.At(row);
+    };
+    RowGrouping<decltype(leaf)> g{leaf, group.leaves_per, groups};
+    ProcessRows(*indexes_, begin, end, accesses, m, g, partial);
+    partial->status.Update(key_cursor.status());
+  }
   FoldIo(io, partial);
   partial->status.Update(m.units.status());
   partial->status.Update(m.dollars.status());
@@ -744,15 +937,21 @@ void MiniWarehouse::ScanChunk(std::int64_t begin, std::int64_t end,
 
 void MiniWarehouse::FoldSummaryRun(const RowRange& run,
                                    const CancellationToken& cancel,
-                                   MdhfExecution* exec) const {
+                                   MdhfExecution* exec,
+                                   std::int64_t group_key,
+                                   GroupAccum* groups) const {
   exec->result.rows += run.rows();
   exec->rows_summarized += run.rows();
   if (store_ == nullptr) {
     const auto b = static_cast<std::size_t>(run.begin);
     const auto e = static_cast<std::size_t>(run.end);
-    exec->result.units_sold += units_prefix_[e] - units_prefix_[b];
-    exec->result.dollar_sales_cents +=
-        dollars_prefix_[e] - dollars_prefix_[b];
+    const std::int64_t du = units_prefix_[e] - units_prefix_[b];
+    const std::int64_t dd = dollars_prefix_[e] - dollars_prefix_[b];
+    exec->result.units_sold += du;
+    exec->result.dollar_sales_cents += dd;
+    if (groups != nullptr && group_key >= 0) {
+      groups->TallySummary(group_key, run.rows(), du, dd);
+    }
     return;
   }
   // File-backed: the prefix-sum columns answer the covered run from at
@@ -760,9 +959,13 @@ void MiniWarehouse::FoldSummaryRun(const RowRange& run,
   storage::SegmentStore::IoCounters io;
   auto units = store_->MakeCursor(store_->ColUnitsPrefix(), &io, cancel);
   auto dollars = store_->MakeCursor(store_->ColDollarsPrefix(), &io, cancel);
-  exec->result.units_sold += units.At(run.end) - units.At(run.begin);
-  exec->result.dollar_sales_cents +=
-      dollars.At(run.end) - dollars.At(run.begin);
+  const std::int64_t du = units.At(run.end) - units.At(run.begin);
+  const std::int64_t dd = dollars.At(run.end) - dollars.At(run.begin);
+  exec->result.units_sold += du;
+  exec->result.dollar_sales_cents += dd;
+  if (groups != nullptr && group_key >= 0) {
+    groups->TallySummary(group_key, run.rows(), du, dd);
+  }
   FoldIo(io, exec);
   exec->status.Update(units.status());
   exec->status.Update(dollars.status());
@@ -770,7 +973,14 @@ void MiniWarehouse::FoldSummaryRun(const RowRange& run,
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
     const QueryPlan& plan, const std::vector<BitmapAccess>& accesses,
-    const ThreadPool* pool, const ExecOptions& options) const {
+    const GroupContext& group, const ThreadPool* pool,
+    const ExecOptions& options, GroupAccum* groups) const {
+  // A summary run's prefix-sum fold cannot split its rows across groups,
+  // so grouping below the fragmentation level (or on a non-fragmentation
+  // dimension) forces every selected fragment onto the scan path.
+  const bool use_summaries =
+      summaries_enabled_ && (!group.grouped || plan.AlignedGrouping());
+
   // Single-fragment fast path (the paper's IOC1-opt shape): the one
   // fragment id falls out of the slices directly, skipping the odometer
   // enumeration and its std::function indirection — for a fully-covered
@@ -790,14 +1000,18 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
     const std::int64_t begin = frag_offsets_[rank];
     const std::int64_t end = frag_offsets_[rank + 1];
     MdhfExecution exec;
-    if (summaries_enabled_ && covered) {
-      FoldSummaryRun({begin, end}, options.cancel, &exec);
+    if (use_summaries && covered) {
+      const std::int64_t gkey =
+          plan.AlignedGrouping() ? plan.GroupOfFragment(id) : -1;
+      FoldSummaryRun({begin, end}, options.cancel, &exec, gkey, groups);
       exec.fragments_summarized = 1;
     } else if (begin < end && !options.covered_only) {
-      exec = RunChunks({{begin, end}}, pool, options.cancel,
-                       [&](const RowRange& c, MdhfExecution* partial) {
-                         ScanChunk(c.begin, c.end, accesses, options.cancel,
-                                   partial);
+      exec = RunChunks({{begin, end}}, pool, options.cancel, group.card,
+                       groups,
+                       [&](const RowRange& c, MdhfExecution* partial,
+                           GroupAccum* g) {
+                         ScanChunk(c.begin, c.end, accesses, group,
+                                   options.cancel, partial, g);
                        });
     }
     AttributeWorkToFragmentShard(id, &exec);
@@ -812,7 +1026,7 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
   // fragments split off into summary runs answered from the prefix sums;
   // residual fragments keep the range-scan + bitmap path.
   const std::vector<ShardSelection> selections = RouteSelectionToShards(
-      plan, num_shards_, summaries_enabled_,
+      plan, num_shards_, use_summaries,
       [&](FragId id) { return shard_of_frag_[static_cast<std::size_t>(id)]; },
       [&](FragId id) {
         const auto rank = static_cast<std::size_t>(
@@ -820,7 +1034,7 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteClustered(
         return std::pair<std::int64_t, std::int64_t>{frag_offsets_[rank],
                                                      frag_offsets_[rank + 1]};
       });
-  return ExecuteSharded(selections, accesses, pool, options);
+  return ExecuteSharded(selections, accesses, group, pool, options, groups);
 }
 
 void MiniWarehouse::AttributeWorkToFragmentShard(FragId id,
@@ -840,8 +1054,9 @@ void MiniWarehouse::AttributeWorkToFragmentShard(FragId id,
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
     const std::vector<ShardSelection>& selections,
-    const std::vector<BitmapAccess>& accesses, const ThreadPool* pool,
-    const ExecOptions& options) const {
+    const std::vector<BitmapAccess>& accesses, const GroupContext& group,
+    const ThreadPool* pool, const ExecOptions& options,
+    GroupAccum* groups) const {
   // Cut every shard's scan ranges with ONE global grain (a few chunks per
   // lane across all shards), so stealing has granularity even when one
   // shard holds most of the work. Covered-only degraded execution drops
@@ -869,15 +1084,26 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
   // the only point that reads them — in fixed (shard, chunk) order, so
   // the record is bit-identical at any worker count.
   std::vector<MdhfExecution> partials(total_chunks);
+  // Grouped runs mirror the scan partials with per-chunk group
+  // accumulators merged below — element-wise integer sums, so the merge
+  // order never changes the grouped result.
+  std::vector<GroupAccum> gpartials;
+  if (groups != nullptr) {
+    gpartials.resize(total_chunks);
+    for (auto& g : gpartials) g.Reset(group.card);
+  }
   bool all_ran = true;
   if (pool != nullptr && total_chunks >= 2) {
     all_ran = pool->ParallelForQueues(
         queue_sizes,
         [&](int s, std::int64_t c) {
           const auto su = static_cast<std::size_t>(s);
+          const std::size_t slot =
+              slot_base[su] + static_cast<std::size_t>(c);
           const RowRange& r = chunks[su][static_cast<std::size_t>(c)];
-          ScanChunk(r.begin, r.end, accesses, options.cancel,
-                    &partials[slot_base[su] + static_cast<std::size_t>(c)]);
+          ScanChunk(r.begin, r.end, accesses, group, options.cancel,
+                    &partials[slot],
+                    groups == nullptr ? nullptr : &gpartials[slot]);
         },
         options.cancel);
   } else {
@@ -887,11 +1113,14 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
           all_ran = false;
           break;
         }
-        ScanChunk(chunks[s][c].begin, chunks[s][c].end, accesses,
-                  options.cancel, &partials[slot_base[s] + c]);
+        const std::size_t slot = slot_base[s] + c;
+        ScanChunk(chunks[s][c].begin, chunks[s][c].end, accesses, group,
+                  options.cancel, &partials[slot],
+                  groups == nullptr ? nullptr : &gpartials[slot]);
       }
     }
   }
+  for (const auto& g : gpartials) groups->Merge(g);
 
   // Fixed-order merge: shards ascending; within a shard, scan chunks in
   // range order, then the shard's summary runs — all-integer sums, one
@@ -919,14 +1148,16 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
     const std::int64_t pages0 = exec.pages_read;
     const std::int64_t hits0 = exec.buffer_hits;
     const std::int64_t bytes0 = exec.bytes_read;
-    for (const auto& run : sel.summary) {
+    for (std::size_t r = 0; r < sel.summary.size(); ++r) {
       // A tripped token abandons the remaining summary folds too — the
       // typed status below tells the caller the record is incomplete.
       if (!all_ran || options.cancel.ShouldStop()) {
         all_ran = false;
         break;
       }
-      FoldSummaryRun(run, options.cancel, &exec);
+      const RowRange& run = sel.summary[r];
+      FoldSummaryRun(run, options.cancel, &exec, sel.summary_group[r],
+                     groups);
       work.rows_summarized += run.rows();
     }
     work.pages_read += exec.pages_read - pages0;
@@ -941,7 +1172,8 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteSharded(
 
 MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
     const QueryPlan& plan, const std::vector<BitmapAccess>& accesses,
-    const ThreadPool* pool, const ExecOptions& options) const {
+    const GroupContext& group, const ThreadPool* pool,
+    const ExecOptions& options, GroupAccum* groups) const {
   const Fragmentation& fragmentation = plan.fragmentation();
 
   // Sorted fragment membership (ForEachFragment enumerates ascending ids);
@@ -988,16 +1220,30 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
     probes.push_back({a.dim, h.LeavesPer(a.depth), fragmentation.CardOf(i)});
   }
 
-  return RunChunks({{0, row_count()}}, pool, options.cancel,
-                   [&](const RowRange& chunk, MdhfExecution* partial) {
+  return RunChunks({{0, row_count()}}, pool, options.cancel, group.card,
+                   groups,
+                   [&](const RowRange& chunk, MdhfExecution* partial,
+                       GroupAccum* gacc) {
     if (store_ == nullptr) {
       const auto probe_leaf = [&](std::size_t p, std::int64_t row) {
         return facts_.columns[static_cast<std::size_t>(probes[p].dim)]
                              [static_cast<std::size_t>(row)];
       };
       RamMeasures m{&units_sold_, &dollar_sales_cents_};
+      if (gacc == nullptr) {
+        NoGrouping g;
+        UnclusteredChunk(chunk, probes, probe_leaf, frag_ids, all_fragments,
+                         filter, m, g, partial);
+        return;
+      }
+      const std::vector<std::int64_t>& keys =
+          facts_.columns[static_cast<std::size_t>(group.dim)];
+      const auto leaf = [&keys](std::int64_t row) {
+        return keys[static_cast<std::size_t>(row)];
+      };
+      RowGrouping<decltype(leaf)> g{leaf, group.leaves_per, gacc};
       UnclusteredChunk(chunk, probes, probe_leaf, frag_ids, all_fragments,
-                       filter, m, partial);
+                       filter, m, g, partial);
       return;
     }
     storage::SegmentStore::IoCounters io;
@@ -1013,8 +1259,21 @@ MiniWarehouse::MdhfExecution MiniWarehouse::ExecuteUnclustered(
     PagedMeasures m{
         store_->MakeCursor(store_->ColUnits(), &io, options.cancel),
         store_->MakeCursor(store_->ColDollars(), &io, options.cancel)};
-    UnclusteredChunk(chunk, probes, probe_leaf, frag_ids, all_fragments,
-                     filter, m, partial);
+    if (gacc == nullptr) {
+      NoGrouping g;
+      UnclusteredChunk(chunk, probes, probe_leaf, frag_ids, all_fragments,
+                       filter, m, g, partial);
+    } else {
+      auto key_cursor =
+          store_->MakeCursor(store_->ColDim(group.dim), &io, options.cancel);
+      const auto leaf = [&key_cursor](std::int64_t row) {
+        return key_cursor.At(row);
+      };
+      RowGrouping<decltype(leaf)> g{leaf, group.leaves_per, gacc};
+      UnclusteredChunk(chunk, probes, probe_leaf, frag_ids, all_fragments,
+                       filter, m, g, partial);
+      partial->status.Update(key_cursor.status());
+    }
     FoldIo(io, partial);
     for (auto& c : cursors) partial->status.Update(c.status());
     partial->status.Update(m.units.status());

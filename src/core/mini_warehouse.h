@@ -10,6 +10,7 @@
 #include "bitmap/index_set.h"
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "core/result_table.h"
 #include "fragment/query_planner.h"
 #include "fragment/shard_routing.h"
 #include "storage/segment_store.h"
@@ -69,6 +70,48 @@ class MiniWarehouse {
    private:
     friend class MiniWarehouse;
     std::vector<BitmapAccess> accesses_;
+  };
+
+  /// Resolved grouping of one execution (derived from the plan):
+  /// a fact row's group key is its group-dimension leaf / leaves_per.
+  /// Execution-internal, public only so the kernel helpers can name it.
+  struct GroupContext {
+    bool grouped = false;
+    DimId dim = -1;
+    std::int64_t leaves_per = 1;
+    std::int64_t card = 0;  ///< dense key domain [0, card)
+  };
+
+  /// Dense per-chunk group accumulator over the full key domain. Chunk
+  /// counts are bounded (a few per lane), so dense beats hashing; the
+  /// integer element-wise merge is order-independent, keeping grouped
+  /// results bit-identical at any worker x shard count.
+  /// Execution-internal, public only so the kernel helpers can name it.
+  struct GroupAccum {
+    std::vector<std::int64_t> rows;
+    std::vector<std::int64_t> units;
+    std::vector<std::int64_t> dollars;
+    std::vector<std::int64_t> summarized;
+
+    void Reset(std::int64_t card);
+    void Tally(std::int64_t key, std::int64_t u, std::int64_t d) {
+      const auto k = static_cast<std::size_t>(key);
+      ++rows[k];
+      units[k] += u;
+      dollars[k] += d;
+    }
+    void TallySummary(std::int64_t key, std::int64_t n, std::int64_t u,
+                      std::int64_t d) {
+      const auto k = static_cast<std::size_t>(key);
+      rows[k] += n;
+      summarized[k] += n;
+      units[k] += u;
+      dollars[k] += d;
+    }
+    void Merge(const GroupAccum& other);
+    /// Sparse key-ascending rows; groups with no matching fact rows are
+    /// dropped (SQL GROUP BY emits no row for an empty group).
+    std::vector<GroupRow> Compact() const;
   };
 
   /// Per-execution controls threaded through the MDHF paths.
@@ -189,6 +232,14 @@ class MiniWarehouse {
   /// directly against the dimension hierarchies.
   AggregateResult ExecuteFullScan(const StarQuery& query) const;
 
+  /// Grouped reference execution: the brute-force GROUP BY — one pass over
+  /// every fact row, keying each match by its group-dimension ancestor at
+  /// the query's GROUP BY depth. Key-ascending, empty groups absent; the
+  /// ground truth groupby_test checks the MDHF paths against. Requires
+  /// query.grouped(). rows_summarized is 0 in every row (nothing is
+  /// answered from summaries here).
+  std::vector<GroupRow> ExecuteFullScanGrouped(const StarQuery& query) const;
+
   /// Bitmap-index execution without fragmentation: intersects the index
   /// selections of all predicates, then aggregates the marked rows.
   AggregateResult ExecuteWithBitmaps(const StarQuery& query) const;
@@ -225,6 +276,13 @@ class MiniWarehouse {
   /// need them, and reports the work actually touched.
   struct MdhfExecution {
     AggregateResult result;
+    /// Per-group partials of a grouped execution (plan.grouped()), sparse
+    /// and key-ascending; empty for ungrouped plans. `result` stays the
+    /// grand total over all groups, so ungrouped consumers keep working
+    /// unchanged. Like `result`, only trustworthy when `status` is ok.
+    /// Sum of rows / rows_summarized over the groups equals the record's
+    /// result.rows / rows_summarized (counter partition).
+    std::vector<GroupRow> groups;
     std::int64_t fragments_processed = 0;
     /// Rows actually scanned, i.e. rows of the *residual* fragments (with
     /// summaries disabled every processed fragment is residual, so this
@@ -346,27 +404,38 @@ class MiniWarehouse {
   /// measures from RAM or through per-chunk buffer-pool cursors
   /// (file-backed mode, which also attributes the chunk's I/O into
   /// `partial`). One call per scan chunk; safe to run concurrently.
+  /// With `groups` non-null every hit is additionally tallied into its
+  /// per-row group key (group.dim leaf / group.leaves_per).
   void ScanChunk(std::int64_t begin, std::int64_t end,
                  const std::vector<BitmapAccess>& accesses,
-                 const CancellationToken& cancel,
-                 MdhfExecution* partial) const;
+                 const GroupContext& group, const CancellationToken& cancel,
+                 MdhfExecution* partial, GroupAccum* groups) const;
   MdhfExecution ExecuteClustered(const QueryPlan& plan,
                                  const std::vector<BitmapAccess>& accesses,
+                                 const GroupContext& group,
                                  const ThreadPool* pool,
-                                 const ExecOptions& options) const;
+                                 const ExecOptions& options,
+                                 GroupAccum* groups) const;
   /// Executes routed per-shard selections: affinity tasks + stealing on
   /// `pool` (serial in shard order without one), fixed-order merge.
   MdhfExecution ExecuteSharded(const std::vector<ShardSelection>& shards,
                                const std::vector<BitmapAccess>& accesses,
+                               const GroupContext& group,
                                const ThreadPool* pool,
-                               const ExecOptions& options) const;
+                               const ExecOptions& options,
+                               GroupAccum* groups) const;
   MdhfExecution ExecuteUnclustered(const QueryPlan& plan,
                                    const std::vector<BitmapAccess>& accesses,
+                                   const GroupContext& group,
                                    const ThreadPool* pool,
-                                   const ExecOptions& options) const;
+                                   const ExecOptions& options,
+                                   GroupAccum* groups) const;
   /// Folds a summary run [begin, end) into exec from the prefix sums.
+  /// With `groups` non-null the run is additionally credited to
+  /// `group_key` (aligned grouped plans: the whole run lies in one group).
   void FoldSummaryRun(const RowRange& run, const CancellationToken& cancel,
-                      MdhfExecution* exec) const;
+                      MdhfExecution* exec, std::int64_t group_key = -1,
+                      GroupAccum* groups = nullptr) const;
   /// Fills exec->shards by attributing the record's entire work to the
   /// shard owning fragment `id` — the single-fragment counterpart of
   /// ExecuteSharded's per-shard merge. No-op when unsharded.

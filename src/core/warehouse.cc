@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "workload/query_parser.h"
 
 namespace mdw {
 
@@ -67,6 +68,12 @@ std::shared_ptr<const QueryPlan> Warehouse::PlanShared(
 
 QueryOutcome Warehouse::Execute(const StarQuery& query) const {
   return backend_->Execute(query, *PlanShared(query));
+}
+
+StatusOr<QueryOutcome> Warehouse::ExecuteSql(std::string_view sql) const {
+  StatusOr<StarQuery> query = ParseSql(*schema_, sql);
+  if (!query.ok()) return query.status();
+  return Execute(*query);
 }
 
 BatchOutcome Warehouse::ExecuteBatch(std::span<const StarQuery> queries,

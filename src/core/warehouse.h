@@ -5,9 +5,11 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "alloc/disk_allocation.h"
+#include "common/status.h"
 #include "core/execution_backend.h"
 #include "fragment/fragmentation.h"
 #include "fragment/plan_cache.h"
@@ -139,6 +141,15 @@ class Warehouse {
   /// Plans (cache-first) and executes one query on the configured
   /// backend; the backend never re-plans.
   QueryOutcome Execute(const StarQuery& query) const;
+
+  /// One-call SQL front end: parses `sql` (the dialect of
+  /// workload/query_parser.h — SELECT aggregates, WHERE, GROUP BY,
+  /// ORDER BY ... LIMIT), plans it cache-first, and executes on the
+  /// configured backend. A malformed statement returns kInvalidArgument
+  /// carrying the parser's diagnostic; a well-formed statement returns
+  /// the QueryOutcome exactly as Execute() would (execution-side
+  /// failures stay typed inside QueryOutcome::status).
+  StatusOr<QueryOutcome> ExecuteSql(std::string_view sql) const;
 
   /// Executes a batch as one run. On the simulated backend `streams` > 1
   /// runs the batch in concurrent query streams (multi-user mode); the

@@ -35,6 +35,23 @@ std::string CanonicalQuerySignature(const StarQuery& query) {
     }
     signature += ';';
   }
+  // Aggregate spec: item order matters (it is the SELECT-list order the
+  // result table exposes), so it is canonical as written.
+  signature += "|a";
+  for (const AggItem& item : query.aggregates().items) {
+    signature += std::to_string(static_cast<int>(item.fn));
+    signature += '.';
+    signature += std::to_string(static_cast<int>(item.measure));
+    signature += ',';
+  }
+  // GROUP BY attribute: grouped plans carry per-group classification, so
+  // they must never alias with the ungrouped signature.
+  if (query.group_by().has_value()) {
+    signature += "|g";
+    signature += std::to_string(query.group_by()->dim);
+    signature += '@';
+    signature += std::to_string(query.group_by()->depth);
+  }
   return signature;
 }
 

@@ -15,11 +15,14 @@
 namespace mdw {
 
 /// Canonical cache key of a star query: its predicates ordered by
-/// dimension with sorted IN-list values. The query name is deliberately
-/// excluded (it never influences planning), so "1MONTH(3)" and an ad-hoc
-/// query with the same predicate share one cache entry. Two queries have
-/// equal signatures iff the planner derives identical plans for them
-/// under any fixed fragmentation.
+/// dimension with sorted IN-list values, followed by the aggregate spec
+/// and the GROUP BY attribute (if any) — so a grouped query and its
+/// ungrouped twin never alias to one plan. The query name and ORDER BY /
+/// LIMIT are deliberately excluded (they never influence planning: the
+/// name is cosmetic, and top-k ordering is applied to the finished group
+/// table after execution). Two queries have equal signatures iff the
+/// planner derives identical plans for them under any fixed fragmentation
+/// AND they aggregate the same items.
 std::string CanonicalQuerySignature(const StarQuery& query);
 
 /// A memoizing, LRU-evicting cache of derived QueryPlans, keyed by

@@ -43,7 +43,8 @@ QueryPlan::QueryPlan(std::shared_ptr<const Fragmentation> fragmentation,
                      QueryClass query_class, IoClass io_class,
                      std::vector<PredicateAccess> accesses,
                      double selectivity,
-                     std::vector<std::vector<bool>> covered, bool coverable)
+                     std::vector<std::vector<bool>> covered, bool coverable,
+                     std::optional<GroupBy> group_by)
     : fragmentation_(std::move(fragmentation)),
       slices_(std::move(slices)),
       query_class_(query_class),
@@ -51,7 +52,8 @@ QueryPlan::QueryPlan(std::shared_ptr<const Fragmentation> fragmentation,
       accesses_(std::move(accesses)),
       selectivity_(selectivity),
       covered_(std::move(covered)),
-      coverable_(coverable) {
+      coverable_(coverable),
+      group_by_(group_by) {
   MDW_CHECK(fragmentation_ != nullptr, "plan needs a fragmentation");
   MDW_CHECK(static_cast<int>(slices_.size()) == fragmentation_->num_attrs(),
             "one slice per fragmentation attribute");
@@ -74,6 +76,37 @@ QueryPlan::QueryPlan(std::shared_ptr<const Fragmentation> fragmentation,
     MDW_CHECK(covered_[i].size() == slices_[i].size(),
               "coverage flags must parallel the slice values");
   }
+  if (group_by_.has_value()) {
+    const StarSchema& schema = fragmentation_->schema();
+    MDW_CHECK(group_by_->dim >= 0 && group_by_->dim < schema.num_dimensions(),
+              "GROUP BY dimension out of range");
+    const auto& h = schema.dimension(group_by_->dim).hierarchy();
+    MDW_CHECK(group_by_->depth >= 0 && group_by_->depth < h.num_levels(),
+              "GROUP BY level out of range");
+    group_card_ = h.Cardinality(group_by_->depth);
+    group_leaves_per_ = h.LeavesPer(group_by_->depth);
+    // Aligned iff the grouping dimension is a fragmentation attribute and
+    // the GROUP BY level is at or above (coarser than) the fragmentation
+    // level — then each fragment lies in exactly one group.
+    for (int i = 0; i < fragmentation_->num_attrs(); ++i) {
+      const FragAttr& attr = fragmentation_->attr(i);
+      if (attr.dim == group_by_->dim && group_by_->depth <= attr.depth) {
+        group_attr_ = i;
+        group_desc_per_ = h.DescendantsPer(group_by_->depth, attr.depth);
+        for (int j = i + 1; j < fragmentation_->num_attrs(); ++j) {
+          group_suffix_ *= fragmentation_->CardOf(j);
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::int64_t QueryPlan::GroupOfFragment(FragId id) const {
+  MDW_CHECK(group_attr_ >= 0, "GroupOfFragment needs aligned grouping");
+  const std::int64_t coord =
+      (id / group_suffix_) % fragmentation_->CardOf(group_attr_);
+  return coord / group_desc_per_;
 }
 
 QueryPlan::QueryPlan(const Fragmentation* fragmentation,
@@ -81,10 +114,11 @@ QueryPlan::QueryPlan(const Fragmentation* fragmentation,
                      QueryClass query_class, IoClass io_class,
                      std::vector<PredicateAccess> accesses,
                      double selectivity,
-                     std::vector<std::vector<bool>> covered, bool coverable)
+                     std::vector<std::vector<bool>> covered, bool coverable,
+                     std::optional<GroupBy> group_by)
     : QueryPlan(Borrowed(fragmentation), std::move(slices), query_class,
                 io_class, std::move(accesses), selectivity,
-                std::move(covered), coverable) {}
+                std::move(covered), coverable, group_by) {}
 
 const std::vector<std::int64_t>& QueryPlan::slice(int i) const {
   MDW_CHECK(i >= 0 && i < static_cast<int>(slices_.size()),
@@ -376,7 +410,7 @@ QueryPlan QueryPlanner::Plan(const StarQuery& query) const {
 
   return QueryPlan(fragmentation_, std::move(slices), query_class, io_class,
                    std::move(accesses), query.Selectivity(*schema_),
-                   std::move(covered), coverable);
+                   std::move(covered), coverable, query.group_by());
 }
 
 }  // namespace mdw

@@ -74,7 +74,7 @@ class QueryPlan {
             QueryClass query_class, IoClass io_class,
             std::vector<PredicateAccess> accesses, double selectivity,
             std::vector<std::vector<bool>> covered = {},
-            bool coverable = false);
+            bool coverable = false, std::optional<GroupBy> group_by = {});
 
   /// Compatibility: borrows a caller-owned fragmentation (no ownership);
   /// the caller must keep it alive for the plan's lifetime.
@@ -83,7 +83,7 @@ class QueryPlan {
             QueryClass query_class, IoClass io_class,
             std::vector<PredicateAccess> accesses, double selectivity,
             std::vector<std::vector<bool>> covered = {},
-            bool coverable = false);
+            bool coverable = false, std::optional<GroupBy> group_by = {});
 
   const Fragmentation& fragmentation() const { return *fragmentation_; }
   QueryClass query_class() const { return query_class_; }
@@ -124,6 +124,26 @@ class QueryPlan {
   /// per-attribute covered counts; 0 when !coverable()).
   std::int64_t CoveredFragmentCount() const;
 
+  /// ---- Grouping classification ----
+
+  bool grouped() const { return group_by_.has_value(); }
+  const std::optional<GroupBy>& group_by() const { return group_by_; }
+  /// Index of the fragmentation attribute the grouping *aligns* with
+  /// (same dimension, group depth at or above the fragmentation depth),
+  /// or -1. Aligned groups partition the fragment set, so covered
+  /// fragments feed their prefix-sum partials straight into their group;
+  /// non-aligned groups force the residual scan path with per-row keys.
+  int group_attr() const { return group_attr_; }
+  bool AlignedGrouping() const { return group_attr_ >= 0; }
+  /// Cardinality of the GROUP BY attribute (0 when ungrouped) — the dense
+  /// key domain of execution's per-chunk group accumulators.
+  std::int64_t group_card() const { return group_card_; }
+  /// Leaves per GROUP BY value: a fact row's key is leaf / leaves_per.
+  std::int64_t group_leaves_per() const { return group_leaves_per_; }
+  /// Group key of a fragment (requires AlignedGrouping()): the ancestor
+  /// of its coordinate on the aligned attribute at the GROUP BY depth.
+  std::int64_t GroupOfFragment(FragId id) const;
+
   /// Enumerates the fragment ids to process, in allocation order
   /// (ascending id).
   void ForEachFragment(const std::function<void(FragId)>& fn) const;
@@ -148,6 +168,15 @@ class QueryPlan {
   /// Parallel to slices_; empty-constructed plans normalise to all-false.
   std::vector<std::vector<bool>> covered_;
   bool coverable_ = false;
+  std::optional<GroupBy> group_by_;
+  int group_attr_ = -1;
+  std::int64_t group_card_ = 0;
+  std::int64_t group_leaves_per_ = 1;
+  /// Mixed-radix helpers for GroupOfFragment: product of attribute
+  /// cardinalities after group_attr_, and descendants per group value at
+  /// the fragmentation depth.
+  std::int64_t group_suffix_ = 1;
+  std::int64_t group_desc_per_ = 1;
 };
 
 /// Derives QueryPlans from StarQueries for a fixed fragmentation,

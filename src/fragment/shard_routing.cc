@@ -10,6 +10,7 @@ std::vector<ShardSelection> RouteSelectionToShards(
     const std::function<std::pair<std::int64_t, std::int64_t>(FragId)>&
         rows_of) {
   MDW_CHECK(num_shards >= 1, "need at least one shard");
+  const bool track_groups = plan.AlignedGrouping();
   std::vector<ShardSelection> shards(static_cast<std::size_t>(num_shards));
   plan.ForEachFragment([&](FragId id, bool covered) {
     const int s = shard_of(id);
@@ -20,7 +21,21 @@ std::vector<ShardSelection> RouteSelectionToShards(
     if (summarize) ++sel.fragments_covered;  // empty fragments included
     const auto [begin, end] = rows_of(id);
     if (begin == end) return;
-    std::vector<RowRange>& ranges = summarize ? sel.summary : sel.scan;
+    if (summarize) {
+      // A summary run's prefix-sum fold credits a single group, so a run
+      // must stay inside one group when the plan groups by a (coarser)
+      // fragmentation attribute.
+      const std::int64_t group = track_groups ? plan.GroupOfFragment(id) : -1;
+      if (!sel.summary.empty() && sel.summary.back().end == begin &&
+          sel.summary_group.back() == group) {
+        sel.summary.back().end = end;
+      } else {
+        sel.summary.push_back({begin, end});
+        sel.summary_group.push_back(group);
+      }
+      return;
+    }
+    std::vector<RowRange>& ranges = sel.scan;
     if (!ranges.empty() && ranges.back().end == begin) {
       ranges.back().end = end;
     } else {

@@ -28,6 +28,10 @@ struct RowRange {
 struct ShardSelection {
   std::vector<RowRange> scan;
   std::vector<RowRange> summary;
+  /// Group key of each summary run, parallel to `summary`. Populated only
+  /// for aligned grouped plans (every fragment of a run shares the key —
+  /// runs never coalesce across group boundaries then); -1 otherwise.
+  std::vector<std::int64_t> summary_group;
   /// Plan fragments routed to this shard.
   std::int64_t fragments = 0;
   /// Fully-covered ones among them (empty fragments included).
@@ -49,6 +53,11 @@ struct ShardSelection {
 /// physically adjacent selected fragments coalesce into maximal runs —
 /// the property that keeps scheduling O(selected fragments) and the
 /// per-shard merge order fixed.
+///
+/// For aligned grouped plans (plan.AlignedGrouping()), summary runs are
+/// additionally cut at group boundaries and labelled with their group key
+/// in `summary_group`, so a prefix-sum fold credits exactly one group.
+/// Scan runs stay maximal: the scan kernel reads the group key per row.
 std::vector<ShardSelection> RouteSelectionToShards(
     const QueryPlan& plan, int num_shards, bool summaries_enabled,
     const std::function<int(FragId)>& shard_of,

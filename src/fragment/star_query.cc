@@ -6,7 +6,17 @@
 namespace mdw {
 
 StarQuery::StarQuery(std::string name, std::vector<Predicate> predicates)
-    : name_(std::move(name)), predicates_(std::move(predicates)) {
+    : StarQuery(std::move(name), std::move(predicates),
+                AggregateSpec::Default()) {}
+
+StarQuery::StarQuery(std::string name, std::vector<Predicate> predicates,
+                     AggregateSpec aggregates, std::optional<GroupBy> group_by,
+                     std::optional<OrderBy> order_by)
+    : name_(std::move(name)),
+      predicates_(std::move(predicates)),
+      aggregates_(std::move(aggregates)),
+      group_by_(group_by),
+      order_by_(order_by) {
   for (std::size_t i = 0; i < predicates_.size(); ++i) {
     MDW_CHECK(!predicates_[i].values.empty(),
               "predicate needs at least one value");
@@ -15,6 +25,26 @@ StarQuery::StarQuery(std::string name, std::vector<Predicate> predicates)
                 "at most one predicate per dimension");
     }
   }
+  MDW_CHECK(!aggregates_.items.empty(), "aggregate spec needs at least one item");
+  if (order_by_.has_value()) {
+    MDW_CHECK(order_by_->item >= 0 &&
+                  order_by_->item < static_cast<int>(aggregates_.items.size()),
+              "ORDER BY item out of range of the aggregate spec");
+    MDW_CHECK(order_by_->limit >= 0, "LIMIT must be non-negative");
+  }
+}
+
+StarQuery StarQuery::WithAggregates(AggregateSpec aggregates) const {
+  return StarQuery(name_, predicates_, std::move(aggregates), group_by_,
+                   order_by_);
+}
+
+StarQuery StarQuery::WithGroupBy(GroupBy group_by) const {
+  return StarQuery(name_, predicates_, aggregates_, group_by, order_by_);
+}
+
+StarQuery StarQuery::WithOrderBy(OrderBy order_by) const {
+  return StarQuery(name_, predicates_, aggregates_, group_by_, order_by);
 }
 
 const Predicate* StarQuery::PredicateOn(DimId dim) const {
@@ -50,41 +80,51 @@ constexpr Depth kTimeMonth = 2;
 }  // namespace
 
 StarQuery OneStore(std::int64_t store) {
-  return StarQuery("1STORE", {{kApb1Customer, kCustomerStore, {store}}});
+  return StarQuery("1STORE", {{kApb1Customer, kCustomerStore, {store}}},
+                   AggregateSpec::Default());
 }
 
 StarQuery OneMonth(std::int64_t month) {
-  return StarQuery("1MONTH", {{kApb1Time, kTimeMonth, {month}}});
+  return StarQuery("1MONTH", {{kApb1Time, kTimeMonth, {month}}},
+                   AggregateSpec::Default());
 }
 
 StarQuery OneCode(std::int64_t code) {
-  return StarQuery("1CODE", {{kApb1Product, kProductCode, {code}}});
+  return StarQuery("1CODE", {{kApb1Product, kProductCode, {code}}},
+                   AggregateSpec::Default());
 }
 
 StarQuery OneMonthOneGroup(std::int64_t month, std::int64_t group) {
-  return StarQuery("1MONTH1GROUP", {{kApb1Time, kTimeMonth, {month}},
-                                    {kApb1Product, kProductGroup, {group}}});
+  return StarQuery("1MONTH1GROUP",
+                   {{kApb1Time, kTimeMonth, {month}},
+                    {kApb1Product, kProductGroup, {group}}},
+                   AggregateSpec::Default());
 }
 
 StarQuery OneCodeOneMonth(std::int64_t code, std::int64_t month) {
-  return StarQuery("1CODE1MONTH", {{kApb1Product, kProductCode, {code}},
-                                   {kApb1Time, kTimeMonth, {month}}});
+  return StarQuery("1CODE1MONTH",
+                   {{kApb1Product, kProductCode, {code}},
+                    {kApb1Time, kTimeMonth, {month}}},
+                   AggregateSpec::Default());
 }
 
 StarQuery OneCodeOneQuarter(std::int64_t code, std::int64_t quarter) {
   return StarQuery("1CODE1QUARTER",
                    {{kApb1Product, kProductCode, {code}},
-                    {kApb1Time, kTimeQuarter, {quarter}}});
+                    {kApb1Time, kTimeQuarter, {quarter}}},
+                   AggregateSpec::Default());
 }
 
 StarQuery OneQuarter(std::int64_t quarter) {
-  return StarQuery("1QUARTER", {{kApb1Time, kTimeQuarter, {quarter}}});
+  return StarQuery("1QUARTER", {{kApb1Time, kTimeQuarter, {quarter}}},
+                   AggregateSpec::Default());
 }
 
 StarQuery OneGroupOneStore(std::int64_t group, std::int64_t store) {
   return StarQuery("1GROUP1STORE",
                    {{kApb1Product, kProductGroup, {group}},
-                    {kApb1Customer, kCustomerStore, {store}}});
+                    {kApb1Customer, kCustomerStore, {store}}},
+                   AggregateSpec::Default());
 }
 
 }  // namespace apb1_queries

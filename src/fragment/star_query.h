@@ -2,6 +2,7 @@
 #define MDW_FRAGMENT_STAR_QUERY_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,17 +20,83 @@ struct Predicate {
   std::vector<std::int64_t> values;
 };
 
-/// A star (join) query: selections on dimension hierarchy attributes plus
-/// an aggregation over the matching fact rows (paper Sec. 3.1). The
-/// aggregation measures are irrelevant to allocation decisions; we model
-/// SUM over all measure columns.
+/// Aggregate function of one SELECT-list item. AVG is derived at
+/// result-build time from the integer SUM and COUNT partials, so execution
+/// accumulates the same bit-identical integers regardless of function.
+enum class AggFn { kSum, kCount, kAvg };
+
+/// The fact-table measure an aggregate item reads. COUNT ignores it.
+enum class MeasureId { kUnitsSold, kDollarSales };
+
+/// One SELECT-list item: fn(measure), e.g. SUM(DollarSales).
+struct AggItem {
+  AggFn fn = AggFn::kSum;
+  MeasureId measure = MeasureId::kUnitsSold;
+
+  friend bool operator==(const AggItem& a, const AggItem& b) = default;
+};
+
+/// The explicit aggregate list of a star query. Replaces the historic
+/// implicit "SUM over all measures" shape, which `Default()` reproduces.
+struct AggregateSpec {
+  std::vector<AggItem> items;
+
+  /// SUM(UnitsSold), SUM(DollarSales) — the pre-AggregateSpec behaviour.
+  static AggregateSpec Default() {
+    return {{{AggFn::kSum, MeasureId::kUnitsSold},
+             {AggFn::kSum, MeasureId::kDollarSales}}};
+  }
+
+  friend bool operator==(const AggregateSpec& a,
+                         const AggregateSpec& b) = default;
+};
+
+/// GROUP BY one dimension hierarchy attribute: one result row per distinct
+/// value of `dim` at `depth` (rollup = re-running with a smaller depth).
+struct GroupBy {
+  DimId dim = 0;
+  Depth depth = 0;
+
+  friend bool operator==(const GroupBy& a, const GroupBy& b) = default;
+};
+
+/// ORDER BY <select item> [ASC|DESC] [LIMIT k]. `item` indexes the
+/// AggregateSpec; `limit` == 0 keeps every group (plain ORDER BY). Ties
+/// break on ascending group key so top-k is deterministic.
+struct OrderBy {
+  int item = 0;
+  bool descending = false;
+  std::int64_t limit = 0;
+
+  friend bool operator==(const OrderBy& a, const OrderBy& b) = default;
+};
+
+/// A star (join) query: selections on dimension hierarchy attributes, an
+/// aggregate list over the matching fact rows (paper Sec. 3.1), and
+/// optionally a GROUP BY attribute with ORDER BY ... LIMIT on top. The
+/// two-argument constructor keeps the historic shape: SUM over all
+/// measures, no grouping.
 class StarQuery {
  public:
   StarQuery(std::string name, std::vector<Predicate> predicates);
+  StarQuery(std::string name, std::vector<Predicate> predicates,
+            AggregateSpec aggregates, std::optional<GroupBy> group_by = {},
+            std::optional<OrderBy> order_by = {});
 
   const std::string& name() const { return name_; }
   const std::vector<Predicate>& predicates() const { return predicates_; }
   int num_predicates() const { return static_cast<int>(predicates_.size()); }
+
+  const AggregateSpec& aggregates() const { return aggregates_; }
+  const std::optional<GroupBy>& group_by() const { return group_by_; }
+  const std::optional<OrderBy>& order_by() const { return order_by_; }
+  bool grouped() const { return group_by_.has_value(); }
+
+  /// Copy-with builders, so the apb1_queries factories compose with
+  /// grouping: apb1_queries::OneQuarter(2).WithGroupBy({kApb1Time, 2}).
+  StarQuery WithAggregates(AggregateSpec aggregates) const;
+  StarQuery WithGroupBy(GroupBy group_by) const;
+  StarQuery WithOrderBy(OrderBy order_by) const;
 
   /// The predicate on `dim`, or nullptr.
   const Predicate* PredicateOn(DimId dim) const;
@@ -45,6 +112,9 @@ class StarQuery {
  private:
   std::string name_;
   std::vector<Predicate> predicates_;
+  AggregateSpec aggregates_ = AggregateSpec::Default();
+  std::optional<GroupBy> group_by_;
+  std::optional<OrderBy> order_by_;
 };
 
 /// Factory helpers for the paper's APB-1 query types (Sec. 3.1/6).

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 namespace mdw {
@@ -12,7 +13,7 @@ namespace {
 /// single-character punctuation ( ) , . = *.
 class Lexer {
  public:
-  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+  explicit Lexer(std::string_view text) : text_(text) { Advance(); }
 
   const std::string& token() const { return token_; }
   bool at_end() const { return token_.empty(); }
@@ -63,7 +64,7 @@ class Lexer {
   }
 
  private:
-  const std::string& text_;
+  std::string_view text_;
   std::size_t pos_ = 0;
   std::string token_;
 };
@@ -76,46 +77,103 @@ bool IsInteger(const std::string& token) {
   return true;
 }
 
-std::optional<StarQuery> Fail(std::string* error, const std::string& msg) {
-  if (error != nullptr) *error = msg;
-  return std::nullopt;
+Status Err(std::string message) {
+  return Status::InvalidArgument(std::move(message));
+}
+
+/// Parses one aggregate expression SUM(m) | COUNT(*) | AVG(m) into `out`.
+/// Returns false with `*error` set when the tokens are not one.
+bool ParseAggExpr(Lexer& lex, AggItem* out, std::string* error) {
+  AggFn fn;
+  if (lex.Is("SUM")) {
+    fn = AggFn::kSum;
+  } else if (lex.Is("COUNT")) {
+    fn = AggFn::kCount;
+  } else if (lex.Is("AVG")) {
+    fn = AggFn::kAvg;
+  } else if (lex.Is("MIN") || lex.Is("MAX")) {
+    *error = "MIN/MAX aggregates are not supported (use SUM, COUNT, AVG)";
+    return false;
+  } else {
+    *error =
+        "expected aggregate or * in the SELECT list, got '" + lex.token() +
+        "'";
+    return false;
+  }
+  lex.Advance();
+  if (!lex.Accept("(")) {
+    *error = "expected ( after aggregate";
+    return false;
+  }
+  if (lex.Is(")")) {
+    *error = "empty aggregate argument";
+    return false;
+  }
+  // DollarSales selects the dollar measure; every other argument reads
+  // UnitsSold (COUNT ignores it entirely). Normalising COUNT's measure
+  // keeps COUNT(*) == COUNT(UnitsSold) in the plan-cache signature.
+  const MeasureId measure = fn != AggFn::kCount && lex.Is("DollarSales")
+                                ? MeasureId::kDollarSales
+                                : MeasureId::kUnitsSold;
+  lex.Advance();  // measure name or *
+  if (!lex.Accept(")")) {
+    *error = "expected ) closing the aggregate";
+    return false;
+  }
+  out->fn = fn;
+  out->measure = measure;
+  return true;
+}
+
+/// Parses <dimension> . <level> against the schema into (dim, depth).
+Status ParseAttribute(const StarSchema& schema, Lexer& lex, DimId* dim,
+                      Depth* depth) {
+  const std::string dim_name = lex.token();
+  *dim = schema.DimensionIdOf(dim_name);
+  if (*dim < 0) return Err("unknown dimension '" + dim_name + "'");
+  lex.Advance();
+  if (!lex.Accept(".")) return Err("expected . after dimension name");
+  const std::string level_name = lex.token();
+  *depth = schema.dimension(*dim).hierarchy().DepthOf(level_name);
+  if (*depth < 0) {
+    return Err("unknown level '" + level_name + "' of dimension '" +
+               dim_name + "'");
+  }
+  lex.Advance();
+  return Status::Ok();
 }
 
 }  // namespace
 
-std::optional<StarQuery> ParseStarQuery(const StarSchema& schema,
-                                        const std::string& sql,
-                                        std::string* error) {
+StatusOr<StarQuery> ParseSql(const StarSchema& schema, std::string_view sql) {
   Lexer lex(sql);
 
   // ---- SELECT list ----
-  if (!lex.Accept("SELECT")) return Fail(error, "expected SELECT");
+  if (!lex.Accept("SELECT")) return Err("expected SELECT");
+  std::vector<AggItem> items;
   bool any_item = false;
   while (!lex.at_end() && !lex.Is("FROM")) {
-    if (lex.Accept("SUM") || lex.Accept("COUNT") || lex.Accept("AVG") ||
-        lex.Accept("MIN") || lex.Accept("MAX")) {
-      if (!lex.Accept("(")) return Fail(error, "expected ( after aggregate");
-      if (lex.Is(")")) return Fail(error, "empty aggregate argument");
-      lex.Advance();  // measure name or *
-      if (!lex.Accept(")")) {
-        return Fail(error, "expected ) closing the aggregate");
+    if (lex.Accept("*")) {
+      // SELECT * = the default measure list.
+      for (const AggItem& item : AggregateSpec::Default().items) {
+        items.push_back(item);
       }
-    } else if (lex.Accept("*")) {
-      // allow SELECT *
     } else {
-      return Fail(error, "expected aggregate or * in the SELECT list, got '" +
-                             lex.token() + "'");
+      AggItem item;
+      std::string error;
+      if (!ParseAggExpr(lex, &item, &error)) return Err(std::move(error));
+      items.push_back(item);
     }
     any_item = true;
     if (!lex.Accept(",")) break;
   }
-  if (!any_item) return Fail(error, "empty SELECT list");
+  if (!any_item) return Err("empty SELECT list");
 
   // ---- FROM ----
-  if (!lex.Accept("FROM")) return Fail(error, "expected FROM");
+  if (!lex.Accept("FROM")) return Err("expected FROM");
   if (!lex.Is(schema.fact_table_name())) {
-    return Fail(error, "unknown fact table '" + lex.token() + "' (expected '" +
-                           schema.fact_table_name() + "')");
+    return Err("unknown fact table '" + lex.token() + "' (expected '" +
+               schema.fact_table_name() + "')");
   }
   lex.Advance();
 
@@ -123,24 +181,11 @@ std::optional<StarQuery> ParseStarQuery(const StarSchema& schema,
   std::vector<Predicate> predicates;
   if (lex.Accept("WHERE")) {
     do {
-      // <dimension> . <level>
-      const std::string dim_name = lex.token();
-      const DimId dim = schema.DimensionIdOf(dim_name);
-      if (dim < 0) {
-        return Fail(error, "unknown dimension '" + dim_name + "'");
+      DimId dim;
+      Depth depth;
+      if (Status s = ParseAttribute(schema, lex, &dim, &depth); !s.ok()) {
+        return s;
       }
-      lex.Advance();
-      if (!lex.Accept(".")) {
-        return Fail(error, "expected . after dimension name");
-      }
-      const std::string level_name = lex.token();
-      const Depth depth =
-          schema.dimension(dim).hierarchy().DepthOf(level_name);
-      if (depth < 0) {
-        return Fail(error, "unknown level '" + level_name +
-                               "' of dimension '" + dim_name + "'");
-      }
-      lex.Advance();
 
       // = value | IN (v, v, ...)
       Predicate predicate{dim, depth, {}};
@@ -156,39 +201,106 @@ std::optional<StarQuery> ParseStarQuery(const StarSchema& schema,
       };
       if (lex.Accept("=")) {
         if (!read_value()) {
-          return Fail(error, "expected a value in [0, " +
-                                 std::to_string(card) + ") after =, got '" +
-                                 lex.token() + "'");
+          return Err("expected a value in [0, " + std::to_string(card) +
+                     ") after =, got '" + lex.token() + "'");
         }
       } else if (lex.Accept("IN")) {
-        if (!lex.Accept("(")) return Fail(error, "expected ( after IN");
+        if (!lex.Accept("(")) return Err("expected ( after IN");
         do {
           if (!read_value()) {
-            return Fail(error, "expected a value in [0, " +
-                                   std::to_string(card) + ") in the IN "
-                                   "list, got '" + lex.token() + "'");
+            return Err("expected a value in [0, " + std::to_string(card) +
+                       ") in the IN list, got '" + lex.token() + "'");
           }
         } while (lex.Accept(","));
-        if (!lex.Accept(")")) {
-          return Fail(error, "expected ) closing the IN list");
-        }
+        if (!lex.Accept(")")) return Err("expected ) closing the IN list");
       } else {
-        return Fail(error, "expected = or IN after the attribute");
+        return Err("expected = or IN after the attribute");
       }
       for (const auto& existing : predicates) {
         if (existing.dim == dim) {
-          return Fail(error,
-                      "duplicate predicate on dimension '" + dim_name + "'");
+          return Err("duplicate predicate on dimension '" +
+                     schema.dimension(dim).name() + "'");
         }
       }
       predicates.push_back(std::move(predicate));
     } while (lex.Accept("AND"));
   }
 
-  if (!lex.at_end()) {
-    return Fail(error, "unexpected trailing input at '" + lex.token() + "'");
+  // ---- GROUP BY ----
+  std::optional<GroupBy> group_by;
+  if (lex.Accept("GROUP")) {
+    if (!lex.Accept("BY")) return Err("expected BY after GROUP");
+    DimId dim;
+    Depth depth;
+    if (Status s = ParseAttribute(schema, lex, &dim, &depth); !s.ok()) {
+      return s;
+    }
+    group_by = GroupBy{dim, depth};
   }
-  return StarQuery("parsed", std::move(predicates));
+
+  // ---- ORDER BY ... [LIMIT k] ----
+  std::optional<OrderBy> order_by;
+  if (lex.Accept("ORDER")) {
+    if (!lex.Accept("BY")) return Err("expected BY after ORDER");
+    OrderBy ob;
+    if (IsInteger(lex.token())) {
+      const std::int64_t position = std::stoll(lex.token());
+      if (position < 1 || position > static_cast<std::int64_t>(items.size())) {
+        return Err("ORDER BY position " + lex.token() +
+                   " is outside the SELECT list (1.." +
+                   std::to_string(items.size()) + ")");
+      }
+      ob.item = static_cast<int>(position - 1);
+      lex.Advance();
+    } else {
+      AggItem ref;
+      std::string error;
+      if (!ParseAggExpr(lex, &ref, &error)) return Err(std::move(error));
+      int found = -1;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i] == ref) {
+          found = static_cast<int>(i);
+          break;
+        }
+      }
+      if (found < 0) {
+        return Err("ORDER BY aggregate is not in the SELECT list");
+      }
+      ob.item = found;
+    }
+    if (lex.Accept("DESC")) {
+      ob.descending = true;
+    } else {
+      lex.Accept("ASC");  // the default
+    }
+    if (lex.Accept("LIMIT")) {
+      if (!IsInteger(lex.token())) {
+        return Err("expected a row count after LIMIT, got '" + lex.token() +
+                   "'");
+      }
+      ob.limit = std::stoll(lex.token());
+      lex.Advance();
+      if (ob.limit < 1) return Err("LIMIT must be at least 1");
+    }
+    order_by = ob;
+  }
+
+  if (!lex.at_end()) {
+    return Err("unexpected trailing input at '" + lex.token() + "'");
+  }
+  return StarQuery("parsed", std::move(predicates), AggregateSpec{items},
+                   group_by, order_by);
+}
+
+std::optional<StarQuery> ParseStarQuery(const StarSchema& schema,
+                                        const std::string& sql,
+                                        std::string* error) {
+  StatusOr<StarQuery> parsed = ParseSql(schema, sql);
+  if (!parsed.ok()) {
+    if (error != nullptr) *error = parsed.status().message();
+    return std::nullopt;
+  }
+  return std::move(parsed).value();
 }
 
 }  // namespace mdw

@@ -3,27 +3,47 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
+#include "common/status.h"
 #include "fragment/star_query.h"
 
 namespace mdw {
 
-/// Parses a minimal SQL-like star-query dialect into a StarQuery, the
-/// textual form of the paper's Sec. 3.1 example:
+/// Parses the warehouse's SQL-like star-query dialect into a StarQuery,
+/// the textual form of the paper's Sec. 3.1 example plus grouped
+/// aggregation and top-k:
 ///
-///   SELECT SUM(UnitsSold), SUM(DollarSales)
+///   SELECT SUM(UnitsSold), COUNT(*), AVG(DollarSales)
 ///   FROM sales
-///   WHERE time.month = 3 AND product.group = 41
+///   WHERE time.month IN (3, 4) AND product.group = 41
+///   GROUP BY product.family
+///   ORDER BY SUM(UnitsSold) DESC LIMIT 5
 ///
-/// Supported predicate forms (per dimension at most one predicate):
-///   <dimension>.<level> = <integer>
-///   <dimension>.<level> IN (<integer>, <integer>, ...)
+/// Grammar (keywords case-insensitive, clauses in this order):
+///   SELECT <item> (, <item>)* | SELECT *
+///   FROM <fact table>
+///   [WHERE <dim>.<level> = <int> | <dim>.<level> IN (<int>, ...)
+///     (AND ...)*]                       -- at most one predicate per dim
+///   [GROUP BY <dim>.<level>]
+///   [ORDER BY <item ref> [ASC|DESC] [LIMIT <k>]]
 ///
-/// The SELECT list and FROM clause are validated but only the WHERE
-/// clause affects the resulting StarQuery (allocation decisions do not
-/// depend on the selected measures). Keywords are case-insensitive;
-/// dimension and level names follow the schema. On error, returns
-/// std::nullopt and fills `*error` with a human-readable message.
+/// SELECT items are SUM(<measure>), COUNT(*), or AVG(<measure>) with
+/// measures UnitsSold and DollarSales; COUNT ignores its argument, any
+/// other measure name reads UnitsSold (the dialect's historical aliases),
+/// and `*` stands for the default list SUM(UnitsSold), SUM(DollarSales).
+/// MIN/MAX are rejected. An ORDER BY item ref is either a 1-based SELECT
+/// position or the aggregate expression itself (matched against the
+/// SELECT list); the default direction is ASC, and ties always break on
+/// ascending group key. LIMIT requires ORDER BY.
+///
+/// Errors return kInvalidArgument carrying a human-readable diagnostic
+/// (unknown dimension/level, out-of-range literal, malformed syntax, ...)
+/// — the typed status Warehouse::ExecuteSql surfaces unchanged.
+StatusOr<StarQuery> ParseSql(const StarSchema& schema, std::string_view sql);
+
+/// Legacy wrapper over ParseSql: returns std::nullopt on error and fills
+/// `*error` with the status message. Prefer ParseSql in new code.
 std::optional<StarQuery> ParseStarQuery(const StarSchema& schema,
                                         const std::string& sql,
                                         std::string* error);

@@ -77,8 +77,86 @@ TEST_F(ParserTest, NoWhereClauseMeansFullAggregate) {
 }
 
 TEST_F(ParserTest, SelectStarAndMultipleAggregates) {
-  MustParse("SELECT * FROM sales WHERE channel.channel = 3");
-  MustParse("SELECT COUNT(*), AVG(Cost), MIN(Cost), MAX(Cost) FROM sales");
+  const auto star = MustParse("SELECT * FROM sales WHERE channel.channel = 3");
+  EXPECT_EQ(star.aggregates(), AggregateSpec::Default());
+  const auto q = MustParse("SELECT COUNT(*), AVG(Cost), SUM(DollarSales) "
+                           "FROM sales");
+  ASSERT_EQ(q.aggregates().items.size(), 3u);
+  EXPECT_EQ(q.aggregates().items[0].fn, AggFn::kCount);
+  EXPECT_EQ(q.aggregates().items[1].fn, AggFn::kAvg);
+  // Unknown measure names (the dialect's historical aliases) read
+  // UnitsSold; DollarSales is the one name selecting the other measure.
+  EXPECT_EQ(q.aggregates().items[1].measure, MeasureId::kUnitsSold);
+  EXPECT_EQ(q.aggregates().items[2].fn, AggFn::kSum);
+  EXPECT_EQ(q.aggregates().items[2].measure, MeasureId::kDollarSales);
+}
+
+TEST_F(ParserTest, RejectsMinMax) {
+  const auto error = MustFail("SELECT MIN(Cost), MAX(Cost) FROM sales");
+  EXPECT_NE(error.find("MIN/MAX"), std::string::npos);
+}
+
+TEST_F(ParserTest, GroupByClause) {
+  const auto q = MustParse(
+      "SELECT SUM(UnitsSold) FROM sales "
+      "WHERE time.quarter = 2 GROUP BY product.group");
+  ASSERT_TRUE(q.grouped());
+  EXPECT_EQ(q.group_by()->dim, kApb1Product);
+  EXPECT_EQ(q.group_by()->depth, 3);
+  EXPECT_FALSE(q.order_by().has_value());
+}
+
+TEST_F(ParserTest, OrderByPositionWithLimit) {
+  const auto q = MustParse(
+      "SELECT SUM(UnitsSold), SUM(DollarSales) FROM sales "
+      "GROUP BY time.month ORDER BY 2 DESC LIMIT 5");
+  ASSERT_TRUE(q.order_by().has_value());
+  EXPECT_EQ(q.order_by()->item, 1);
+  EXPECT_TRUE(q.order_by()->descending);
+  EXPECT_EQ(q.order_by()->limit, 5);
+}
+
+TEST_F(ParserTest, OrderByAggregateExpressionDefaultsToAscending) {
+  const auto q = MustParse(
+      "SELECT COUNT(*), SUM(DollarSales) FROM sales "
+      "GROUP BY customer.store ORDER BY SUM(DollarSales)");
+  ASSERT_TRUE(q.order_by().has_value());
+  EXPECT_EQ(q.order_by()->item, 1);
+  EXPECT_FALSE(q.order_by()->descending);
+  EXPECT_EQ(q.order_by()->limit, 0);
+}
+
+TEST_F(ParserTest, RejectsBadGroupByAndOrderBy) {
+  EXPECT_NE(MustFail("SELECT SUM(x) FROM sales GROUP BY supplier.name")
+                .find("unknown dimension"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT SUM(x) FROM sales GROUP BY time.week")
+                .find("unknown level"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT SUM(x) FROM sales ORDER BY 2")
+                .find("outside the SELECT list"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT SUM(x) FROM sales ORDER BY AVG(x)")
+                .find("not in the SELECT list"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT SUM(x) FROM sales ORDER BY 1 LIMIT 0")
+                .find("LIMIT"),
+            std::string::npos);
+  MustFail("SELECT SUM(x) FROM sales GROUP BY");
+  MustFail("SELECT SUM(x) FROM sales ORDER BY");
+  MustFail("SELECT SUM(x) FROM sales LIMIT 3");  // LIMIT needs ORDER BY
+}
+
+TEST_F(ParserTest, ParseSqlReturnsTypedStatus) {
+  const auto bad = ParseSql(schema_, "SELECT SUM(x) FROM nowhere");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("unknown fact table"),
+            std::string::npos);
+  const auto good = ParseSql(
+      schema_, "SELECT SUM(UnitsSold) FROM sales GROUP BY time.year");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->grouped());
 }
 
 TEST_F(ParserTest, RejectsUnknownDimension) {
@@ -112,7 +190,7 @@ TEST_F(ParserTest, RejectsDuplicateDimension) {
 
 TEST_F(ParserTest, RejectsTrailingGarbage) {
   const auto error =
-      MustFail("SELECT SUM(x) FROM sales WHERE time.month = 1 ORDER");
+      MustFail("SELECT SUM(x) FROM sales WHERE time.month = 1 EXTRA");
   EXPECT_NE(error.find("trailing"), std::string::npos);
 }
 

@@ -36,11 +36,14 @@ DEFAULT_TRACKED = [
     "BM_MdhfShardedScan",
     "BM_MdhfPagedScan",
     "BM_MultiUserServe",
+    "BM_GroupByRollup",
+    "BM_TopK",
 ]
 # Deterministic quality counters; the gate fails on GROWTH, so each one is
 # oriented so that bigger = worse (hence unfairness = 1 - Jain, not Jain).
 DEFAULT_COUNTERS = [
     "rows_scanned_per_query",
+    "rows_summarized_per_query",
     "skew",
     "pages_read_per_query",
     "p99_response_vt",
